@@ -1,0 +1,142 @@
+// Ablation A4: end-to-end scheduler comparison on an identical open-loop
+// trace.
+//
+// abl_baselines compares plans in isolation; this bench drives the full L4
+// node stack — redirector, kernel queues, servers — with the *same*
+// precomputed request trace (open loop: the workload cannot adapt to the
+// scheduler), so measured service rates isolate exactly the admission
+// policy. SLA: A [0.8, 1.0], B [0.2, 1.0] on a 320 req/s provider; offered
+// load A 200 req/s (one fifth of its guarantee's worth of pressure) and
+// B 600 req/s (flooding).
+//
+// Agreement enforcement serves all of A (its 200 req/s offer is under its
+// 256 req/s floor) and hands B the remainder; equal-weight fair sharing
+// splits the server down the middle (160/160), letting the flood push A
+// below its contractual guarantee.
+#include <cstdlib>
+#include <iostream>
+#include <memory>
+
+#include "core/flow.hpp"
+#include "nodes/l4_redirector.hpp"
+#include "nodes/server.hpp"
+#include "nodes/trace_client.hpp"
+#include "sched/response_time_scheduler.hpp"
+#include "sched/weighted_fair_scheduler.hpp"
+#include "util/table.hpp"
+#include "workload/trace.hpp"
+
+using namespace sharegrid;
+
+namespace {
+
+struct Outcome {
+  double a_served = 0.0;
+  double b_served = 0.0;
+};
+
+/// Runs the trace through an L4 stack with the given scheduler.
+Outcome run_with(const sched::Scheduler* scheduler,
+                 const workload::RequestTrace& trace) {
+  sim::Simulator sim;
+  nodes::Metrics metrics(3);
+  nodes::Server server(&sim, &metrics, {"s", 0, 320.0, {1, 80}});
+  nodes::ServerPool pool;
+  pool.add(&server);
+  nodes::L4Redirector redirector(&sim, &metrics, &pool, scheduler, {});
+  redirector.start(100 * kMillisecond);
+  // A lone redirector still needs its aggregation feedback (normally the
+  // combining tree): without a snapshot it stays conservative forever.
+  sim::PeriodicTask aggregator(&sim, 50 * kMillisecond, 100 * kMillisecond,
+                               [&redirector] {
+                                 redirector.receive_global(
+                                     redirector.local_demand());
+                               });
+
+  nodes::TraceClient client(&sim, &metrics, &redirector, &trace, {}, Rng(9));
+  client.start();
+  sim.run_until(seconds(40));
+
+  return {metrics.served(1).average_rate(seconds(10), seconds(38)),
+          metrics.served(2).average_rate(seconds(10), seconds(38))};
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== ablation: schedulers head-to-head on one open-loop "
+               "trace (A [0.8,1] offers 200, B [0.2,1] floods 600) ===\n\n";
+
+  // Principals: S (provider, owns the server), A, B.
+  core::AgreementGraph g;
+  g.add_principal("S", 320.0);
+  g.add_principal("A", 0.0);
+  g.add_principal("B", 0.0);
+  g.set_agreement(0, 1, 0.8, 1.0);
+  g.set_agreement(0, 2, 0.2, 1.0);
+
+  workload::ActivityPlan plan(2);
+  plan.always_active(0, seconds(40));
+  plan.always_active(1, seconds(40));
+  const workload::ReplySizeDistribution sizes;
+  const workload::RequestTrace trace =
+      workload::RequestTrace::synthesize(plan, {1, 2}, {200.0, 600.0}, sizes,
+                                         2026);
+
+  const sched::ResponseTimeScheduler lp(g, core::compute_access_levels(g));
+  const sched::WeightedFairScheduler wfq(320.0, {0.0, 0.5, 0.5});
+
+  const Outcome lp_out = run_with(&lp, trace);
+  const Outcome wfq_out = run_with(&wfq, trace);
+
+  TextTable table({"scheduler", "A served (offers 200)",
+                   "B served (floods 600)", "B bounded by agreement?"});
+  table.add_row({"LP agreements (this paper)", TextTable::num(lp_out.a_served),
+                 TextTable::num(lp_out.b_served),
+                 lp_out.b_served <= 0.41 * 320.0 + 8.0 ? "yes" : "no"});
+  table.add_row({"equal-weight fair share", TextTable::num(wfq_out.a_served),
+                 TextTable::num(wfq_out.b_served), "n/a (no such concept)"});
+  table.print(std::cout);
+  std::cout << '\n';
+
+  // LP: A fully served (200 < its 256 floor), B gets the remainder (~115,
+  // a little less after queue-drain dynamics). WFQ: both flows backlogged
+  // => equal 160/160 split, 40 req/s below A's offer and guarantee.
+  bool ok = true;
+  if (std::abs(lp_out.a_served - 200.0) > 20.0 ||
+      std::abs(lp_out.b_served - 115.0) > 20.0) {
+    std::cout << "MISMATCH: LP expected A~200 B~115, got " << lp_out.a_served
+              << "/" << lp_out.b_served << "\n";
+    ok = false;
+  }
+  if (std::abs(wfq_out.a_served - 160.0) > 16.0 ||
+      std::abs(wfq_out.b_served - 160.0) > 16.0) {
+    std::cout << "MISMATCH: WFQ expected the 160/160 split, got "
+              << wfq_out.a_served << "/" << wfq_out.b_served << "\n";
+    ok = false;
+  }
+
+  // Same trace, B's contract tightened to [0.2, 0.4]: the LP clamps B at
+  // 128 and leaves capacity idle (the contract is the contract); WFQ cannot
+  // express that and still hands B the slack.
+  core::AgreementGraph tight = g;
+  tight.set_agreement(0, 2, 0.2, 0.4);
+  const sched::ResponseTimeScheduler lp_tight(
+      tight, core::compute_access_levels(tight));
+  const Outcome tight_out = run_with(&lp_tight, trace);
+  std::cout << "With B tightened to [0.2, 0.4]: LP serves B at "
+            << TextTable::num(tight_out.b_served)
+            << " req/s (contract ceiling 128); fair share has no way to "
+               "express this.\n";
+  if (tight_out.b_served > 130.0) {
+    std::cout << "MISMATCH: tightened ceiling not enforced\n";
+    ok = false;
+  }
+
+  std::cout << (ok ? "\nablation: on identical input, fair sharing breaks "
+                     "A's guarantee (160 < 200 offered under a 256 floor); "
+                     "the LP scheduler enforces the [lb, ub] contract "
+                     "structure exactly.\n"
+                   : "\nablation: SHAPE MISMATCH\n");
+  return ok ? EXIT_SUCCESS : EXIT_FAILURE;
+}

@@ -1,0 +1,7 @@
+// Reproduces Figure 6 (§5.1): the Layer-7 redirectors enforce sharing
+// agreements in a service-provider context across three load phases.
+#include "figure_common.hpp"
+
+int main() {
+  return sharegrid::bench::run_figure(sharegrid::experiments::figure6());
+}

@@ -1,0 +1,7 @@
+// Reproduces Figure 7 (§5.1): optional tickets are allocated in proportion
+// to incoming request rates, minimizing community-wide response time.
+#include "figure_common.hpp"
+
+int main() {
+  return sharegrid::bench::run_figure(sharegrid::experiments::figure7());
+}

@@ -1,0 +1,8 @@
+// Reproduces Figure 8 (§5.1): behaviour under a 10-second combining-tree
+// propagation delay — conservative start, transient contention, graceful
+// convergence to the agreed shares.
+#include "figure_common.hpp"
+
+int main() {
+  return sharegrid::bench::run_figure(sharegrid::experiments::figure8());
+}

@@ -1,0 +1,7 @@
+// Reproduces Figure 9 (§5.2): Layer-4 redirection in a community context —
+// A and B each own a server, B shares half of its capacity with A.
+#include "figure_common.hpp"
+
+int main() {
+  return sharegrid::bench::run_figure(sharegrid::experiments::figure9());
+}

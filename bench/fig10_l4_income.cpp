@@ -1,0 +1,8 @@
+// Reproduces Figure 10 (§5.2): Layer-4 redirection maximizing provider
+// income — the higher-paying customer gets first preference beyond the
+// mandatory levels.
+#include "figure_common.hpp"
+
+int main() {
+  return sharegrid::bench::run_figure(sharegrid::experiments::figure10());
+}

@@ -1,0 +1,41 @@
+// Shared driver for the figure-reproduction benches: run the canned
+// scenario, print the per-second series and phase table, check the shape
+// expectations, and exit nonzero on mismatch.
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+
+#include "experiments/paper_figures.hpp"
+
+namespace sharegrid::bench {
+
+/// Runs one figure end-to-end; returns a process exit code.
+inline int run_figure(const experiments::FigureExperiment& figure,
+                      bool print_series = true) {
+  std::cout << "=== " << figure.id << ": " << figure.title << " ===\n\n";
+  const experiments::ScenarioResult result =
+      experiments::run_scenario(figure.config);
+
+  if (print_series) {
+    std::cout << "Per-second served rates (req/s):\n";
+    result.series_table().print(std::cout);
+    std::cout << '\n';
+  }
+  std::cout << "Phase averages:\n";
+  result.phase_table().print(std::cout);
+  std::cout << '\n';
+
+  std::vector<std::string> failures;
+  const bool ok = experiments::check_figure(figure, result, &failures);
+  if (ok) {
+    std::cout << figure.id << ": all " << figure.expectations.size()
+              << " shape expectations hold.\n";
+    return EXIT_SUCCESS;
+  }
+  std::cout << figure.id << ": SHAPE MISMATCH\n";
+  for (const auto& f : failures) std::cout << "  " << f << '\n';
+  return EXIT_FAILURE;
+}
+
+}  // namespace sharegrid::bench

@@ -1,0 +1,53 @@
+// Micro-benchmark M2: cost of the quasi-static flow/entitlement computation
+// (§3.1.1) versus principal count and agreement density. This runs once per
+// agreement change, not per window, but bounded-length paths matter on dense
+// graphs — the max_path_length knob is measured too.
+#include <benchmark/benchmark.h>
+
+#include "core/agreement_graph.hpp"
+#include "core/flow.hpp"
+#include "util/rng.hpp"
+
+using namespace sharegrid;
+
+namespace {
+
+core::AgreementGraph make_random_graph(std::size_t n, double density,
+                                       Rng& rng) {
+  core::AgreementGraph g;
+  for (std::size_t i = 0; i < n; ++i)
+    g.add_principal("P" + std::to_string(i), rng.uniform(10.0, 1000.0));
+  for (core::PrincipalId i = 0; i < n; ++i) {
+    double budget = 1.0;
+    for (core::PrincipalId j = 0; j < n; ++j) {
+      if (i == j || !rng.chance(density)) continue;
+      const double lb = rng.uniform(0.0, budget * 0.3);
+      g.set_agreement(i, j, lb, rng.uniform(lb, 1.0));
+      budget -= lb;
+    }
+  }
+  return g;
+}
+
+void BM_AccessLevelsSparse(benchmark::State& state) {
+  Rng rng(7);
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const core::AgreementGraph g = make_random_graph(n, 0.2, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::compute_access_levels(g));
+  }
+}
+BENCHMARK(BM_AccessLevelsSparse)->Arg(4)->Arg(8)->Arg(12)->Arg(16);
+
+void BM_AccessLevelsDenseBoundedPaths(benchmark::State& state) {
+  Rng rng(8);
+  const core::AgreementGraph g = make_random_graph(12, 0.8, rng);
+  core::FlowOptions opt;
+  opt.max_path_length = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::compute_access_levels(g, opt));
+  }
+}
+BENCHMARK(BM_AccessLevelsDenseBoundedPaths)->Arg(2)->Arg(3)->Arg(4)->Arg(5);
+
+}  // namespace

@@ -1,0 +1,68 @@
+// Micro-benchmark M1: per-window LP solve cost as the number of principals
+// grows. The paper argues the strategy's complexity "only depends on the
+// number of principals involved in the agreements", expected to be small —
+// these numbers quantify what "small" buys.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "core/agreement_graph.hpp"
+#include "core/flow.hpp"
+#include "sched/income_scheduler.hpp"
+#include "sched/response_time_scheduler.hpp"
+#include "util/rng.hpp"
+
+using namespace sharegrid;
+
+namespace {
+
+/// Provider + (n-1) customers with random [lb, ub] SLAs.
+core::AgreementGraph make_provider_graph(std::size_t n, Rng& rng) {
+  core::AgreementGraph g;
+  g.add_principal("S", 1000.0);
+  double budget = 1.0;
+  for (std::size_t i = 1; i < n; ++i) {
+    g.add_principal("P" + std::to_string(i), 0.0);
+    const double lb = rng.uniform(0.0, budget * 0.5);
+    g.set_agreement(0, i, lb, rng.uniform(lb, 1.0));
+    budget -= lb;
+  }
+  return g;
+}
+
+std::vector<double> make_demand(std::size_t n, Rng& rng) {
+  std::vector<double> demand(n, 0.0);
+  for (std::size_t i = 1; i < n; ++i) demand[i] = rng.uniform(0.0, 500.0);
+  return demand;
+}
+
+void BM_ResponseTimePlan(benchmark::State& state) {
+  Rng rng(42);
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const core::AgreementGraph g = make_provider_graph(n, rng);
+  const sched::ResponseTimeScheduler scheduler(
+      g, core::compute_access_levels(g));
+  const std::vector<double> demand = make_demand(n, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scheduler.plan(demand));
+  }
+  state.SetLabel(std::to_string(n * n + 1) + " vars");
+}
+BENCHMARK(BM_ResponseTimePlan)->Arg(2)->Arg(4)->Arg(8)->Arg(12)->Arg(16);
+
+void BM_IncomePlan(benchmark::State& state) {
+  Rng rng(43);
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const core::AgreementGraph g = make_provider_graph(n, rng);
+  std::vector<double> prices(n, 0.0);
+  for (std::size_t i = 1; i < n; ++i) prices[i] = rng.uniform(0.5, 3.0);
+  const sched::IncomeScheduler scheduler(g, core::compute_access_levels(g), 0,
+                                         prices);
+  const std::vector<double> demand = make_demand(n, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scheduler.plan(demand));
+  }
+}
+BENCHMARK(BM_IncomePlan)->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
+
+}  // namespace

@@ -1,0 +1,72 @@
+// Micro-benchmark M3: simulator engine throughput and the relative cost of
+// the two redirector implementations.
+//
+// The paper reports the L4 redirector "outperforms the application-level
+// redirector in terms of its impact on request latency and bandwidth"
+// (§5.2): the L7 path doubles the network round trips. In the simulator the
+// same asymmetry appears as more events (hops) per request, measured here.
+#include <benchmark/benchmark.h>
+
+#include "experiments/scenario.hpp"
+#include "sim/simulator.hpp"
+
+using namespace sharegrid;
+using namespace sharegrid::experiments;
+
+namespace {
+
+void BM_SimulatorEventThroughput(benchmark::State& state) {
+  // Self-rescheduling event chains: the engine's core cost.
+  const auto chains = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulator sim;
+    std::uint64_t fired = 0;
+    std::function<void()> hop;
+    for (std::size_t c = 0; c < chains; ++c) {
+      std::function<void()> self = [&sim, &fired, &self] {
+        if (++fired % 1000 != 0) sim.schedule_after(10, self);
+      };
+      sim.schedule_at(static_cast<SimTime>(c), self);
+    }
+    sim.run_all();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(chains) * 1000);
+}
+BENCHMARK(BM_SimulatorEventThroughput)->Arg(1)->Arg(8)->Arg(64);
+
+ScenarioConfig small_scenario(Layer layer) {
+  core::AgreementGraph g;
+  const auto s = g.add_principal("S", 0.0);
+  const auto a = g.add_principal("A", 0.0);
+  g.set_agreement(s, a, 1.0, 1.0);
+
+  ScenarioConfig c;
+  c.graph = g;
+  c.layer = layer;
+  c.servers = {{"S", 320.0}};
+  c.clients = {{"C1", "A", 0, 200.0, {{0.0, 10.0}}}};
+  c.phases = {{"steady", 1.0, 10.0}};
+  c.duration_sec = 10.0;
+  return c;
+}
+
+/// Wall-clock cost of simulating ~2000 requests end to end per layer. The
+/// L7 path is costlier per request (redirect bounce = extra hops), mirroring
+/// the paper's overhead comparison.
+void BM_ScenarioL7(benchmark::State& state) {
+  const ScenarioConfig config = small_scenario(Layer::kL7);
+  for (auto _ : state) benchmark::DoNotOptimize(run_scenario(config));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 2000);
+}
+BENCHMARK(BM_ScenarioL7);
+
+void BM_ScenarioL4(benchmark::State& state) {
+  const ScenarioConfig config = small_scenario(Layer::kL4);
+  for (auto _ : state) benchmark::DoNotOptimize(run_scenario(config));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 2000);
+}
+BENCHMARK(BM_ScenarioL4);
+
+}  // namespace

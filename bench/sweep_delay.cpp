@@ -1,0 +1,86 @@
+// Extension sweep E-D: sensitivity to combining-tree propagation delay.
+//
+// Figure 8 demonstrates one lag (10 s). This sweep varies the lag and
+// measures how long the system misallocates after a load change — the
+// paper's claim is that coordination copes "as long as request patterns are
+// stable for time scales longer than network delays", i.e. the disruption
+// window should track the lag roughly one-for-one.
+#include <cstdlib>
+#include <iostream>
+
+#include "experiments/scenario.hpp"
+#include "util/table.hpp"
+
+using namespace sharegrid;
+using namespace sharegrid::experiments;
+
+namespace {
+
+ScenarioConfig delayed_config(SimDuration link_delay) {
+  core::AgreementGraph g;
+  g.add_principal("S", 0.0);
+  g.add_principal("A", 0.0);
+  g.add_principal("B", 0.0);
+  g.set_agreement(0, 1, 0.8, 1.0);
+  g.set_agreement(0, 2, 0.2, 1.0);
+
+  ScenarioConfig c;
+  c.graph = g;
+  c.layer = Layer::kL7;
+  c.redirector_count = 2;
+  c.tree_link_delay = link_delay;
+  c.servers = {{"S", 320.0}};
+  c.clients = {
+      {"A1", "A", 0, 135.0, {{40.0, 120.0}}},
+      {"A2", "A", 0, 135.0, {{40.0, 120.0}}},
+      {"B1", "B", 1, 135.0, {{0.0, 160.0}}},
+  };
+  c.phases = {{"steady", 80.0, 118.0}};
+  c.duration_sec = 160.0;
+  return c;
+}
+
+/// Seconds after A's arrival (t=40) until B's per-second rate first drops
+/// to its enforced share (<= 1.3 * 64): the contention window.
+double disruption_seconds(const ScenarioResult& result) {
+  const auto& series = result.metrics.served(2);
+  for (std::size_t bin = 41; bin < series.bin_count(); ++bin) {
+    if (series.rate_in_bin(bin) <= 1.3 * 64.0)
+      return static_cast<double>(bin) - 40.0;
+  }
+  return 999.0;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== sweep: combining-tree lag vs adaptation time (Figure 8 "
+               "generalized) ===\n\n";
+  TextTable table({"lag 2*delay (s)", "A steady (exp ~256)",
+                   "B steady (exp ~64)", "disruption after A arrives (s)"});
+  bool ok = true;
+  double last_disruption = -1.0;
+  for (const double delay_s : {0.0, 1.0, 2.5, 5.0, 10.0}) {
+    const ScenarioResult result =
+        run_scenario(delayed_config(seconds(delay_s)));
+    const double a = result.phase_served(0, 1);
+    const double b = result.phase_served(0, 2);
+    const double disruption = disruption_seconds(result);
+    table.add_row({TextTable::num(2.0 * delay_s), TextTable::num(a),
+                   TextTable::num(b), TextTable::num(disruption, 0)});
+    // Steady-state enforcement is delay-independent.
+    if (std::abs(a - 256.0) > 32.0 || std::abs(b - 64.0) > 20.0) ok = false;
+    // Disruption should track the lag: within (lag - 1, lag + 4) seconds.
+    const double lag = 2.0 * delay_s;
+    if (disruption < lag - 1.0 || disruption > lag + 4.0) ok = false;
+    if (disruption + 0.5 < last_disruption) ok = false;  // ~monotone
+    last_disruption = disruption;
+  }
+  table.print(std::cout);
+  std::cout << "\n"
+            << (ok ? "sweep: steady-state shares are delay-invariant and "
+                     "the misallocation window tracks the aggregate lag, "
+                     "as the paper's stability argument predicts.\n"
+                   : "sweep: SHAPE MISMATCH\n");
+  return ok ? EXIT_SUCCESS : EXIT_FAILURE;
+}

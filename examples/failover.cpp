@@ -1,0 +1,56 @@
+// Dynamic agreement interpretation (§2.2): when a shared server degrades,
+// every entitlement derived from it shrinks automatically — no agreement is
+// renegotiated, because tickets convey *fractions* of a currency whose value
+// floats with the physical resources.
+//
+// Community of two: B shares [0.5, 0.5] of its server with A. At t=40 B's
+// machine browns out from 320 to 160 req/s; at t=80 it recovers.
+//
+//   $ ./failover
+#include <iostream>
+
+#include "core/flow.hpp"
+#include "experiments/scenario.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace sharegrid;
+  using namespace sharegrid::experiments;
+
+  core::AgreementGraph graph;
+  const auto a = graph.add_principal("A", 0.0);
+  const auto b = graph.add_principal("B", 0.0);
+  graph.set_agreement(b, a, 0.5, 0.5);
+
+  ScenarioConfig config;
+  config.graph = graph;
+  config.layer = Layer::kL4;
+  config.servers = {{"A", 320.0}, {"B", 320.0}};
+  config.clients = {
+      {"A1", "A", 0, 400.0, {{0.0, 120.0}}},
+      {"A2", "A", 0, 400.0, {{0.0, 120.0}}},
+      {"B1", "B", 0, 400.0, {{0.0, 120.0}}},
+  };
+  // B's machine (index 1) browns out, then recovers.
+  config.capacity_events = {{40.0, 1, 160.0}, {80.0, 1, 320.0}};
+  config.phases = {{"healthy", 10.0, 38.0},
+                   {"brownout", 45.0, 78.0},
+                   {"recovered", 85.0, 118.0}};
+  config.duration_sec = 120.0;
+
+  std::cout
+      << "Failover: B's server degrades 320 -> 160 req/s at t=40 and "
+         "recovers at t=80.\nA's share of B's machine is a fraction (0.5), "
+         "so A's entitlement tracks the degradation\nwithout touching the "
+         "agreement itself:\n\n";
+
+  const ScenarioResult result = run_scenario(config);
+  result.phase_table().print(std::cout);
+
+  std::cout << "\nHealthy:   A = 320 + 160 = 480, B = 160\n"
+               "Brownout:  A = 320 +  80 = 400, B =  80 (half of 160)\n"
+               "Recovered: back to 480 / 160 — the currency re-inflates.\n";
+  (void)a;
+  (void)b;
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Run any experiment described in a scenario file — no recompilation.
+//
+//   $ ./run_scenario_file ../examples/scenarios/community.ini
+//   $ ./run_scenario_file ../examples/scenarios/provider.ini --csv
+//
+// Prints the per-phase averages and (optionally) the per-second series as
+// CSV for plotting. See src/experiments/scenario_ini.hpp for the format.
+#include <cstring>
+#include <iostream>
+
+#include "experiments/scenario.hpp"
+#include "experiments/scenario_ini.hpp"
+
+int main(int argc, char** argv) {
+  using namespace sharegrid;
+  using namespace sharegrid::experiments;
+
+  if (argc < 2) {
+    std::cerr << "usage: " << argv[0] << " <scenario.ini> [--csv]\n";
+    return 2;
+  }
+  const bool csv = argc >= 3 && std::strcmp(argv[2], "--csv") == 0;
+
+  try {
+    const ScenarioConfig config = load_scenario_file(argv[1]);
+    const ScenarioResult result = run_scenario(config);
+
+    if (csv) {
+      result.series_table().print_csv(std::cout);
+      return 0;
+    }
+    std::cout << "Scenario: " << argv[1] << "\n\n";
+    if (!result.phase_reports.empty()) {
+      result.phase_table().print(std::cout);
+    } else {
+      result.series_table().print(std::cout);
+    }
+    std::cout << "\ncoordination messages: " << result.coordination_messages
+              << ", peak server backlog: "
+              << TextTable::num(result.server_backlog_sec.max(), 3) << " s\n";
+  } catch (const ContractViolation& error) {
+    std::cerr << "error: " << error.what() << '\n';
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,172 @@
+#include "coord/combining_tree.hpp"
+
+#include <utility>
+
+#include "util/assert.hpp"
+
+namespace sharegrid::coord {
+
+CombiningTree::CombiningTree(sim::Simulator* sim, TreeTopology topology,
+                             TreeConfig config)
+    : sim_(sim), topology_(std::move(topology)), config_(config) {
+  SHAREGRID_EXPECTS(sim != nullptr);
+  SHAREGRID_EXPECTS(topology_.valid());
+  SHAREGRID_EXPECTS(config_.period > 0);
+  SHAREGRID_EXPECTS(config_.link_delay >= 0);
+  SHAREGRID_EXPECTS(config_.vector_size > 0);
+  children_ = topology_.children();
+  nodes_.resize(topology_.size());
+  failed_.assign(topology_.size(), false);
+}
+
+void CombiningTree::set_node_failed(std::size_t node, bool failed) {
+  SHAREGRID_EXPECTS(node < failed_.size());
+  failed_[node] = failed;
+}
+
+bool CombiningTree::node_failed(std::size_t node) const {
+  SHAREGRID_EXPECTS(node < failed_.size());
+  return failed_[node];
+}
+
+void CombiningTree::attach(std::size_t node, Provider provider,
+                           Receiver receiver) {
+  SHAREGRID_EXPECTS(node < nodes_.size());
+  nodes_[node].provider = std::move(provider);
+  nodes_[node].receiver = std::move(receiver);
+}
+
+void CombiningTree::start(SimTime first_round) {
+  SHAREGRID_EXPECTS(task_ == nullptr);
+  task_ = std::make_unique<sim::PeriodicTask>(
+      sim_, first_round, config_.period, [this] { begin_round(next_round_++); });
+}
+
+void CombiningTree::stop() {
+  if (task_) task_->cancel();
+}
+
+void CombiningTree::begin_round(std::uint64_t round) {
+  // A failed node anywhere on the path to the root prevents the round from
+  // completing; count it abandoned up front (downstream consumers keep
+  // their last snapshot).
+  for (std::size_t node = 0; node < nodes_.size(); ++node) {
+    if (failed_[node]) {
+      ++rounds_abandoned_;
+      return;
+    }
+  }
+  // Every node samples its provider simultaneously at round start, then
+  // reports race up the tree; an interior node forwards once its own sample
+  // and all children's reports are in.
+  for (std::size_t node = 0; node < nodes_.size(); ++node) {
+    RoundSlot& slot = slots_[{round, node}];
+    slot.sum.assign(config_.vector_size, 0.0);
+    slot.reports_pending = children_[node].size();
+    if (nodes_[node].provider) {
+      const std::vector<double> local = nodes_[node].provider();
+      SHAREGRID_ASSERT(local.size() == config_.vector_size);
+      for (std::size_t i = 0; i < local.size(); ++i) slot.sum[i] += local[i];
+    }
+    if (slot.reports_pending == 0) forward_up(round, node);
+  }
+}
+
+void CombiningTree::deliver_report(std::uint64_t round, std::size_t node,
+                                   const std::vector<double>& value) {
+  auto it = slots_.find({round, node});
+  SHAREGRID_ASSERT(it != slots_.end());
+  RoundSlot& slot = it->second;
+  for (std::size_t i = 0; i < value.size(); ++i) slot.sum[i] += value[i];
+  SHAREGRID_ASSERT(slot.reports_pending > 0);
+  if (--slot.reports_pending == 0) forward_up(round, node);
+}
+
+void CombiningTree::forward_up(std::uint64_t round, std::size_t node) {
+  auto it = slots_.find({round, node});
+  SHAREGRID_ASSERT(it != slots_.end());
+  const std::vector<double> sum = std::move(it->second.sum);
+  slots_.erase(it);
+
+  const std::size_t parent = topology_.parent[node];
+  if (parent == kNoParent) {
+    // Root: the aggregate is complete; broadcast it back down.
+    ++rounds_completed_;
+    broadcast_down(round, node, sum);
+    return;
+  }
+  ++messages_sent_;
+  sim_->schedule_after(config_.link_delay, [this, round, parent, sum] {
+    deliver_report(round, parent, sum);
+  });
+}
+
+void CombiningTree::broadcast_down(std::uint64_t round, std::size_t node,
+                                   const std::vector<double>& aggregate) {
+  if (nodes_[node].receiver) nodes_[node].receiver(aggregate);
+  for (std::size_t child : children_[node]) {
+    ++messages_sent_;
+    sim_->schedule_after(config_.link_delay,
+                         [this, round, child, aggregate] {
+                           broadcast_down(round, child, aggregate);
+                         });
+  }
+}
+
+PairwiseExchange::PairwiseExchange(sim::Simulator* sim, std::size_t node_count,
+                                   TreeConfig config)
+    : sim_(sim),
+      config_(config),
+      providers_(node_count),
+      receivers_(node_count) {
+  SHAREGRID_EXPECTS(sim != nullptr);
+  SHAREGRID_EXPECTS(node_count >= 1);
+  SHAREGRID_EXPECTS(config_.vector_size > 0);
+}
+
+void PairwiseExchange::attach(std::size_t node,
+                              CombiningTree::Provider provider,
+                              CombiningTree::Receiver receiver) {
+  SHAREGRID_EXPECTS(node < providers_.size());
+  providers_[node] = std::move(provider);
+  receivers_[node] = std::move(receiver);
+}
+
+void PairwiseExchange::start(SimTime first_round) {
+  SHAREGRID_EXPECTS(task_ == nullptr);
+  task_ = std::make_unique<sim::PeriodicTask>(sim_, first_round,
+                                              config_.period,
+                                              [this] { begin_round(); });
+}
+
+void PairwiseExchange::stop() {
+  if (task_) task_->cancel();
+}
+
+void PairwiseExchange::begin_round() {
+  // Every node unicasts its local vector to every other node; receivers sum
+  // what arrives within one link delay. n(n-1) messages per round.
+  const std::size_t n = providers_.size();
+  std::vector<std::vector<double>> samples(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    samples[i] = providers_[i] ? providers_[i]()
+                               : std::vector<double>(config_.vector_size, 0.0);
+    SHAREGRID_ASSERT(samples[i].size() == config_.vector_size);
+  }
+  for (std::size_t dst = 0; dst < n; ++dst) {
+    if (!receivers_[dst]) {
+      messages_sent_ += n - 1;
+      continue;
+    }
+    std::vector<double> total(config_.vector_size, 0.0);
+    for (std::size_t src = 0; src < n; ++src) {
+      if (src != dst) ++messages_sent_;
+      for (std::size_t k = 0; k < config_.vector_size; ++k)
+        total[k] += samples[src][k];
+    }
+    sim_->schedule_after(config_.link_delay,
+                         [this, dst, total] { receivers_[dst](total); });
+  }
+}
+
+}  // namespace sharegrid::coord

@@ -1,0 +1,126 @@
+// The combining-tree aggregation network (§3.2).
+//
+// Redirectors periodically contribute their local per-principal queue-length
+// vectors; reports travel leaf-to-root, are summed element-wise at each hop,
+// and the root's aggregate is broadcast back down — 2(n-1) messages per round
+// versus O(n^2) for pairwise exchange. Links have a configurable one-way
+// delay, so receivers observe aggregates that lag true state by up to
+// 2 * depth * delay; the Figure 8 experiment sets this lag to 10 seconds.
+// Rounds may overlap in flight when the lag exceeds the round period.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "coord/topology.hpp"
+#include "sim/simulator.hpp"
+#include "util/time.hpp"
+
+namespace sharegrid::coord {
+
+/// Combining-tree configuration.
+struct TreeConfig {
+  /// How often an aggregation round starts.
+  SimDuration period = 100 * kMillisecond;
+  /// One-way delay of every tree link (same up and down).
+  SimDuration link_delay = 0;
+  /// Length of the aggregated vector (one slot per principal).
+  std::size_t vector_size = 0;
+};
+
+/// Event-driven combining tree running on a Simulator.
+class CombiningTree {
+ public:
+  /// Samples a participant's local contribution at round start.
+  using Provider = std::function<std::vector<double>()>;
+  /// Delivers the completed global aggregate to a participant.
+  using Receiver = std::function<void(const std::vector<double>&)>;
+
+  CombiningTree(sim::Simulator* sim, TreeTopology topology, TreeConfig config);
+
+  /// Attaches a participant to tree node @p node. Nodes without a provider
+  /// contribute zeros (pure interior nodes); nodes without a receiver simply
+  /// forward. Call before start().
+  void attach(std::size_t node, Provider provider, Receiver receiver);
+
+  /// Starts periodic aggregation rounds at @p first_round.
+  void start(SimTime first_round);
+
+  /// Stops future rounds (in-flight messages still drain).
+  void stop();
+
+  /// Failure injection: while any node is marked failed, no *new* round can
+  /// complete (the root transitively waits on every node), so rounds are
+  /// abandoned at start and downstream receivers keep acting on their last
+  /// snapshot — the same graceful-staleness path as network delay (§3.2).
+  /// Rounds already in flight when the failure is injected still complete;
+  /// recovery rejoins from the next round on.
+  void set_node_failed(std::size_t node, bool failed);
+  bool node_failed(std::size_t node) const;
+
+  std::uint64_t messages_sent() const { return messages_sent_; }
+  std::uint64_t rounds_completed() const { return rounds_completed_; }
+  /// Rounds that began but can no longer complete due to failed nodes.
+  std::uint64_t rounds_abandoned() const { return rounds_abandoned_; }
+
+ private:
+  struct NodeState {
+    Provider provider;
+    Receiver receiver;
+  };
+  /// Per-round partial aggregation at one interior node.
+  struct RoundSlot {
+    std::vector<double> sum;
+    std::size_t reports_pending = 0;
+  };
+
+  void begin_round(std::uint64_t round);
+  void deliver_report(std::uint64_t round, std::size_t node,
+                      const std::vector<double>& value);
+  void forward_up(std::uint64_t round, std::size_t node);
+  void broadcast_down(std::uint64_t round, std::size_t node,
+                      const std::vector<double>& aggregate);
+
+  sim::Simulator* sim_;
+  TreeTopology topology_;
+  std::vector<std::vector<std::size_t>> children_;
+  TreeConfig config_;
+  std::vector<NodeState> nodes_;
+  // (round, node) -> partial sums; erased when the node forwards.
+  std::map<std::pair<std::uint64_t, std::size_t>, RoundSlot> slots_;
+  std::unique_ptr<sim::PeriodicTask> task_;
+  std::vector<bool> failed_;
+  std::uint64_t next_round_ = 0;
+  std::uint64_t messages_sent_ = 0;
+  std::uint64_t rounds_completed_ = 0;
+  std::uint64_t rounds_abandoned_ = 0;
+};
+
+/// Pairwise full exchange: the O(n^2)-message alternative the paper compares
+/// against. Same Provider/Receiver interface so benches can swap strategies.
+class PairwiseExchange {
+ public:
+  PairwiseExchange(sim::Simulator* sim, std::size_t node_count,
+                   TreeConfig config);
+
+  void attach(std::size_t node, CombiningTree::Provider provider,
+              CombiningTree::Receiver receiver);
+  void start(SimTime first_round);
+  void stop();
+
+  std::uint64_t messages_sent() const { return messages_sent_; }
+
+ private:
+  void begin_round();
+
+  sim::Simulator* sim_;
+  TreeConfig config_;
+  std::vector<CombiningTree::Provider> providers_;
+  std::vector<CombiningTree::Receiver> receivers_;
+  std::unique_ptr<sim::PeriodicTask> task_;
+  std::uint64_t messages_sent_ = 0;
+};
+
+}  // namespace sharegrid::coord

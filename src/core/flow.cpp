@@ -1,0 +1,143 @@
+#include "core/flow.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace sharegrid::core {
+namespace {
+
+/// Depth-first enumeration of simple paths from a fixed source, accumulating
+/// mandatory/optional transfer into the (source, reached-node) cells.
+class PathWalker {
+ public:
+  PathWalker(const AgreementGraph& graph, std::size_t max_len, Matrix& mt,
+             Matrix& ot)
+      : graph_(graph),
+        max_len_(max_len),
+        mt_(mt),
+        ot_(ot),
+        visited_(graph.size(), false) {}
+
+  void walk_from(PrincipalId source) {
+    source_ = source;
+    visited_[source] = true;
+    extend(source, /*mandatory=*/1.0, /*optional=*/0.0, /*depth=*/0);
+    visited_[source] = false;
+  }
+
+ private:
+  void extend(PrincipalId node, double mandatory, double optional,
+              std::size_t depth) {
+    if (depth >= max_len_) return;
+    for (PrincipalId next = 0; next < graph_.size(); ++next) {
+      if (visited_[next]) continue;
+      const double ub = graph_.upper_bound(node, next);
+      if (ub <= 0.0) continue;
+      const double lb = graph_.lower_bound(node, next);
+
+      // Crossing edge node->next: mandatory value continues along the lb
+      // ticket; optional value is what already-optional value carries along
+      // ub, plus mandatory value converting at this hop's optional ticket.
+      const double next_mandatory = mandatory * lb;
+      const double next_optional = optional * ub + mandatory * (ub - lb);
+      if (next_mandatory <= 0.0 && next_optional <= 0.0) continue;
+
+      mt_(source_, next) += next_mandatory;
+      ot_(source_, next) += next_optional;
+
+      visited_[next] = true;
+      extend(next, next_mandatory, next_optional, depth + 1);
+      visited_[next] = false;
+    }
+  }
+
+  const AgreementGraph& graph_;
+  std::size_t max_len_;
+  Matrix& mt_;
+  Matrix& ot_;
+  std::vector<bool> visited_;
+  PrincipalId source_ = kNoPrincipal;
+};
+
+}  // namespace
+
+AccessLevels compute_access_levels(const AgreementGraph& graph,
+                                   const FlowOptions& options) {
+  const std::size_t n = graph.size();
+  AccessLevels out;
+  out.mandatory_transfer = Matrix(n, n, 0.0);
+  out.optional_transfer = Matrix(n, n, 0.0);
+
+  for (PrincipalId j = 0; j < n; ++j)
+    out.mandatory_transfer(j, j) = 1.0;  // a principal's own capacity
+
+  std::size_t workers = options.num_threads == 0
+                            ? std::max(1u, std::thread::hardware_concurrency())
+                            : options.num_threads;
+  workers = std::min(workers, n);
+  if (workers <= 1) {
+    PathWalker walker(graph, options.max_path_length, out.mandatory_transfer,
+                      out.optional_transfer);
+    for (PrincipalId j = 0; j < n; ++j) walker.walk_from(j);
+  } else {
+    // Source j writes only row j of MT/OT, so a static round-robin split of
+    // the sources needs no synchronization (each worker gets its own
+    // walker; the matrices are shared but rows are disjoint).
+    std::vector<std::thread> threads;
+    threads.reserve(workers);
+    for (std::size_t w = 0; w < workers; ++w) {
+      threads.emplace_back([&, w] {
+        PathWalker walker(graph, options.max_path_length,
+                          out.mandatory_transfer, out.optional_transfer);
+        for (PrincipalId j = w; j < n; j += workers) walker.walk_from(j);
+      });
+    }
+    for (std::thread& t : threads) t.join();
+  }
+
+  out.mandatory_value.assign(n, 0.0);
+  out.optional_value.assign(n, 0.0);
+  for (PrincipalId i = 0; i < n; ++i) {
+    for (PrincipalId j = 0; j < n; ++j) {
+      out.mandatory_value[i] +=
+          graph.capacity(j) * out.mandatory_transfer(j, i);
+      out.optional_value[i] += graph.capacity(j) * out.optional_transfer(j, i);
+    }
+  }
+
+  out.mandatory_capacity.assign(n, 0.0);
+  out.optional_capacity.assign(n, 0.0);
+  out.mandatory_entitlement = Matrix(n, n, 0.0);
+  out.optional_entitlement = Matrix(n, n, 0.0);
+  for (PrincipalId i = 0; i < n; ++i) {
+    const double ceded = graph.issued_lower_bound(i);  // L_i
+    out.mandatory_capacity[i] = out.mandatory_value[i] * (1.0 - ceded);
+    out.optional_capacity[i] =
+        out.optional_value[i] + out.mandatory_value[i] * ceded;
+    for (PrincipalId k = 0; k < n; ++k) {
+      const double vk = graph.capacity(k);
+      out.mandatory_entitlement(i, k) =
+          vk * out.mandatory_transfer(k, i) * (1.0 - ceded);
+      out.optional_entitlement(i, k) =
+          vk * (out.optional_transfer(k, i) +
+                out.mandatory_transfer(k, i) * ceded);
+    }
+  }
+
+  // Postconditions tying the decomposition back to the access levels.
+  for (PrincipalId i = 0; i < n; ++i) {
+    SHAREGRID_ENSURES(out.mandatory_capacity[i] >= -1e-9);
+    double em_row = 0.0;
+    for (PrincipalId k = 0; k < n; ++k)
+      em_row += out.mandatory_entitlement(i, k);
+    SHAREGRID_ENSURES(std::abs(em_row - out.mandatory_capacity[i]) <
+                      1e-6 * (1.0 + out.mandatory_capacity[i]));
+  }
+  return out;
+}
+
+}  // namespace sharegrid::core

@@ -1,0 +1,97 @@
+#include "core/multi_resource.hpp"
+
+#include <limits>
+
+#include "util/assert.hpp"
+
+namespace sharegrid::core {
+namespace {
+
+/// Shared rate reduction: min over demanded dimensions of level[r]/demand[r].
+template <typename LevelFn>
+double bottleneck_rate(std::span<const double> demand, std::size_t resources,
+                       LevelFn&& level) {
+  double rate = std::numeric_limits<double>::infinity();
+  bool constrained = false;
+  for (std::size_t r = 0; r < resources; ++r) {
+    SHAREGRID_EXPECTS(demand[r] >= 0.0);
+    if (demand[r] <= 0.0) continue;
+    constrained = true;
+    rate = std::min(rate, level(r) / demand[r]);
+  }
+  SHAREGRID_EXPECTS(constrained);  // a request must consume something
+  return rate;
+}
+
+}  // namespace
+
+MultiResourceLevels MultiResourceLevels::compute(const AgreementGraph& graph,
+                                                 std::vector<std::string> names,
+                                                 const Matrix& capacities,
+                                                 const FlowOptions& options) {
+  SHAREGRID_EXPECTS(!names.empty());
+  SHAREGRID_EXPECTS(capacities.rows() == graph.size());
+  SHAREGRID_EXPECTS(capacities.cols() == names.size());
+
+  MultiResourceLevels out;
+  out.names_ = std::move(names);
+  out.principals_ = graph.size();
+  // One scalar flow analysis per dimension: the agreement fractions are the
+  // same, only the physical capacities change.
+  AgreementGraph scratch = graph;
+  for (std::size_t r = 0; r < out.names_.size(); ++r) {
+    for (PrincipalId p = 0; p < graph.size(); ++p)
+      scratch.set_capacity(p, capacities(p, r));
+    out.per_resource_.push_back(compute_access_levels(scratch, options));
+  }
+  return out;
+}
+
+const std::string& MultiResourceLevels::resource_name(std::size_t r) const {
+  SHAREGRID_EXPECTS(r < names_.size());
+  return names_[r];
+}
+
+const AccessLevels& MultiResourceLevels::resource(std::size_t r) const {
+  SHAREGRID_EXPECTS(r < per_resource_.size());
+  return per_resource_[r];
+}
+
+double MultiResourceLevels::mandatory_rate(
+    PrincipalId i, std::span<const double> demand) const {
+  SHAREGRID_EXPECTS(i < principals_);
+  SHAREGRID_EXPECTS(demand.size() == names_.size());
+  return bottleneck_rate(demand, names_.size(), [&](std::size_t r) {
+    return per_resource_[r].mandatory_capacity[i];
+  });
+}
+
+double MultiResourceLevels::best_effort_rate(
+    PrincipalId i, std::span<const double> demand) const {
+  SHAREGRID_EXPECTS(i < principals_);
+  SHAREGRID_EXPECTS(demand.size() == names_.size());
+  return bottleneck_rate(demand, names_.size(), [&](std::size_t r) {
+    return per_resource_[r].mandatory_capacity[i] +
+           per_resource_[r].optional_capacity[i];
+  });
+}
+
+std::size_t MultiResourceLevels::bottleneck(
+    PrincipalId i, std::span<const double> demand) const {
+  SHAREGRID_EXPECTS(i < principals_);
+  SHAREGRID_EXPECTS(demand.size() == names_.size());
+  std::size_t best = names_.size();
+  double best_rate = std::numeric_limits<double>::infinity();
+  for (std::size_t r = 0; r < names_.size(); ++r) {
+    if (demand[r] <= 0.0) continue;
+    const double rate = per_resource_[r].mandatory_capacity[i] / demand[r];
+    if (rate < best_rate) {
+      best_rate = rate;
+      best = r;
+    }
+  }
+  SHAREGRID_EXPECTS(best < names_.size());
+  return best;
+}
+
+}  // namespace sharegrid::core

@@ -1,0 +1,65 @@
+// Multiple resource types (§3.1.1: "In case of multiple resource types,
+// above quantities should be represented as vectors").
+//
+// Agreements stay scalar fractions — a [lb, ub] contract covers the same
+// share of *every* resource the owner holds (CPU, bandwidth, transaction
+// rate, ...). Physical capacities become per-resource vectors, so the flow
+// analysis runs once per resource dimension, and a request class consuming a
+// known amount of each resource admits at the *bottleneck* rate across
+// dimensions.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/agreement_graph.hpp"
+#include "core/flow.hpp"
+#include "util/matrix.hpp"
+
+namespace sharegrid::core {
+
+/// Access levels across several resource dimensions.
+class MultiResourceLevels {
+ public:
+  /// @param graph       agreement structure; its scalar capacities are
+  ///                    ignored in favour of @p capacities.
+  /// @param names       resource dimension names, e.g. {"cpu", "net"}.
+  /// @param capacities  (principal, resource) physical capacity matrix in
+  ///                    units/second of each resource.
+  static MultiResourceLevels compute(const AgreementGraph& graph,
+                                     std::vector<std::string> names,
+                                     const Matrix& capacities,
+                                     const FlowOptions& options = {});
+
+  std::size_t resource_count() const { return names_.size(); }
+  std::size_t principal_count() const { return principals_; }
+  const std::string& resource_name(std::size_t r) const;
+
+  /// Per-resource access levels (same structure as the scalar analysis).
+  const AccessLevels& resource(std::size_t r) const;
+
+  /// Highest request rate principal @p i is *guaranteed* for a request
+  /// class consuming @p demand_per_resource units of each resource per
+  /// request: min over resources of MC_i[r] / demand[r] (dimensions with
+  /// zero demand don't constrain).
+  double mandatory_rate(PrincipalId i,
+                        std::span<const double> demand_per_resource) const;
+
+  /// Best-effort ceiling for the same request class:
+  /// min over resources of (MC_i[r] + OC_i[r]) / demand[r].
+  double best_effort_rate(PrincipalId i,
+                          std::span<const double> demand_per_resource) const;
+
+  /// Index of the resource that limits @p i's guaranteed rate for the given
+  /// request class (the bottleneck dimension).
+  std::size_t bottleneck(PrincipalId i,
+                         std::span<const double> demand_per_resource) const;
+
+ private:
+  std::vector<std::string> names_;
+  std::vector<AccessLevels> per_resource_;
+  std::size_t principals_ = 0;
+};
+
+}  // namespace sharegrid::core

@@ -1,0 +1,28 @@
+// Principals: the parties to resource sharing agreements (§2).
+//
+// A principal owns physical "rate resources" (§2: CPU share, bandwidth,
+// server transaction rate) expressed as an aggregate capacity scaled in
+// requests per second, i.e. already normalized by the average per-request
+// requirement as the paper assumes.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace sharegrid::core {
+
+/// Index of a principal within an AgreementGraph.
+using PrincipalId = std::size_t;
+
+/// Sentinel for "no principal".
+inline constexpr PrincipalId kNoPrincipal = static_cast<PrincipalId>(-1);
+
+/// A named party owning `capacity` units/second of physical resource.
+/// Principals with zero capacity are pure consumers (like C in the paper's
+/// Figure 3 example).
+struct Principal {
+  std::string name;
+  double capacity = 0.0;
+};
+
+}  // namespace sharegrid::core

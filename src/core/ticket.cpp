@@ -1,0 +1,98 @@
+#include "core/ticket.hpp"
+
+#include "util/assert.hpp"
+
+namespace sharegrid::core {
+namespace {
+
+/// Sum of mandatory ticket faces issued by @p owner.
+double issued_mandatory(const std::vector<Ticket>& tickets,
+                        PrincipalId owner) {
+  double total = 0.0;
+  for (const auto& t : tickets) {
+    if (t.issuer == owner && t.kind == TicketKind::kMandatory)
+      total += t.face_value;
+  }
+  return total;
+}
+
+}  // namespace
+
+TicketLedger TicketLedger::from_agreements(const AgreementGraph& graph,
+                                           double default_face) {
+  TicketLedger ledger;
+  for (PrincipalId i = 0; i < graph.size(); ++i)
+    ledger.set_currency(i, default_face);
+  for (const Agreement& a : graph.agreements()) {
+    if (a.lower_bound > 0.0)
+      ledger.issue(TicketKind::kMandatory, a.owner, a.user,
+                   a.lower_bound * default_face);
+    if (a.upper_bound > a.lower_bound)
+      ledger.issue(TicketKind::kOptional, a.owner, a.user,
+                   (a.upper_bound - a.lower_bound) * default_face);
+  }
+  return ledger;
+}
+
+void TicketLedger::set_currency(PrincipalId owner, double face_value) {
+  SHAREGRID_EXPECTS(owner != kNoPrincipal);
+  SHAREGRID_EXPECTS(face_value > 0.0);
+  if (owner >= faces_.size()) faces_.resize(owner + 1, 0.0);
+  faces_[owner] = face_value;
+}
+
+double TicketLedger::face_value(PrincipalId owner) const {
+  SHAREGRID_EXPECTS(owner < faces_.size() && faces_[owner] > 0.0);
+  return faces_[owner];
+}
+
+void TicketLedger::issue(TicketKind kind, PrincipalId issuer,
+                         PrincipalId holder, double face) {
+  SHAREGRID_EXPECTS(issuer != holder);
+  SHAREGRID_EXPECTS(face > 0.0);
+  const double currency_face = face_value(issuer);  // checks registration
+  if (kind == TicketKind::kMandatory) {
+    SHAREGRID_EXPECTS(issued_mandatory(tickets_, issuer) + face <=
+                      currency_face + 1e-9);
+  }
+  tickets_.push_back({kind, issuer, holder, face});
+}
+
+double TicketLedger::fraction(const Ticket& ticket) const {
+  return ticket.face_value / face_value(ticket.issuer);
+}
+
+AgreementGraph TicketLedger::to_agreements(
+    const std::vector<Principal>& principals) const {
+  AgreementGraph graph;
+  for (const Principal& p : principals) graph.add_principal(p.name, p.capacity);
+  SHAREGRID_EXPECTS(principals.size() >= faces_.size());
+
+  // Accumulate per-(issuer, holder) mandatory and optional fractions.
+  const std::size_t n = principals.size();
+  Matrix lb(n, n, 0.0);
+  Matrix extra(n, n, 0.0);
+  for (const Ticket& t : tickets_) {
+    SHAREGRID_EXPECTS(t.issuer < n && t.holder < n);
+    if (t.kind == TicketKind::kMandatory)
+      lb(t.issuer, t.holder) += fraction(t);
+    else
+      extra(t.issuer, t.holder) += fraction(t);
+  }
+  for (PrincipalId i = 0; i < n; ++i) {
+    for (PrincipalId j = 0; j < n; ++j) {
+      const double lower = lb(i, j);
+      const double upper = lower + extra(i, j);
+      if (upper > 0.0) graph.set_agreement(i, j, lower, upper);
+    }
+  }
+  return graph;
+}
+
+void TicketLedger::reissue_currency(PrincipalId owner, double new_face_value) {
+  face_value(owner);  // validate registration
+  SHAREGRID_EXPECTS(new_face_value > 0.0);
+  faces_[owner] = new_face_value;
+}
+
+}  // namespace sharegrid::core

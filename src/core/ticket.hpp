@@ -1,0 +1,74 @@
+// Tickets and currencies: the paper's uniform agreement representation (§2.3).
+//
+// An agreement [lb, ub] from owner A to user B is expressed as a flow of
+// tickets denominated in A's currency: a *mandatory* ticket with face value
+// lb * face(A) and an *optional* ticket with face value (ub - lb) * face(A).
+// Currency face values are arbitrary (default 100, so ticket faces read as
+// percentages); inflating or deflating a currency's face value rescales the
+// real share every outstanding ticket conveys — the paper's mechanism for
+// adjusting agreements without rewriting them.
+//
+// TicketLedger is the issue-side view; it round-trips with AgreementGraph so
+// systems can be specified in whichever form is more natural.
+#pragma once
+
+#include <vector>
+
+#include "core/agreement_graph.hpp"
+#include "core/principal.hpp"
+
+namespace sharegrid::core {
+
+/// Ticket flavour: mandatory backs the agreement lower bound, optional the
+/// (ub - lb) best-effort band.
+enum class TicketKind { kMandatory, kOptional };
+
+/// A transfer of rights from issuer to holder, denominated in the issuer's
+/// currency.
+struct Ticket {
+  TicketKind kind = TicketKind::kMandatory;
+  PrincipalId issuer = kNoPrincipal;
+  PrincipalId holder = kNoPrincipal;
+  double face_value = 0.0;
+};
+
+/// Issue-side ledger: per-principal currency face values plus the set of
+/// outstanding tickets.
+class TicketLedger {
+ public:
+  /// Builds the ledger equivalent of @p graph with every currency at face
+  /// value @p default_face.
+  static TicketLedger from_agreements(const AgreementGraph& graph,
+                                      double default_face = 100.0);
+
+  /// Registers a currency for a principal. Face value must be positive.
+  void set_currency(PrincipalId owner, double face_value);
+
+  double face_value(PrincipalId owner) const;
+
+  /// Issues a ticket; face value is in units of the issuer's currency and the
+  /// issuer's outstanding mandatory faces must not exceed its currency face.
+  void issue(TicketKind kind, PrincipalId issuer, PrincipalId holder,
+             double face_value);
+
+  const std::vector<Ticket>& tickets() const { return tickets_; }
+
+  /// Fraction of the issuer's currency a ticket conveys (face / currency
+  /// face) — the normalized form used in flow computations.
+  double fraction(const Ticket& ticket) const;
+
+  /// Reconstructs the equivalent [lb, ub] agreement graph over the given
+  /// principals (capacities are copied from @p principals).
+  AgreementGraph to_agreements(const std::vector<Principal>& principals) const;
+
+  /// Rescales a currency's face value in place; outstanding ticket faces are
+  /// unchanged, so every holder's fractional share moves by old/new — the
+  /// inflation/deflation lever of §2.3.
+  void reissue_currency(PrincipalId owner, double new_face_value);
+
+ private:
+  std::vector<double> faces_;  // indexed by PrincipalId; 0 = unregistered
+  std::vector<Ticket> tickets_;
+};
+
+}  // namespace sharegrid::core

@@ -1,0 +1,62 @@
+// Canned scenario configurations for every experiment in the paper's
+// evaluation (§5), plus the expected shapes to check against. Used by both
+// the figure benches (bench/fig*.cpp) and the integration tests, so the
+// reproduction is asserted, not just printed.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "experiments/scenario.hpp"
+
+namespace sharegrid::experiments {
+
+/// Expected average served rate for one principal in one phase, with a
+/// relative tolerance. Shape checks, not absolute-number checks: our
+/// substrate is a simulator, not the authors' testbed, but plateaus driven
+/// by agreements and client limits should land on the paper's values.
+struct PhaseExpectation {
+  std::size_t phase = 0;
+  std::string principal;
+  double expected_rate = 0.0;
+  double rel_tolerance = 0.15;
+};
+
+/// A figure reproduction: the scenario plus its expected plateaus.
+struct FigureExperiment {
+  std::string id;        ///< e.g. "fig6"
+  std::string title;     ///< what the paper's figure demonstrates
+  ScenarioConfig config;
+  std::vector<PhaseExpectation> expectations;
+};
+
+/// Figure 6 — L7, sharing agreements in a service-provider context:
+/// A [0.2,1] with two clients, B [0.8,1] with one, V=320, 3 phases.
+FigureExperiment figure6();
+
+/// Figure 7 — L7, community context, minimize global response time:
+/// both [0.2,1], V=250; A (two clients) is served at twice B's rate.
+FigureExperiment figure7();
+
+/// Figure 8 — L7 with a 10-second combining-tree lag: conservative
+/// mandatory-only admission before the first aggregate, graceful adaptation
+/// afterwards. 6 phases.
+FigureExperiment figure8();
+
+/// Figure 9 — L4, community context: A and B each own a 320 req/s server,
+/// B shares [0.5,0.5] with A; A runs 2 -> 0 -> 1 -> 0 clients.
+FigureExperiment figure9();
+
+/// Figure 10 — L4, provider context: two 320 req/s servers, A [0.8,1] pays
+/// more than B [0.2,1]; income-maximizing admission.
+FigureExperiment figure10();
+
+/// All five simulated figures.
+std::vector<FigureExperiment> all_figures();
+
+/// Runs a figure's scenario and returns true when every expectation holds;
+/// mismatches are appended to @p failures (one line each).
+bool check_figure(const FigureExperiment& figure, const ScenarioResult& result,
+                  std::vector<std::string>* failures);
+
+}  // namespace sharegrid::experiments

@@ -1,0 +1,305 @@
+#include "experiments/scenario.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+
+#include "coord/combining_tree.hpp"
+#include "core/flow.hpp"
+#include "nodes/client.hpp"
+#include "nodes/l4_redirector.hpp"
+#include "nodes/server.hpp"
+#include "sched/income_scheduler.hpp"
+#include "sched/response_time_scheduler.hpp"
+#include "sched/swappable_scheduler.hpp"
+#include "sim/simulator.hpp"
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace sharegrid::experiments {
+namespace {
+
+/// Resolves a principal name, failing loudly on typos in scenario specs.
+core::PrincipalId resolve(const core::AgreementGraph& graph,
+                          const std::string& name) {
+  const core::PrincipalId id = graph.find(name);
+  SHAREGRID_EXPECTS(id != core::kNoPrincipal);
+  return id;
+}
+
+}  // namespace
+
+double ScenarioResult::phase_served(std::size_t phase,
+                                    std::size_t principal) const {
+  SHAREGRID_EXPECTS(phase < phase_reports.size());
+  SHAREGRID_EXPECTS(principal < phase_reports[phase].served_rate.size());
+  return phase_reports[phase].served_rate[principal];
+}
+
+TextTable ScenarioResult::series_table(SimDuration bin) const {
+  std::vector<std::string> headers{"time_s"};
+  for (const auto& name : principal_names) headers.push_back(name + "_req_s");
+  TextTable table(std::move(headers));
+
+  std::size_t bins = 0;
+  for (std::size_t p = 0; p < principal_names.size(); ++p)
+    bins = std::max(bins, metrics.served(p).bin_count());
+  for (std::size_t b = 0; b < bins; ++b) {
+    std::vector<std::string> row;
+    row.push_back(TextTable::num(
+        to_seconds(static_cast<SimTime>(b) * bin), 0));
+    for (std::size_t p = 0; p < principal_names.size(); ++p)
+      row.push_back(TextTable::num(metrics.served(p).rate_in_bin(b)));
+    table.add_row(std::move(row));
+  }
+  return table;
+}
+
+TextTable ScenarioResult::phase_table() const {
+  std::vector<std::string> headers{"phase", "interval_s"};
+  for (const auto& name : principal_names) {
+    headers.push_back(name + "_served");
+    headers.push_back(name + "_offered");
+  }
+  TextTable table(std::move(headers));
+  for (const auto& report : phase_reports) {
+    std::vector<std::string> row{
+        report.name, TextTable::num(report.start_sec, 0) + "-" +
+                         TextTable::num(report.end_sec, 0)};
+    for (std::size_t p = 0; p < principal_names.size(); ++p) {
+      row.push_back(TextTable::num(report.served_rate[p]));
+      row.push_back(TextTable::num(report.offered_rate[p]));
+    }
+    table.add_row(std::move(row));
+  }
+  return table;
+}
+
+ScenarioResult run_scenario(const ScenarioConfig& config) {
+  SHAREGRID_EXPECTS(!config.servers.empty());
+  SHAREGRID_EXPECTS(!config.clients.empty());
+  SHAREGRID_EXPECTS(config.redirector_count >= 1);
+  SHAREGRID_EXPECTS(config.duration_sec > 0.0);
+
+  // --- Agreement analysis ------------------------------------------------
+  core::AgreementGraph graph = config.graph;
+  const std::size_t n = graph.size();
+  // Capacities come from the declared machines.
+  for (core::PrincipalId p = 0; p < n; ++p) graph.set_capacity(p, 0.0);
+  for (const auto& spec : config.servers) {
+    const core::PrincipalId owner = resolve(graph, spec.owner);
+    graph.set_capacity(owner, graph.capacity(owner) + spec.capacity);
+  }
+  // Scheduler factory: re-invoked whenever capacities change at runtime
+  // (agreements are interpreted dynamically, §2.2).
+  auto build_scheduler =
+      [&config, n](const core::AgreementGraph& g) -> std::unique_ptr<sched::Scheduler> {
+    const core::AccessLevels levels = core::compute_access_levels(g);
+    if (config.scheduler == SchedulerKind::kResponseTime) {
+      sched::ResponseTimeOptions options;
+      if (!config.locality_caps.empty()) {
+        SHAREGRID_EXPECTS(config.locality_caps.size() == n);
+        options.locality_caps = config.locality_caps;
+      }
+      return std::make_unique<sched::ResponseTimeScheduler>(g, levels,
+                                                            options);
+    }
+    SHAREGRID_EXPECTS(config.prices.size() == n);
+    return std::make_unique<sched::IncomeScheduler>(
+        g, levels, resolve(g, config.provider), config.prices);
+  };
+  auto scheduler =
+      std::make_unique<sched::SwappableScheduler>(build_scheduler(graph));
+
+  // --- Nodes ---------------------------------------------------------------
+  sim::Simulator sim;
+  nodes::Metrics metrics(n);
+  Rng master(config.seed);
+
+  std::vector<std::unique_ptr<nodes::Server>> servers;
+  nodes::ServerPool pool;
+  for (std::size_t s = 0; s < config.servers.size(); ++s) {
+    nodes::Server::Config sc;
+    sc.name = "server-" + std::to_string(s);
+    sc.owner = resolve(graph, config.servers[s].owner);
+    sc.capacity = config.servers[s].capacity;
+    sc.endpoint = {0x14000000u + static_cast<std::uint32_t>(s), 80};
+    servers.push_back(std::make_unique<nodes::Server>(&sim, &metrics, sc));
+    pool.add(servers.back().get());
+  }
+
+  nodes::WindowTrace trace;
+  nodes::WindowTrace* trace_ptr = config.trace_windows ? &trace : nullptr;
+  std::vector<std::unique_ptr<nodes::L7Redirector>> l7s;
+  std::vector<std::unique_ptr<nodes::L4Redirector>> l4s;
+  std::vector<nodes::RedirectorBase*> redirectors;
+  for (std::size_t r = 0; r < config.redirector_count; ++r) {
+    if (config.layer == Layer::kL7) {
+      nodes::L7Redirector::Config rc;
+      rc.name = "l7-" + std::to_string(r);
+      rc.window = config.window;
+      rc.redirector_count = config.redirector_count;
+      rc.mode = config.l7_mode;
+      rc.net_delay = config.net_delay;
+      rc.weighted_admission = config.weighted_admission;
+      rc.stale_policy = config.stale_policy;
+      rc.trace = trace_ptr;
+      l7s.push_back(std::make_unique<nodes::L7Redirector>(
+          &sim, &metrics, &pool, scheduler.get(), rc));
+      redirectors.push_back(l7s.back().get());
+    } else {
+      nodes::L4Redirector::Config rc;
+      rc.name = "l4-" + std::to_string(r);
+      rc.window = config.window;
+      rc.redirector_count = config.redirector_count;
+      rc.net_delay = config.net_delay;
+      rc.weighted_admission = config.weighted_admission;
+      rc.stale_policy = config.stale_policy;
+      rc.trace = trace_ptr;
+      l4s.push_back(std::make_unique<nodes::L4Redirector>(
+          &sim, &metrics, &pool, scheduler.get(), rc));
+      redirectors.push_back(l4s.back().get());
+    }
+  }
+
+  // --- Combining tree ------------------------------------------------------
+  // Redirectors hang as leaves off a virtual root so every one of them sees
+  // the same aggregate lag of 2 * link_delay.
+  coord::TreeConfig tree_config;
+  tree_config.period =
+      config.tree_period > 0 ? config.tree_period : config.window;
+  tree_config.link_delay = config.tree_link_delay;
+  tree_config.vector_size = n;
+  SHAREGRID_EXPECTS(config.tree_fanout == 0 || config.tree_fanout >= 2);
+  const coord::TreeTopology topology =
+      config.tree_fanout == 0
+          ? coord::TreeTopology::star(config.redirector_count + 1)
+          : coord::TreeTopology::balanced(config.redirector_count + 1,
+                                          config.tree_fanout);
+  coord::CombiningTree tree(&sim, topology, tree_config);
+  for (std::size_t r = 0; r < config.redirector_count; ++r) {
+    coord::CombiningTree::Provider provider;
+    coord::CombiningTree::Receiver receiver;
+    if (config.layer == Layer::kL7) {
+      nodes::L7Redirector* node = l7s[r].get();
+      provider = [node] { return node->local_demand(); };
+      receiver = [node](const std::vector<double>& v) {
+        node->receive_global(v);
+      };
+    } else {
+      nodes::L4Redirector* node = l4s[r].get();
+      provider = [node] { return node->local_demand(); };
+      receiver = [node](const std::vector<double>& v) {
+        node->receive_global(v);
+      };
+    }
+    tree.attach(r + 1, std::move(provider), std::move(receiver));
+  }
+  // Aggregation rounds interleave halfway between scheduling windows so a
+  // zero-delay tree still feeds each window the freshest possible snapshot.
+  tree.start(config.window / 2);
+  for (std::size_t r = 0; r < config.redirector_count; ++r) {
+    if (config.layer == Layer::kL7)
+      l7s[r]->start(config.window);
+    else
+      l4s[r]->start(config.window);
+  }
+
+  // --- Clients and phase schedule ------------------------------------------
+  // One shared WebBench-style size model; per-client RNG streams keep runs
+  // deterministic regardless of event interleaving.
+  const workload::ReplySizeDistribution reply_sizes;
+  std::vector<std::unique_ptr<nodes::ClientMachine>> clients;
+  for (std::size_t c = 0; c < config.clients.size(); ++c) {
+    const ClientSpec& spec = config.clients[c];
+    SHAREGRID_EXPECTS(spec.redirector < redirectors.size());
+    nodes::ClientMachine::Config cc;
+    cc.name = spec.name;
+    cc.principal = resolve(graph, spec.principal);
+    cc.index = c;
+    cc.rate = spec.rate;
+    cc.retry_delay_sec = config.retry_delay_sec;
+    cc.max_outstanding = config.max_outstanding;
+    cc.exponential_arrivals = config.exponential_arrivals;
+    cc.net_delay = config.net_delay;
+    cc.weighted_requests = config.weighted_admission;
+    clients.push_back(std::make_unique<nodes::ClientMachine>(
+        &sim, &metrics, redirectors[spec.redirector], cc, master.split(),
+        &reply_sizes));
+    nodes::ClientMachine* machine = clients.back().get();
+    for (const auto& [start, end] : spec.active_sec) {
+      SHAREGRID_EXPECTS(end > start);
+      sim.schedule_at(seconds(start), [machine] { machine->set_active(true); });
+      sim.schedule_at(seconds(end), [machine] { machine->set_active(false); });
+    }
+  }
+
+  // --- Capacity events -------------------------------------------------------
+  for (const CapacityEvent& event : config.capacity_events) {
+    SHAREGRID_EXPECTS(event.server < servers.size());
+    SHAREGRID_EXPECTS(event.capacity > 0.0);
+    SHAREGRID_EXPECTS(event.time_sec >= 0.0);
+    sim.schedule_at(seconds(event.time_sec), [&, event] {
+      nodes::Server* machine = servers[event.server].get();
+      const core::PrincipalId owner = machine->config().owner;
+      // Shift the owner's aggregate capacity by the machine's delta, then
+      // rebuild the flow analysis + scheduler against the new graph.
+      const double delta = event.capacity - machine->config().capacity;
+      machine->set_capacity(event.capacity);
+      graph.set_capacity(owner, std::max(0.0, graph.capacity(owner) + delta));
+      scheduler->replace(build_scheduler(graph));
+    });
+  }
+
+  // --- Run -----------------------------------------------------------------
+  // Sample the worst per-server backlog periodically: the overload signal.
+  RunningStats backlog_samples;
+  sim::PeriodicTask backlog_probe(&sim, 500 * kMillisecond,
+                                  500 * kMillisecond, [&] {
+                                    double worst = 0.0;
+                                    for (const auto& s : servers)
+                                      worst = std::max(worst,
+                                                       s->backlog_seconds());
+                                    backlog_samples.add(worst);
+                                  });
+  sim.run_until(seconds(config.duration_sec));
+  tree.stop();
+  backlog_probe.cancel();
+
+  // --- Report ----------------------------------------------------------------
+  ScenarioResult result{.principal_names = {},
+                        .metrics = std::move(metrics),
+                        .phase_reports = {},
+                        .total_admitted = 0,
+                        .total_rejected_or_queued = 0,
+                        .coordination_messages = tree.messages_sent(),
+                        .server_backlog_sec = backlog_samples,
+                        .window_trace = std::move(trace)};
+  for (core::PrincipalId p = 0; p < n; ++p)
+    result.principal_names.push_back(graph.name(p));
+  for (const auto& l7 : l7s) {
+    result.total_admitted += l7->admitted();
+    result.total_rejected_or_queued += l7->self_redirects();
+  }
+  for (const auto& l4 : l4s) {
+    result.total_admitted += l4->admitted();
+    for (core::PrincipalId p = 0; p < n; ++p)
+      result.total_rejected_or_queued += l4->queue_length(p);
+  }
+  for (const auto& phase : config.phases) {
+    PhaseReport report;
+    report.name = phase.name;
+    report.start_sec = phase.start_sec;
+    report.end_sec = phase.end_sec;
+    for (core::PrincipalId p = 0; p < n; ++p) {
+      report.served_rate.push_back(result.metrics.served(p).average_rate(
+          seconds(phase.start_sec), seconds(phase.end_sec)));
+      report.offered_rate.push_back(result.metrics.offered(p).average_rate(
+          seconds(phase.start_sec), seconds(phase.end_sec)));
+    }
+    result.phase_reports.push_back(std::move(report));
+  }
+  return result;
+}
+
+}  // namespace sharegrid::experiments

@@ -1,0 +1,144 @@
+// Declarative experiment scenarios: agreements + servers + redirectors +
+// phased client load, run end-to-end on the simulator. Shared by the figure
+// benches, the examples, and the integration tests.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/agreement_graph.hpp"
+#include "nodes/l7_redirector.hpp"
+#include "nodes/metrics.hpp"
+#include "util/table.hpp"
+#include "util/time.hpp"
+
+namespace sharegrid::experiments {
+
+/// Which prototype layer handles redirection (§4).
+enum class Layer { kL7, kL4 };
+
+/// Which optimization the windows solve (§3.1.2).
+enum class SchedulerKind { kResponseTime, kIncome };
+
+/// One physical server machine.
+struct ServerSpec {
+  std::string owner;  ///< principal name
+  double capacity = 320.0;
+};
+
+/// One WebBench-style client machine.
+struct ClientSpec {
+  std::string name;
+  std::string principal;        ///< whose service it requests
+  std::size_t redirector = 0;   ///< which redirector it dials
+  double rate = 400.0;          ///< max generation rate (req/s)
+  /// Active intervals in seconds, e.g. {{0, 100}, {200, 300}}.
+  std::vector<std::pair<double, double>> active_sec;
+};
+
+/// Named reporting phase (seconds).
+struct PhaseSpec {
+  std::string name;
+  double start_sec = 0.0;
+  double end_sec = 0.0;
+};
+
+/// Runtime re-provisioning of one server machine (degradation, recovery,
+/// upgrade). Agreements are interpreted dynamically (§2.2): at event time
+/// the flow analysis and scheduler are rebuilt against the new capacities,
+/// so every principal's entitlement shifts with the physical resources.
+struct CapacityEvent {
+  double time_sec = 0.0;
+  std::size_t server = 0;  ///< index into ScenarioConfig::servers
+  double capacity = 0.0;   ///< new capacity (> 0)
+};
+
+/// Full experiment description.
+struct ScenarioConfig {
+  core::AgreementGraph graph;  ///< capacities are overwritten from `servers`
+  Layer layer = Layer::kL4;
+  SchedulerKind scheduler = SchedulerKind::kResponseTime;
+  /// Income scheduler inputs (ignored for response-time).
+  std::string provider;
+  std::vector<double> prices;
+
+  /// Locality caps c_k (§3.1.2 extension): at most this many requests/sec
+  /// may be pushed to principal k's servers per window, modeling forwarding
+  /// cost. Empty = unconstrained. Response-time scheduler only.
+  std::vector<double> locality_caps;
+
+  std::size_t redirector_count = 1;
+  std::vector<ServerSpec> servers;
+  std::vector<ClientSpec> clients;
+  std::vector<PhaseSpec> phases;
+  std::vector<CapacityEvent> capacity_events;
+
+  double duration_sec = 100.0;
+  SimDuration window = 100 * kMillisecond;
+
+  /// Combining-tree knobs: aggregation every `tree_period` (defaults to the
+  /// window), each tree link adding `tree_link_delay` one-way — redirectors
+  /// see aggregates lagging ~2x this (Figure 8 uses 5 s links for a 10 s lag).
+  SimDuration tree_period = 0;  ///< 0 = use `window`
+  SimDuration tree_link_delay = 0;
+  /// Tree shape over the redirectors: 0 = flat star under a virtual root
+  /// (depth 1); k >= 2 = balanced k-ary tree (redirectors at interior nodes
+  /// both contribute and combine, as in the paper's §3.2).
+  std::size_t tree_fanout = 0;
+
+  // Client behaviour.
+  double retry_delay_sec = 0.2;
+  std::size_t max_outstanding = 128;
+  bool exponential_arrivals = true;
+  SimDuration net_delay = 500;
+
+  nodes::L7Redirector::Mode l7_mode = nodes::L7Redirector::Mode::kCreditBased;
+  bool weighted_admission = false;
+  sched::StalePolicy stale_policy = sched::StalePolicy::kConservative;
+  /// Record one WindowTrace row per redirector per window (see
+  /// ScenarioResult::window_trace).
+  bool trace_windows = false;
+
+  std::uint64_t seed = 42;
+};
+
+/// Per-phase, per-principal average rates.
+struct PhaseReport {
+  std::string name;
+  double start_sec = 0.0;
+  double end_sec = 0.0;
+  std::vector<double> served_rate;   ///< req/s, by principal
+  std::vector<double> offered_rate;  ///< req/s, by principal
+};
+
+/// Everything measured in one run.
+struct ScenarioResult {
+  std::vector<std::string> principal_names;
+  nodes::Metrics metrics;
+  std::vector<PhaseReport> phase_reports;
+  std::uint64_t total_admitted = 0;
+  std::uint64_t total_rejected_or_queued = 0;
+  std::uint64_t coordination_messages = 0;
+  /// Worst per-server backlog (seconds of queued work), sampled every 500 ms
+  /// across the run — the overload indicator: a redirector fleet that
+  /// respects capacity keeps this near zero.
+  RunningStats server_backlog_sec;
+  /// Per-window decision log (populated when ScenarioConfig::trace_windows).
+  nodes::WindowTrace window_trace;
+
+  /// Average served rate for `principal` during phase `phase` (by index).
+  double phase_served(std::size_t phase, std::size_t principal) const;
+
+  /// Per-second served-rate table ("time A B ..." — the paper's plot data).
+  TextTable series_table(SimDuration bin = kSecond) const;
+
+  /// Per-phase average table.
+  TextTable phase_table() const;
+};
+
+/// Builds every node, wires the combining tree, applies the client phase
+/// schedule, runs the simulation for `duration_sec`, and reports.
+ScenarioResult run_scenario(const ScenarioConfig& config);
+
+}  // namespace sharegrid::experiments

@@ -1,0 +1,174 @@
+#include "experiments/scenario_ini.hpp"
+
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace sharegrid::experiments {
+namespace {
+
+[[noreturn]] void fail(const std::string& message) {
+  throw ContractViolation("scenario: " + message);
+}
+
+/// Parses "0-125, 250-375" into second-ranges.
+std::vector<std::pair<double, double>> parse_ranges(const std::string& text) {
+  std::vector<std::pair<double, double>> out;
+  std::stringstream ss(text);
+  std::string token;
+  while (std::getline(ss, token, ',')) {
+    const std::size_t dash = token.find('-');
+    if (dash == std::string::npos)
+      fail("active range '" + token + "' must look like 'start-end'");
+    double start = 0.0;
+    double end = 0.0;
+    try {
+      start = std::stod(token.substr(0, dash));
+      end = std::stod(token.substr(dash + 1));
+    } catch (const std::exception&) {
+      fail("active range '" + token + "' has non-numeric bounds");
+    }
+    if (end <= start) fail("active range '" + token + "' is empty");
+    out.emplace_back(start, end);
+  }
+  if (out.empty()) fail("active range list is empty");
+  return out;
+}
+
+}  // namespace
+
+ScenarioConfig scenario_from_ini(const IniDocument& doc) {
+  ScenarioConfig config;
+  const IniSection& g = doc.global;
+
+  // --- Global settings -----------------------------------------------------
+  if (const auto layer = g.get_string("layer")) {
+    if (*layer == "l4")
+      config.layer = Layer::kL4;
+    else if (*layer == "l7")
+      config.layer = Layer::kL7;
+    else
+      fail("layer must be 'l4' or 'l7', got '" + *layer + "'");
+  }
+  if (const auto sched_kind = g.get_string("scheduler")) {
+    if (*sched_kind == "response_time")
+      config.scheduler = SchedulerKind::kResponseTime;
+    else if (*sched_kind == "income")
+      config.scheduler = SchedulerKind::kIncome;
+    else
+      fail("scheduler must be 'response_time' or 'income'");
+  }
+  if (const auto provider = g.get_string("provider"))
+    config.provider = *provider;
+  config.duration_sec = g.get_double("duration").value_or(100.0);
+  if (const auto window_ms = g.get_double("window_ms"))
+    config.window = milliseconds(*window_ms);
+  if (const auto redirectors = g.get_double("redirectors"))
+    config.redirector_count = static_cast<std::size_t>(*redirectors);
+  if (const auto delay = g.get_double("tree_link_delay"))
+    config.tree_link_delay = seconds(*delay);
+  if (const auto policy = g.get_string("stale_policy")) {
+    if (*policy == "conservative")
+      config.stale_policy = sched::StalePolicy::kConservative;
+    else if (*policy == "optimistic")
+      config.stale_policy = sched::StalePolicy::kOptimistic;
+    else
+      fail("stale_policy must be 'conservative' or 'optimistic'");
+  }
+  if (const auto mode = g.get_string("l7_mode")) {
+    if (*mode == "credit")
+      config.l7_mode = nodes::L7Redirector::Mode::kCreditBased;
+    else if (*mode == "explicit")
+      config.l7_mode = nodes::L7Redirector::Mode::kExplicitQueue;
+    else
+      fail("l7_mode must be 'credit' or 'explicit'");
+  }
+  if (const auto seed = g.get_double("seed"))
+    config.seed = static_cast<std::uint64_t>(*seed);
+  if (const auto cap = g.get_double("max_outstanding"))
+    config.max_outstanding = static_cast<std::size_t>(*cap);
+  if (const auto weighted = g.get_bool("weighted_admission"))
+    config.weighted_admission = *weighted;
+
+  // --- Principals + prices --------------------------------------------------
+  const auto principals = doc.all("principal");
+  if (principals.empty()) fail("at least one [principal] is required");
+  bool any_locality = false;
+  for (const IniSection* p : principals) {
+    config.graph.add_principal(p->require_string("name"), 0.0);
+    config.prices.push_back(p->get_double("price").value_or(0.0));
+    const auto cap = p->get_double("locality_cap");
+    config.locality_caps.push_back(cap.value_or(1e18));
+    any_locality = any_locality || cap.has_value();
+  }
+  if (!any_locality) config.locality_caps.clear();
+
+  auto principal_id = [&](const std::string& name,
+                          const IniSection& where) -> core::PrincipalId {
+    const core::PrincipalId id = config.graph.find(name);
+    if (id == core::kNoPrincipal)
+      fail("section [" + where.name + "] (line " +
+           std::to_string(where.line) + ") references unknown principal '" +
+           name + "'");
+    return id;
+  };
+
+  // --- Agreements ------------------------------------------------------------
+  for (const IniSection* a : doc.all("agreement")) {
+    config.graph.set_agreement(principal_id(a->require_string("owner"), *a),
+                               principal_id(a->require_string("user"), *a),
+                               a->require_double("lower"),
+                               a->require_double("upper"));
+  }
+
+  // --- Servers ---------------------------------------------------------------
+  for (const IniSection* s : doc.all("server")) {
+    const std::string owner = s->require_string("owner");
+    principal_id(owner, *s);  // validate
+    config.servers.push_back({owner, s->require_double("capacity")});
+  }
+  if (config.servers.empty()) fail("at least one [server] is required");
+
+  // --- Clients ---------------------------------------------------------------
+  for (const IniSection* c : doc.all("client")) {
+    ClientSpec spec;
+    spec.name = c->require_string("name");
+    spec.principal = c->require_string("principal");
+    principal_id(spec.principal, *c);
+    spec.redirector =
+        static_cast<std::size_t>(c->get_double("redirector").value_or(0.0));
+    spec.rate = c->require_double("rate");
+    spec.active_sec = parse_ranges(c->require_string("active"));
+    config.clients.push_back(std::move(spec));
+  }
+  if (config.clients.empty()) fail("at least one [client] is required");
+
+  // --- Phases ------------------------------------------------------------------
+  for (const IniSection* p : doc.all("phase")) {
+    config.phases.push_back({p->require_string("name"),
+                             p->require_double("start"),
+                             p->require_double("end")});
+  }
+
+  // --- Capacity events -----------------------------------------------------
+  for (const IniSection* e : doc.all("capacity_event")) {
+    CapacityEvent event;
+    event.time_sec = e->require_double("time");
+    event.server = static_cast<std::size_t>(e->require_double("server"));
+    event.capacity = e->require_double("capacity");
+    if (event.server >= config.servers.size())
+      fail("capacity_event (line " + std::to_string(e->line) +
+           ") references server index " + std::to_string(event.server) +
+           " but only " + std::to_string(config.servers.size()) +
+           " servers are declared");
+    config.capacity_events.push_back(event);
+  }
+
+  return config;
+}
+
+ScenarioConfig load_scenario_file(const std::string& path) {
+  return scenario_from_ini(parse_ini_file(path));
+}
+
+}  // namespace sharegrid::experiments

@@ -1,0 +1,136 @@
+#include "http/message.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+#include <string_view>
+#include <vector>
+
+namespace sharegrid::http {
+namespace {
+
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return s;
+}
+
+std::string trim(const std::string& s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && (s[b] == ' ' || s[b] == '\t')) ++b;
+  while (e > b && (s[e - 1] == ' ' || s[e - 1] == '\t' || s[e - 1] == '\r'))
+    --e;
+  return s.substr(b, e - b);
+}
+
+/// Splits a message into lines on CRLF (tolerating bare LF); returns false
+/// when there is no terminating blank line.
+bool split_lines(const std::string& text, std::vector<std::string>& lines) {
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t nl = text.find('\n', pos);
+    if (nl == std::string::npos) return false;  // header section unterminated
+    std::string line = text.substr(pos, nl - pos);
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    pos = nl + 1;
+    if (line.empty()) return true;  // blank line ends the header section
+    lines.push_back(std::move(line));
+  }
+  return false;
+}
+
+/// Parses "Name: value" header lines into @p headers (names lower-cased).
+bool parse_headers(const std::vector<std::string>& lines, std::size_t first,
+                   std::map<std::string, std::string>& headers) {
+  for (std::size_t i = first; i < lines.size(); ++i) {
+    const std::size_t colon = lines[i].find(':');
+    if (colon == std::string::npos || colon == 0) return false;
+    headers[lower(trim(lines[i].substr(0, colon)))] =
+        trim(lines[i].substr(colon + 1));
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string Request::serialize() const {
+  std::ostringstream os;
+  os << method << ' ' << target << ' ' << version << "\r\n";
+  for (const auto& [name, value] : headers) os << name << ": " << value << "\r\n";
+  os << "\r\n";
+  return os.str();
+}
+
+std::string Response::serialize() const {
+  std::ostringstream os;
+  os << version << ' ' << status << ' ' << reason << "\r\n";
+  for (const auto& [name, value] : headers) os << name << ": " << value << "\r\n";
+  os << "\r\n";
+  return os.str();
+}
+
+Response Response::redirect(const std::string& location) {
+  Response r;
+  r.status = 302;
+  r.reason = "Found";
+  r.headers["location"] = location;
+  return r;
+}
+
+std::optional<Request> parse_request(const std::string& text) {
+  std::vector<std::string> lines;
+  if (!split_lines(text, lines) || lines.empty()) return std::nullopt;
+
+  std::istringstream rl(lines[0]);
+  Request req;
+  if (!(rl >> req.method >> req.target >> req.version)) return std::nullopt;
+  std::string extra;
+  if (rl >> extra) return std::nullopt;
+  if (req.version.rfind("HTTP/", 0) != 0) return std::nullopt;
+  if (req.target.empty() || req.target[0] != '/') return std::nullopt;
+
+  if (!parse_headers(lines, 1, req.headers)) return std::nullopt;
+  return req;
+}
+
+std::optional<Response> parse_response(const std::string& text) {
+  std::vector<std::string> lines;
+  if (!split_lines(text, lines) || lines.empty()) return std::nullopt;
+
+  std::istringstream sl(lines[0]);
+  Response resp;
+  if (!(sl >> resp.version >> resp.status)) return std::nullopt;
+  if (resp.version.rfind("HTTP/", 0) != 0) return std::nullopt;
+  if (resp.status < 100 || resp.status > 599) return std::nullopt;
+  std::getline(sl, resp.reason);
+  resp.reason = trim(resp.reason);
+
+  if (!parse_headers(lines, 1, resp.headers)) return std::nullopt;
+  return resp;
+}
+
+std::optional<std::string> principal_from_target(const std::string& target) {
+  // Expected form: /org/<principal>/rest...
+  constexpr std::string_view prefix = "/org/";
+  if (target.rfind(prefix, 0) != 0) return std::nullopt;
+  const std::size_t start = prefix.size();
+  const std::size_t end = target.find('/', start);
+  const std::string name = end == std::string::npos
+                               ? target.substr(start)
+                               : target.substr(start, end - start);
+  if (name.empty()) return std::nullopt;
+  return name;
+}
+
+Response make_server_redirect(const Request& request,
+                              const std::string& server_host) {
+  return Response::redirect("http://" + server_host + request.target);
+}
+
+Response make_self_redirect(const Request& request,
+                            const std::string& redirector_host) {
+  return Response::redirect("http://" + redirector_host + request.target);
+}
+
+}  // namespace sharegrid::http

@@ -1,0 +1,62 @@
+// Minimal HTTP/1.x message model for the Layer-7 redirector (§4.1).
+//
+// The redirector needs exactly three things from HTTP: parse an incoming
+// request line + headers, extract the principal that owns the target URL,
+// and emit a 302 redirect pointing either at an assigned server (admission)
+// or at the redirector itself (implicit queuing — the client retries).
+// Parsing and serialization round-trip; tests exercise malformed inputs.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+
+namespace sharegrid::http {
+
+/// Parsed HTTP request (request line + headers; bodies are not modeled —
+// the paper's workload is GET-dominated web traffic).
+struct Request {
+  std::string method = "GET";
+  std::string target = "/";  ///< origin-form target, e.g. /org/acme/index.html
+  std::string version = "HTTP/1.1";
+  /// Header names are stored lower-cased (field names are case-insensitive).
+  std::map<std::string, std::string> headers;
+
+  std::string serialize() const;
+};
+
+/// HTTP response (status line + headers).
+struct Response {
+  int status = 200;
+  std::string reason = "OK";
+  std::string version = "HTTP/1.1";
+  std::map<std::string, std::string> headers;
+
+  std::string serialize() const;
+
+  /// 302 redirect to @p location.
+  static Response redirect(const std::string& location);
+};
+
+/// Parses a serialized request; nullopt on malformed input.
+std::optional<Request> parse_request(const std::string& text);
+
+/// Parses a serialized response; nullopt on malformed input.
+std::optional<Response> parse_response(const std::string& text);
+
+/// Extracts the owning principal's name from a request target of the form
+/// /org/<principal>/...; nullopt when the target does not follow the
+/// convention. The request URL "signifies the service being requested" (§4).
+std::optional<std::string> principal_from_target(const std::string& target);
+
+/// Builds the redirect a Layer-7 redirector sends for an admitted request:
+/// same target, host replaced by the assigned server.
+Response make_server_redirect(const Request& request,
+                              const std::string& server_host);
+
+/// Builds the self-redirect used for implicit queuing: the client will retry
+/// the same URL against the redirector itself (§4.1).
+Response make_self_redirect(const Request& request,
+                            const std::string& redirector_host);
+
+}  // namespace sharegrid::http

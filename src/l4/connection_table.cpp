@@ -1,0 +1,50 @@
+#include "l4/connection_table.hpp"
+
+#include <sstream>
+
+namespace sharegrid::l4 {
+
+std::string to_string(const Endpoint& ep) {
+  std::ostringstream os;
+  os << "h" << ep.host << ":" << ep.port;
+  return os.str();
+}
+
+void ConnectionTable::establish(const Endpoint& client, const Endpoint& vip,
+                                const Endpoint& server) {
+  table_[{client, vip}] = server;
+  affinity_[{client, vip}] = server;
+}
+
+std::optional<Endpoint> ConnectionTable::lookup(const Endpoint& client,
+                                                const Endpoint& vip) const {
+  const auto it = table_.find({client, vip});
+  if (it == table_.end()) return std::nullopt;
+  return it->second;
+}
+
+void ConnectionTable::release(const Endpoint& client, const Endpoint& vip) {
+  table_.erase({client, vip});
+}
+
+Packet ConnectionTable::rewrite_to_server(Packet packet,
+                                          const Endpoint& server) {
+  packet.dst = server;
+  return packet;
+}
+
+Packet ConnectionTable::rewrite_to_client(Packet packet, const Endpoint& vip,
+                                          const Endpoint& client) {
+  packet.src = vip;
+  packet.dst = client;
+  return packet;
+}
+
+std::optional<Endpoint> ConnectionTable::affinity_hint(
+    const Endpoint& client, const Endpoint& vip) const {
+  const auto it = affinity_.find({client, vip});
+  if (it == affinity_.end()) return std::nullopt;
+  return it->second;
+}
+
+}  // namespace sharegrid::l4

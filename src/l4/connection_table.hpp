@@ -1,0 +1,61 @@
+// NAT connection table (§4.2): forward and reverse rewrite state.
+//
+// Keyed by (client endpoint, virtual service endpoint). Entries are created
+// on admitted SYNs, looked up for subsequent packets of the connection so
+// they reach the same server (connection affinity — required for services
+// with pairwise-negotiated state such as SSL), and removed on FIN or by
+// explicit flush. A separate *affinity hint* remembers the last server used
+// per (client host, service) so new connections from the same client prefer
+// the same server when agreements allow.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <optional>
+#include <utility>
+
+#include "l4/packet.hpp"
+
+namespace sharegrid::l4 {
+
+/// Forward/reverse NAT mappings plus client-affinity hints.
+class ConnectionTable {
+ public:
+  /// Registers an admitted connection client->vip handled by @p server.
+  /// Overwrites any stale entry for the same flow.
+  void establish(const Endpoint& client, const Endpoint& vip,
+                 const Endpoint& server);
+
+  /// Server currently handling the flow, if established.
+  std::optional<Endpoint> lookup(const Endpoint& client,
+                                 const Endpoint& vip) const;
+
+  /// Removes the flow (connection teardown). No-op when absent.
+  void release(const Endpoint& client, const Endpoint& vip);
+
+  /// Rewrites an inbound packet's destination to @p server (NAT forward
+  /// path); returns the rewritten packet.
+  static Packet rewrite_to_server(Packet packet, const Endpoint& server);
+
+  /// Rewrites a server reply so it appears to come from the virtual service
+  /// (NAT reverse path).
+  static Packet rewrite_to_client(Packet packet, const Endpoint& vip,
+                                  const Endpoint& client);
+
+  /// Last server that served this (client endpoint, vip) pair, if any — the
+  /// affinity hint consulted when admitting a *new* connection. Keyed by the
+  /// full client endpoint: one host:port is one end-user session (SSL-style
+  /// persistence), while different users on the same machine still spread
+  /// across servers.
+  std::optional<Endpoint> affinity_hint(const Endpoint& client,
+                                        const Endpoint& vip) const;
+
+  std::size_t active_connections() const { return table_.size(); }
+
+ private:
+  using FlowKey = std::pair<Endpoint, Endpoint>;  // (client, vip)
+  std::map<FlowKey, Endpoint> table_;
+  std::map<FlowKey, Endpoint> affinity_;
+};
+
+}  // namespace sharegrid::l4

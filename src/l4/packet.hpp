@@ -1,0 +1,43 @@
+// Transport-layer packet model for the Layer-4 NAT redirector (§4.2).
+//
+// The paper's L4 prototype is a Linux Virtual Server kernel module using NAT:
+// on a TCP SYN it picks a server, rewrites destination address/port, records
+// the connection so later packets follow it, and reverse-rewrites replies.
+// Raw sockets need root privileges, so we model the packet header fields the
+// switch actually inspects and run them through the same table logic inside
+// the discrete-event simulator (DESIGN.md §4 substitution).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace sharegrid::l4 {
+
+/// Host:port pair (host ids are simulator node ids, not real IPs).
+struct Endpoint {
+  std::uint32_t host = 0;
+  std::uint16_t port = 0;
+
+  auto operator<=>(const Endpoint&) const = default;
+};
+
+/// TCP-ish packet kinds the switch distinguishes.
+enum class PacketKind : std::uint8_t {
+  kSyn,   ///< connection establishment; triggers admission + NAT setup
+  kData,  ///< mid-connection payload; follows the NAT table
+  kFin,   ///< teardown; releases the NAT entry
+};
+
+/// The header fields a NAT L4 switch inspects plus simulation bookkeeping.
+struct Packet {
+  PacketKind kind = PacketKind::kSyn;
+  Endpoint src;  ///< client endpoint (or server endpoint on the reply path)
+  Endpoint dst;  ///< virtual service endpoint (or client on the reply path)
+  std::uint64_t request_id = 0;  ///< simulation correlation id
+  double weight = 1.0;           ///< scheduling units (large = multiple small)
+};
+
+/// Human-readable endpoint (for logs/tests).
+std::string to_string(const Endpoint& ep);
+
+}  // namespace sharegrid::l4

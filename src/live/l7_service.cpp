@@ -1,0 +1,115 @@
+#include "live/l7_service.hpp"
+
+
+#include <algorithm>
+#include <utility>
+
+#include "http/message.hpp"
+#include "util/assert.hpp"
+
+namespace sharegrid::live {
+
+L7Service::L7Service(const sched::Scheduler* scheduler,
+                     core::AgreementGraph graph, Config config)
+    : scheduler_(scheduler),
+      graph_(std::move(graph)),
+      config_(std::move(config)),
+      admission_(scheduler, config_.window_usec) {
+  SHAREGRID_EXPECTS(scheduler != nullptr);
+  SHAREGRID_EXPECTS(!config_.backends.empty());
+  for (const Backend& backend : config_.backends)
+    SHAREGRID_EXPECTS(backend.owner < scheduler->size());
+}
+
+L7Service::~L7Service() { stop(); }
+
+void L7Service::start() {
+  SHAREGRID_EXPECTS(!running_.load());
+  listener_ = Socket::listen_on_loopback();
+  port_ = listener_.local_port();
+  admission_.reset_clock();
+  running_.store(true);
+  acceptor_ = std::thread([this] { accept_loop(); });
+}
+
+void L7Service::stop() {
+  if (!running_.exchange(false)) return;
+  // Poke the blocking accept() with a throwaway connection, then join.
+  try {
+    Socket::connect_loopback(port_);
+  } catch (const ContractViolation&) {
+    // Listener already gone; the acceptor will exit via its own error path.
+  }
+  if (acceptor_.joinable()) acceptor_.join();
+  listener_.close();
+}
+
+void L7Service::accept_loop() {
+  while (running_.load()) {
+    try {
+      Socket connection = listener_.accept();
+      if (!running_.load()) break;  // the stop() poke
+      serve(std::move(connection));
+    } catch (const ContractViolation&) {
+      // accept/read failures (including timeouts) are per-connection
+      // events; keep serving until stop().
+    }
+  }
+}
+
+void L7Service::serve(Socket connection) {
+  const std::string head = connection.read_http_head();
+  const auto request = http::parse_request(head);
+  const std::string self_host = "127.0.0.1:" + std::to_string(port_);
+
+  if (!request) {
+    ++bad_requests_;
+    http::Response bad;
+    bad.status = 400;
+    bad.reason = "Bad Request";
+    connection.write_all(bad.serialize());
+    return;
+  }
+  const auto principal_name = http::principal_from_target(request->target);
+  const core::PrincipalId principal =
+      principal_name ? graph_.find(*principal_name) : core::kNoPrincipal;
+  if (principal == core::kNoPrincipal) {
+    ++bad_requests_;
+    http::Response missing;
+    missing.status = 404;
+    missing.reason = "Unknown Principal";
+    connection.write_all(missing.serialize());
+    return;
+  }
+
+  const auto owner = admission_.try_admit(principal);
+  if (!owner) {
+    ++self_redirected_;
+    connection.write_all(
+        http::make_self_redirect(*request, self_host).serialize());
+    return;
+  }
+
+  // Pick any backend owned by the principal the plan routed to.
+  const Backend* chosen = nullptr;
+  for (const Backend& backend : config_.backends) {
+    if (backend.owner == *owner) {
+      chosen = &backend;
+      break;
+    }
+  }
+  // The plan can only route to resource owners, and every owner with
+  // capacity has a backend in a well-formed config; fall back to self-
+  // redirect if not (misconfiguration, not a scheduling failure).
+  if (chosen == nullptr) {
+    ++self_redirected_;
+    connection.write_all(
+        http::make_self_redirect(*request, self_host).serialize());
+    return;
+  }
+  ++admitted_;
+  connection.write_all(
+      http::make_server_redirect(*request, chosen->host_port).serialize());
+}
+
+}  // namespace sharegrid::live

@@ -1,0 +1,86 @@
+// A live (real-socket) Layer-7 redirector service (§4.1 made concrete).
+//
+// Runs the same admission logic as the simulated L7 redirector — window
+// scheduler, credit-based quotas, 302 redirects — against real HTTP over
+// loopback TCP, with wall-clock scheduling windows. One acceptor thread
+// serves connections sequentially (the service demonstrates correctness of
+// the enforcement stack outside the simulator; it is not tuned for
+// concurrency).
+//
+// Per request:
+//   - parse the request head; malformed -> 400;
+//   - /org/<principal>/... resolves the principal; unknown -> 404;
+//   - within quota -> 302 Location: http://<backend>/<target>;
+//   - out of quota -> 302 back to this service (implicit queuing: the
+//     client is expected to retry, exactly like the paper's WebBench proxy).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/agreement_graph.hpp"
+#include "live/tcp.hpp"
+#include "live/wall_clock_admission.hpp"
+
+namespace sharegrid::live {
+
+/// Wall-clock Layer-7 redirector over loopback TCP.
+class L7Service {
+ public:
+  /// A backend server a principal's requests can be redirected to.
+  struct Backend {
+    std::string host_port;  ///< e.g. "127.0.0.1:8081" (used in Location)
+    core::PrincipalId owner = core::kNoPrincipal;
+  };
+
+  struct Config {
+    /// Scheduling window in wall-clock microseconds (paper: 100 ms).
+    std::int64_t window_usec = 100000;
+    std::vector<Backend> backends;
+  };
+
+  /// @param scheduler  planning logic (not owned; must outlive the service).
+  /// @param graph      used to resolve principal names from URLs (copied).
+  L7Service(const sched::Scheduler* scheduler, core::AgreementGraph graph,
+            Config config);
+  ~L7Service();
+
+  L7Service(const L7Service&) = delete;
+  L7Service& operator=(const L7Service&) = delete;
+
+  /// Binds an ephemeral loopback port and starts the acceptor thread.
+  void start();
+
+  /// Stops accepting and joins the thread. Idempotent.
+  void stop();
+
+  /// Listening port (valid after start()).
+  std::uint16_t port() const { return port_; }
+
+  std::uint64_t admitted() const { return admitted_; }
+  std::uint64_t self_redirected() const { return self_redirected_; }
+  std::uint64_t bad_requests() const { return bad_requests_; }
+
+ private:
+  void accept_loop();
+  void serve(Socket connection);
+
+  const sched::Scheduler* scheduler_;
+  core::AgreementGraph graph_;
+  Config config_;
+  WallClockAdmission admission_;
+
+  Socket listener_;
+  std::thread acceptor_;
+  std::atomic<bool> running_{false};
+  std::uint16_t port_ = 0;
+
+  std::atomic<std::uint64_t> admitted_{0};
+  std::atomic<std::uint64_t> self_redirected_{0};
+  std::atomic<std::uint64_t> bad_requests_{0};
+};
+
+}  // namespace sharegrid::live

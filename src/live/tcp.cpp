@@ -1,0 +1,138 @@
+#include "live/tcp.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "util/assert.hpp"
+
+namespace sharegrid::live {
+namespace {
+
+[[noreturn]] void fail(const std::string& what) {
+  throw ContractViolation("tcp: " + what + ": " + std::strerror(errno));
+}
+
+sockaddr_in loopback(std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  return addr;
+}
+
+}  // namespace
+
+Socket::~Socket() { close(); }
+
+Socket::Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Socket::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void Socket::set_read_timeout(int fd) {
+  timeval tv{};
+  tv.tv_sec = 5;  // generous for loopback; prevents test hangs
+  setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+}
+
+Socket Socket::listen_on_loopback(std::uint16_t port, int backlog) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) fail("socket");
+  const int one = 1;
+  setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr = loopback(port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    fail("bind");
+  }
+  if (::listen(fd, backlog) != 0) {
+    ::close(fd);
+    fail("listen");
+  }
+  set_read_timeout(fd);
+  return Socket(fd);
+}
+
+Socket Socket::connect_loopback(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) fail("socket");
+  sockaddr_in addr = loopback(port);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    fail("connect");
+  }
+  set_read_timeout(fd);
+  return Socket(fd);
+}
+
+Socket Socket::accept() const {
+  SHAREGRID_EXPECTS(valid());
+  const int fd = ::accept(fd_, nullptr, nullptr);
+  if (fd < 0) fail("accept");
+  set_read_timeout(fd);
+  return Socket(fd);
+}
+
+std::uint16_t Socket::local_port() const {
+  SHAREGRID_EXPECTS(valid());
+  sockaddr_in addr{};
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&addr), &len) != 0)
+    fail("getsockname");
+  return ntohs(addr.sin_port);
+}
+
+std::string Socket::read_http_head() const {
+  SHAREGRID_EXPECTS(valid());
+  std::string buffer;
+  char chunk[1024];
+  while (buffer.size() < 64 * 1024) {
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n <= 0) break;  // peer closed, error, or timeout
+    buffer.append(chunk, static_cast<std::size_t>(n));
+    if (buffer.find("\r\n\r\n") != std::string::npos ||
+        buffer.find("\n\n") != std::string::npos)
+      break;
+  }
+  return buffer;
+}
+
+std::string Socket::read_some() const {
+  SHAREGRID_EXPECTS(valid());
+  char chunk[16 * 1024];
+  const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+  if (n <= 0) return {};
+  return std::string(chunk, static_cast<std::size_t>(n));
+}
+
+void Socket::write_all(std::string_view data) const {
+  SHAREGRID_EXPECTS(valid());
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n =
+        ::send(fd_, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) fail("send");
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+}  // namespace sharegrid::live

@@ -1,0 +1,61 @@
+// Minimal RAII TCP sockets for the live (non-simulated) Layer-7 service.
+//
+// Loopback-only by design: the live service exists to demonstrate that the
+// scheduling stack drives a real HTTP redirector (as the paper's prototype
+// did), not to be an internet-facing server. Reads carry a timeout so tests
+// can never hang on a stuck peer.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace sharegrid::live {
+
+/// RAII wrapper over a connected or listening TCP socket on 127.0.0.1.
+class Socket {
+ public:
+  Socket() = default;
+  ~Socket();
+
+  Socket(Socket&& other) noexcept;
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  /// Creates a listening socket bound to 127.0.0.1:@p port (0 = ephemeral).
+  static Socket listen_on_loopback(std::uint16_t port = 0, int backlog = 16);
+
+  /// Connects to 127.0.0.1:@p port.
+  static Socket connect_loopback(std::uint16_t port);
+
+  /// Blocks until a peer connects; the returned socket has the same read
+  /// timeout applied.
+  Socket accept() const;
+
+  /// Port this socket is bound to (listening sockets).
+  std::uint16_t local_port() const;
+
+  /// Reads until the HTTP header terminator (blank line) or EOF; returns
+  /// everything read. Empty result means the peer closed immediately or the
+  /// read timed out. Capped at 64 KiB.
+  std::string read_http_head() const;
+
+  /// Reads whatever is available (up to 16 KiB); empty on peer close,
+  /// error, or read timeout. For protocol-agnostic relaying.
+  std::string read_some() const;
+
+  /// Writes the whole buffer (throws ContractViolation on error).
+  void write_all(std::string_view data) const;
+
+  bool valid() const { return fd_ >= 0; }
+  void close();
+
+ private:
+  explicit Socket(int fd) : fd_(fd) {}
+  static void set_read_timeout(int fd);
+
+  int fd_ = -1;
+};
+
+}  // namespace sharegrid::live

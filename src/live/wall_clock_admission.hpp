@@ -1,0 +1,96 @@
+// Wall-clock window admission shared by the live L7 service and L4 proxy.
+//
+// Bridges the simulation-oriented WindowScheduler to real time: scheduling
+// windows advance with std::chrono::steady_clock, arrivals feed EWMA demand
+// estimators, and a demand-spike fast path re-plans the current window when
+// a cold estimator would otherwise starve a principal whose load just
+// appeared. Thread-safe; a single live node is its own global view.
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "sched/window_scheduler.hpp"
+
+namespace sharegrid::live {
+
+/// Thread-safe, wall-clock-driven admission facade over WindowScheduler.
+class WallClockAdmission {
+ public:
+  /// @param scheduler    planning logic (not owned).
+  /// @param window_usec  scheduling window in wall-clock microseconds.
+  WallClockAdmission(const sched::Scheduler* scheduler,
+                     std::int64_t window_usec)
+      : window_usec_(window_usec),
+        window_(scheduler, window_usec, /*redirector_count=*/1),
+        estimators_(scheduler->size(), sched::ArrivalEstimator(0.3)),
+        arrivals_(scheduler->size(), 0.0),
+        window_start_(std::chrono::steady_clock::now()) {
+    SHAREGRID_EXPECTS(window_usec > 0);
+  }
+
+  /// Resets the window clock (call when the service starts serving).
+  void reset_clock() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    window_start_ = std::chrono::steady_clock::now();
+  }
+
+  /// Records one arrival for @p principal and attempts admission; returns
+  /// the resource owner to route to, or nullopt when out of quota.
+  std::optional<core::PrincipalId> try_admit(core::PrincipalId principal) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    roll_windows();
+    arrivals_[principal] += 1.0;
+    if (const auto owner = window_.try_admit(principal)) return owner;
+
+    // Demand-spike fast path: the window's quota came from the previous
+    // window's estimates, which starve a principal whose load just
+    // appeared. Re-plan against demand including arrivals seen so far;
+    // replan() preserves consumption, so sustained over-demand still
+    // bounces.
+    const double window_sec = static_cast<double>(window_usec_) / 1e6;
+    std::vector<double> demand(estimators_.size(), 0.0);
+    for (std::size_t i = 0; i < estimators_.size(); ++i)
+      demand[i] = std::max(estimators_[i].rate(), arrivals_[i] / window_sec);
+    window_.replan(demand, {demand, true});
+    return window_.try_admit(principal);
+  }
+
+ private:
+  /// Advances elapsed wall-clock windows (bounded catch-up on idle gaps).
+  void roll_windows() {
+    const auto now = std::chrono::steady_clock::now();
+    auto elapsed = std::chrono::duration_cast<std::chrono::microseconds>(
+                       now - window_start_)
+                       .count() /
+                   window_usec_;
+    if (!first_window_done_) elapsed = std::max<std::int64_t>(elapsed, 1);
+    elapsed = std::min<std::int64_t>(elapsed, 16);
+    for (std::int64_t w = 0; w < elapsed; ++w) {
+      std::vector<double> demand(estimators_.size(), 0.0);
+      for (std::size_t i = 0; i < estimators_.size(); ++i) {
+        estimators_[i].observe(arrivals_[i], window_usec_);
+        arrivals_[i] = 0.0;
+        demand[i] = estimators_[i].rate();
+      }
+      // A single live node is its own global view.
+      window_.begin_window(demand, {demand, true});
+      first_window_done_ = true;
+    }
+    if (elapsed > 0) window_start_ = now;
+  }
+
+  std::int64_t window_usec_;
+  std::mutex mutex_;
+  sched::WindowScheduler window_;
+  std::vector<sched::ArrivalEstimator> estimators_;
+  std::vector<double> arrivals_;
+  std::chrono::steady_clock::time_point window_start_;
+  bool first_window_done_ = false;
+};
+
+}  // namespace sharegrid::live

@@ -1,0 +1,88 @@
+// Linear program model builder.
+//
+// Both of the paper's scheduling metrics (§3.1.2) — max-min global response
+// time and provider income — are expressed as small linear programs solved
+// every 100 ms time window, so the builder favours clarity and safety over
+// large-scale sparsity machinery.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <utility>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace sharegrid::lp {
+
+/// Optimization direction.
+enum class Sense { kMaximize, kMinimize };
+
+/// Constraint relation.
+enum class Relation { kLessEq, kGreaterEq, kEqual };
+
+/// Sentinel for "no upper bound".
+inline constexpr double kInfinity = std::numeric_limits<double>::infinity();
+
+/// One linear constraint: sum(coeff * var) REL rhs.
+struct Constraint {
+  std::vector<std::pair<std::size_t, double>> terms;
+  Relation relation = Relation::kLessEq;
+  double rhs = 0.0;
+};
+
+/// A linear program over variables x_0 .. x_{n-1} with per-variable bounds.
+///
+/// Variables default to bounds [0, +inf) and objective coefficient 0.
+class Problem {
+ public:
+  explicit Problem(std::size_t num_vars, Sense sense = Sense::kMaximize)
+      : sense_(sense),
+        objective_(num_vars, 0.0),
+        lower_(num_vars, 0.0),
+        upper_(num_vars, kInfinity) {}
+
+  std::size_t num_vars() const { return objective_.size(); }
+  std::size_t num_constraints() const { return constraints_.size(); }
+  Sense sense() const { return sense_; }
+
+  /// Sets the objective coefficient of @p var.
+  void set_objective(std::size_t var, double coeff) {
+    SHAREGRID_EXPECTS(var < num_vars());
+    objective_[var] = coeff;
+  }
+
+  /// Sets bounds lo <= x_var <= hi (hi may be kInfinity).
+  void set_bounds(std::size_t var, double lo, double hi) {
+    SHAREGRID_EXPECTS(var < num_vars());
+    SHAREGRID_EXPECTS(lo <= hi);
+    lower_[var] = lo;
+    upper_[var] = hi;
+  }
+
+  /// Adds a constraint from sparse (variable, coefficient) terms.
+  /// Returns the constraint's index.
+  std::size_t add_constraint(std::vector<std::pair<std::size_t, double>> terms,
+                             Relation relation, double rhs) {
+    for (const auto& [var, coeff] : terms) {
+      SHAREGRID_EXPECTS(var < num_vars());
+      (void)coeff;
+    }
+    constraints_.push_back({std::move(terms), relation, rhs});
+    return constraints_.size() - 1;
+  }
+
+  const std::vector<double>& objective() const { return objective_; }
+  const std::vector<double>& lower_bounds() const { return lower_; }
+  const std::vector<double>& upper_bounds() const { return upper_; }
+  const std::vector<Constraint>& constraints() const { return constraints_; }
+
+ private:
+  Sense sense_;
+  std::vector<double> objective_;
+  std::vector<double> lower_;
+  std::vector<double> upper_;
+  std::vector<Constraint> constraints_;
+};
+
+}  // namespace sharegrid::lp

@@ -1,0 +1,45 @@
+// Two-phase primal simplex solver.
+//
+// Self-contained dense implementation sized for the paper's workload: one LP
+// per scheduling window whose dimensions depend only on the number of
+// principals, "expected to be small" (§3.1.2). Uses Dantzig pricing with an
+// automatic switch to Bland's rule to guarantee termination on the highly
+// degenerate programs the schedulers produce.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "lp/problem.hpp"
+
+namespace sharegrid::lp {
+
+/// Solver outcome.
+enum class Status { kOptimal, kInfeasible, kUnbounded };
+
+/// Result of solving a Problem.
+struct Solution {
+  Status status = Status::kInfeasible;
+  /// Objective value in the problem's own sense (valid when kOptimal).
+  double objective = 0.0;
+  /// Value per variable (valid when kOptimal).
+  std::vector<double> values;
+
+  bool optimal() const { return status == Status::kOptimal; }
+};
+
+/// Solver tuning knobs; defaults are appropriate for window-scheduling LPs.
+struct SolverOptions {
+  /// Numerical tolerance for optimality/feasibility tests.
+  double tolerance = 1e-9;
+  /// Pivot count after which pricing falls back to Bland's rule.
+  std::size_t bland_after = 200;
+  /// Hard cap on pivots (guards against pathological inputs).
+  std::size_t max_iterations = 100000;
+};
+
+/// Solves @p problem; never throws on infeasible/unbounded inputs (reported
+/// via Solution::status). Throws ContractViolation on malformed input only.
+Solution solve(const Problem& problem, const SolverOptions& options = {});
+
+}  // namespace sharegrid::lp

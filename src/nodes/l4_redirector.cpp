@@ -1,0 +1,200 @@
+#include "nodes/l4_redirector.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/assert.hpp"
+
+namespace sharegrid::nodes {
+
+L4Redirector::L4Redirector(sim::Simulator* sim, Metrics* metrics,
+                           ServerPool* servers,
+                           const sched::Scheduler* scheduler, Config config)
+    : sim_(sim),
+      metrics_(metrics),
+      servers_(servers),
+      config_(std::move(config)),
+      window_(scheduler, config_.window, config_.redirector_count,
+              config_.stale_policy) {
+  SHAREGRID_EXPECTS(sim != nullptr);
+  SHAREGRID_EXPECTS(metrics != nullptr);
+  SHAREGRID_EXPECTS(servers != nullptr);
+  const std::size_t n = scheduler->size();
+  queues_.resize(n);
+  estimators_.assign(n, sched::ArrivalEstimator(config_.estimator_alpha));
+  arrivals_this_window_.assign(n, 0.0);
+  in_flight_.assign(n, 0.0);
+}
+
+void L4Redirector::start(SimTime first_window) {
+  SHAREGRID_EXPECTS(window_task_ == nullptr);
+  window_task_ = std::make_unique<sim::PeriodicTask>(
+      sim_, first_window, config_.window, [this] { begin_window(); });
+}
+
+void L4Redirector::on_client_request(const Request& request,
+                                     RequestSource* from) {
+  // Wrap the request as the SYN the kernel module would see: source is the
+  // client machine's address, destination the principal's virtual service.
+  l4::Packet syn;
+  syn.kind = l4::PacketKind::kSyn;
+  syn.src = {0x0C000000u + static_cast<std::uint32_t>(request.client),
+             static_cast<std::uint16_t>(1024 + (request.id & 0xFFF))};
+  syn.dst = vip(request.principal);
+  syn.request_id = request.id;
+  syn.weight = request.weight;
+  on_packet(syn, from);
+}
+
+void L4Redirector::on_packet(const l4::Packet& packet, RequestSource* from) {
+  SHAREGRID_EXPECTS(packet.kind == l4::PacketKind::kSyn);
+  const core::PrincipalId p = packet.dst.host - 0x0A000000u;
+  SHAREGRID_EXPECTS(p < queues_.size());
+
+  Request request;
+  request.id = packet.request_id;
+  request.principal = p;
+  request.weight = packet.weight;
+  request.created = sim_->now();
+  request.client = packet.src.host - 0x0C000000u;
+
+  arrivals_this_window_[p] += config_.weighted_admission ? packet.weight : 1.0;
+
+  Held held{packet, request, from};
+  if (try_forward(held)) return;
+
+  // Out of quota: park the SYN in the principal's kernel-level queue; the
+  // window task reinjects it in later windows as agreements allow.
+  if (queues_[p].size() >= config_.max_queue) {
+    ++drops_;
+    metrics_->on_rejected(p, sim_->now());
+    return;
+  }
+  queues_[p].push_back(std::move(held));
+}
+
+bool L4Redirector::try_forward(const Held& held) {
+  const core::PrincipalId p = held.request.principal;
+  const double weight =
+      config_.weighted_admission ? held.request.weight : 1.0;
+  const auto owner = window_.try_admit(p, weight);
+  if (!owner) return false;
+
+  Server* server = nullptr;
+  if (config_.use_affinity) {
+    // Prefer the machine that last served this client host — but only when
+    // the admission decision lands on the same owner ("to the extent allowed
+    // by the sharing agreements", §4.2).
+    if (const auto hint = table_.affinity_hint(held.packet.src,
+                                               held.packet.dst)) {
+      Server* preferred = servers_->find(*hint);
+      if (preferred != nullptr && preferred->config().owner == *owner)
+        server = preferred;
+    }
+  }
+  if (server == nullptr) server = servers_->pick(*owner);
+  SHAREGRID_ASSERT(server != nullptr);
+  forward_to(held, server);
+  return true;
+}
+
+void L4Redirector::forward_to(const Held& held, Server* server) {
+  ++admitted_;
+  in_flight_[held.request.principal] += 1.0;
+  table_.establish(held.packet.src, held.packet.dst,
+                   server->config().endpoint);
+  const l4::Packet rewritten = l4::ConnectionTable::rewrite_to_server(
+      held.packet, server->config().endpoint);
+  (void)rewritten;  // header rewrite modeled; payload path is the callback
+
+  RequestSource* from = held.from;
+  const l4::Packet original = held.packet;
+  sim_->schedule_after(config_.net_delay, [this, alive = alive_, request =
+                                               held.request, original, from,
+                                           server] {
+    if (!*alive) return;
+    server->submit(request, [this, alive, original, from](const Request& done) {
+      if (!*alive) return;
+      // Reply path: server -> redirector (reverse NAT) -> client.
+      const l4::Packet reply = l4::ConnectionTable::rewrite_to_client(
+          original, original.dst, original.src);
+      (void)reply;
+      in_flight_[done.principal] -= 1.0;
+      table_.release(original.src, original.dst);
+      sim_->schedule_after(
+          2 * config_.net_delay, [alive, from, done] {
+            if (!*alive) return;
+            from->on_response(done);
+          });
+    });
+  });
+}
+
+void L4Redirector::begin_window() {
+  const std::size_t n = queues_.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    estimators_[i].observe(arrivals_this_window_[i], config_.window);
+    arrivals_this_window_[i] = 0.0;
+  }
+
+  const std::vector<double> demand = local_demand();
+  window_.begin_window(demand, global_);
+  if (config_.trace != nullptr) {
+    WindowTrace::Row row;
+    row.window_start = sim_->now();
+    row.redirector = config_.name;
+    row.local_demand = demand;
+    if (global_.valid) row.global_demand = global_.demand;
+    row.theta = window_.last_plan().theta;
+    for (std::size_t i = 0; i < n; ++i)
+      row.planned_rate.push_back(window_.last_plan().admitted(i));
+    config_.trace->record(std::move(row));
+  }
+
+  // Reinject queued SYNs in FIFO order while quota lasts.
+  for (std::size_t i = 0; i < n; ++i) {
+    while (!queues_[i].empty()) {
+      if (!try_forward(queues_[i].front())) break;
+      queues_[i].pop_front();
+    }
+  }
+}
+
+std::vector<double> L4Redirector::local_demand() const {
+  // The user-space daemon reports the smoothed arrival rate plus the queued
+  // backlog amortized over a one-second drain horizon. Charging the whole
+  // backlog to a single window would let a handful of queued SYNs inflate a
+  // principal's apparent demand by hundreds of req/s, systematically
+  // over-claiming capacity from its peers.
+  constexpr double kDrainHorizonSec = 1.0;
+  // In-flight up to 50 ms worth of the arrival rate is normal pipelining
+  // (network hops + service time) and must not read as backlog.
+  constexpr double kInFlightAllowanceSec = 0.05;
+  std::vector<double> demand(queues_.size(), 0.0);
+  for (std::size_t i = 0; i < demand.size(); ++i) {
+    // Arrival rate + kernel-queue backlog + *excess* admitted-but-unreplied
+    // work. The last term keeps latent demand visible when a transient
+    // parked requests in a server's FIFO: those connections hold client
+    // slots, so without it the closed loop settles wherever the transient
+    // left it, below the agreement levels.
+    const double rate = estimators_[i].rate();
+    const double excess_in_flight =
+        std::max(0.0, in_flight_[i] - rate * kInFlightAllowanceSec);
+    demand[i] = rate + (static_cast<double>(queues_[i].size()) +
+                        excess_in_flight) /
+                           kDrainHorizonSec;
+  }
+  return demand;
+}
+
+void L4Redirector::receive_global(const std::vector<double>& aggregate) {
+  global_.demand = aggregate;
+  global_.valid = true;
+}
+
+std::size_t L4Redirector::queue_length(core::PrincipalId p) const {
+  SHAREGRID_EXPECTS(p < queues_.size());
+  return queues_[p].size();
+}
+
+}  // namespace sharegrid::nodes

@@ -1,0 +1,111 @@
+// Layer-4 NAT packet redirector (§4.2).
+//
+// Models the paper's Linux Virtual Server kernel module plus user-space
+// daemon: a SYN for a virtual service address is either admitted — a server
+// is chosen per the scheduling decision, the destination is rewritten, and a
+// connection-table entry keeps the flow pinned to that server — or parked in
+// a per-principal kernel-level queue that a periodic task drains in later
+// windows as agreements allow. Replies are reverse-rewritten so clients only
+// ever see the virtual address. New connections prefer the server that last
+// served the same client (affinity, e.g. for SSL session reuse) whenever the
+// admission decision lands on the same owner.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "l4/connection_table.hpp"
+#include "l4/packet.hpp"
+#include "nodes/client.hpp"
+#include "nodes/metrics.hpp"
+#include "nodes/server.hpp"
+#include "nodes/window_trace.hpp"
+#include "sched/window_scheduler.hpp"
+#include "sim/simulator.hpp"
+
+namespace sharegrid::nodes {
+
+/// NAT (Layer-4) redirector node.
+class L4Redirector final : public RedirectorBase {
+ public:
+  struct Config {
+    std::string name;
+    SimDuration window = 100 * kMillisecond;
+    std::size_t redirector_count = 1;
+    SimDuration net_delay = 500;  ///< one-way per-hop delay (usec)
+    std::size_t max_queue = 1 << 16;  ///< kernel queue bound per principal
+    double estimator_alpha = 0.3;
+    bool weighted_admission = false;
+    bool use_affinity = true;
+    /// Behaviour before the first combining-tree aggregate arrives.
+    sched::StalePolicy stale_policy = sched::StalePolicy::kConservative;
+    /// Optional per-window decision log (not owned; may be shared).
+    WindowTrace* trace = nullptr;
+  };
+
+  L4Redirector(sim::Simulator* sim, Metrics* metrics, ServerPool* servers,
+               const sched::Scheduler* scheduler, Config config);
+  ~L4Redirector() override { *alive_ = false; }
+
+  void start(SimTime first_window);
+
+  /// Virtual service endpoint for a principal's service (what clients dial).
+  static l4::Endpoint vip(core::PrincipalId principal) {
+    return {0x0A000000u + static_cast<std::uint32_t>(principal), 80};
+  }
+
+  // RedirectorBase: wraps the request into a SYN and runs the packet path.
+  void on_client_request(const Request& request, RequestSource* from) override;
+
+  /// Packet-level entry point (also used directly by tests).
+  void on_packet(const l4::Packet& packet, RequestSource* from);
+
+  /// Combining-tree hooks.
+  std::vector<double> local_demand() const;
+  void receive_global(const std::vector<double>& aggregate);
+
+  std::size_t queue_length(core::PrincipalId p) const;
+  std::uint64_t drops() const { return drops_; }
+  std::uint64_t admitted() const { return admitted_; }
+  const l4::ConnectionTable& connections() const { return table_; }
+  const sched::WindowScheduler& window_scheduler() const { return window_; }
+
+ private:
+  struct Held {
+    l4::Packet packet;
+    Request request;
+    RequestSource* from;
+  };
+
+  void begin_window();
+  /// Admission decision for a SYN; true when forwarded.
+  bool try_forward(const Held& held);
+  void forward_to(const Held& held, Server* server);
+
+  sim::Simulator* sim_;
+  Metrics* metrics_;
+  ServerPool* servers_;
+  Config config_;
+  sched::WindowScheduler window_;
+  l4::ConnectionTable table_;
+  std::vector<std::deque<Held>> queues_;
+  std::vector<sched::ArrivalEstimator> estimators_;
+  std::vector<double> arrivals_this_window_;
+  sched::GlobalDemand global_;
+  /// Admitted connections whose replies have not come back yet, per
+  /// principal. Under healthy operation this is a handful (service time x
+  /// rate); when transient over-admission piles work into a server's FIFO,
+  /// these requests still hold client slots and must count as demand or the
+  /// closed loop locks in below the agreement levels.
+  std::vector<double> in_flight_;
+  std::unique_ptr<sim::PeriodicTask> window_task_;
+
+  std::uint64_t drops_ = 0;
+  std::uint64_t admitted_ = 0;
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
+};
+
+}  // namespace sharegrid::nodes

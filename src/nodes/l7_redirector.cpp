@@ -1,0 +1,130 @@
+#include "nodes/l7_redirector.hpp"
+
+#include <utility>
+
+#include "util/assert.hpp"
+
+namespace sharegrid::nodes {
+
+L7Redirector::L7Redirector(sim::Simulator* sim, Metrics* metrics,
+                           ServerPool* servers,
+                           const sched::Scheduler* scheduler, Config config)
+    : sim_(sim),
+      metrics_(metrics),
+      servers_(servers),
+      config_(std::move(config)),
+      window_(scheduler, config_.window, config_.redirector_count,
+              config_.stale_policy) {
+  SHAREGRID_EXPECTS(sim != nullptr);
+  SHAREGRID_EXPECTS(metrics != nullptr);
+  SHAREGRID_EXPECTS(servers != nullptr);
+  const std::size_t n = scheduler->size();
+  estimators_.assign(n, sched::ArrivalEstimator(config_.estimator_alpha));
+  arrivals_this_window_.assign(n, 0.0);
+  held_.resize(n);
+}
+
+void L7Redirector::start(SimTime first_window) {
+  SHAREGRID_EXPECTS(window_task_ == nullptr);
+  window_task_ = std::make_unique<sim::PeriodicTask>(
+      sim_, first_window, config_.window, [this] { begin_window(); });
+}
+
+void L7Redirector::begin_window() {
+  const std::size_t n = estimators_.size();
+
+  // Fold the last window's arrivals into the rate estimators.
+  for (std::size_t i = 0; i < n; ++i) {
+    estimators_[i].observe(arrivals_this_window_[i], config_.window);
+    arrivals_this_window_[i] = 0.0;
+  }
+
+  const std::vector<double> demand = local_demand();
+  window_.begin_window(demand, global_);
+  if (config_.trace != nullptr) {
+    WindowTrace::Row row;
+    row.window_start = sim_->now();
+    row.redirector = config_.name;
+    row.local_demand = demand;
+    if (global_.valid) row.global_demand = global_.demand;
+    row.theta = window_.last_plan().theta;
+    for (std::size_t i = 0; i < n; ++i)
+      row.planned_rate.push_back(window_.last_plan().admitted(i));
+    config_.trace->record(std::move(row));
+  }
+
+  if (config_.mode == Mode::kExplicitQueue) {
+    // Release queued requests in a batch — intentionally bunchy (§4.1's
+    // first design, reproduced for the ablation bench).
+    for (std::size_t i = 0; i < n; ++i) {
+      while (!held_[i].empty()) {
+        const double weight =
+            config_.weighted_admission ? held_[i].front().request.weight : 1.0;
+        const auto owner = window_.try_admit(i, weight);
+        if (!owner) break;
+        Held h = std::move(held_[i].front());
+        held_[i].pop_front();
+        admit_and_redirect(h.request, h.from, *owner);
+      }
+    }
+  }
+}
+
+void L7Redirector::on_client_request(const Request& request,
+                                     RequestSource* from) {
+  const core::PrincipalId p = request.principal;
+  SHAREGRID_EXPECTS(p < estimators_.size());
+  arrivals_this_window_[p] +=
+      config_.weighted_admission ? request.weight : 1.0;
+
+  if (config_.mode == Mode::kExplicitQueue) {
+    held_[p].push_back({request, from});
+    return;
+  }
+
+  const double weight = config_.weighted_admission ? request.weight : 1.0;
+  if (const auto owner = window_.try_admit(p, weight)) {
+    admit_and_redirect(request, from, *owner);
+    return;
+  }
+  // Out of quota: 302 back to ourselves; the client retries (implicit
+  // queuing — the queue lives at the clients, not here).
+  ++self_redirects_;
+  sim_->schedule_after(config_.net_delay, [from, request, alive = alive_] {
+    if (!*alive) return;
+    from->on_self_redirect(request);
+  });
+}
+
+void L7Redirector::admit_and_redirect(const Request& request,
+                                      RequestSource* from,
+                                      core::PrincipalId owner) {
+  Server* server = servers_->pick(owner);
+  SHAREGRID_ASSERT(server != nullptr);
+  ++admitted_;
+  sim_->schedule_after(config_.net_delay,
+                       [from, request, server, alive = alive_] {
+                         if (!*alive) return;
+                         from->on_redirect_to_server(request, server);
+                       });
+}
+
+std::vector<double> L7Redirector::local_demand() const {
+  // Estimated queue lengths (§4.1): smoothed arrival rate plus, in explicit
+  // mode, the real backlog expressed as a rate over one window.
+  std::vector<double> demand(estimators_.size(), 0.0);
+  const double window_sec = to_seconds(config_.window);
+  for (std::size_t i = 0; i < demand.size(); ++i) {
+    demand[i] = estimators_[i].rate();
+    if (config_.mode == Mode::kExplicitQueue)
+      demand[i] += static_cast<double>(held_[i].size()) / window_sec;
+  }
+  return demand;
+}
+
+void L7Redirector::receive_global(const std::vector<double>& aggregate) {
+  global_.demand = aggregate;
+  global_.valid = true;
+}
+
+}  // namespace sharegrid::nodes

@@ -1,0 +1,101 @@
+// Layer-7 HTTP redirector (§4.1).
+//
+// Two operating modes, mirroring the paper's implementation history:
+//
+//  * kCreditBased (default, the paper's final design): each window the
+//    redirector solves the LP against *estimated* queue lengths (an EWMA of
+//    arrivals, including retries) and admits in-quota requests immediately
+//    with a 302 to the assigned server; out-of-quota requests get a 302 back
+//    to the redirector itself, implicitly queueing them at the client.
+//
+//  * kExplicitQueue (the paper's first attempt, kept for the ablation
+//    bench): requests are held in per-principal queues and released in a
+//    batch at the start of the next window — which bunches traffic and
+//    depresses closed-loop client throughput, the anomaly that motivated
+//    the switch (§4.1 / tech report).
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nodes/client.hpp"
+#include "nodes/metrics.hpp"
+#include "nodes/server.hpp"
+#include "nodes/window_trace.hpp"
+#include "sched/window_scheduler.hpp"
+#include "sim/simulator.hpp"
+
+namespace sharegrid::nodes {
+
+/// HTTP (Layer-7) redirector node.
+class L7Redirector final : public RedirectorBase {
+ public:
+  enum class Mode { kCreditBased, kExplicitQueue };
+
+  struct Config {
+    std::string name;
+    SimDuration window = 100 * kMillisecond;  ///< paper: 100 ms windows
+    std::size_t redirector_count = 1;         ///< R, for conservative mode
+    Mode mode = Mode::kCreditBased;
+    SimDuration net_delay = 500;  ///< one-way redirector->client hop (usec)
+    double estimator_alpha = 0.3;
+    /// Admit requests by their sampled weight instead of 1 unit each.
+    bool weighted_admission = false;
+    /// Behaviour before the first combining-tree aggregate arrives.
+    sched::StalePolicy stale_policy = sched::StalePolicy::kConservative;
+    /// Optional per-window decision log (not owned; may be shared).
+    WindowTrace* trace = nullptr;
+  };
+
+  /// @param scheduler shared planning logic (not owned; one per experiment).
+  L7Redirector(sim::Simulator* sim, Metrics* metrics, ServerPool* servers,
+               const sched::Scheduler* scheduler, Config config);
+  ~L7Redirector() override { *alive_ = false; }
+
+  /// Starts the periodic window task.
+  void start(SimTime first_window);
+
+  // RedirectorBase:
+  void on_client_request(const Request& request, RequestSource* from) override;
+
+  /// Combining-tree provider: this node's current local demand estimate
+  /// (requests/sec per principal).
+  std::vector<double> local_demand() const;
+
+  /// Combining-tree receiver: a fresh global aggregate arrived.
+  void receive_global(const std::vector<double>& aggregate);
+
+  const sched::WindowScheduler& window_scheduler() const { return window_; }
+  std::uint64_t admitted() const { return admitted_; }
+  std::uint64_t self_redirects() const { return self_redirects_; }
+
+ private:
+  void begin_window();
+  void admit_and_redirect(const Request& request, RequestSource* from,
+                          core::PrincipalId owner);
+
+  sim::Simulator* sim_;
+  Metrics* metrics_;
+  ServerPool* servers_;
+  Config config_;
+  sched::WindowScheduler window_;
+  std::vector<sched::ArrivalEstimator> estimators_;
+  std::vector<double> arrivals_this_window_;
+  sched::GlobalDemand global_;
+  std::unique_ptr<sim::PeriodicTask> window_task_;
+
+  // Explicit-queue mode state.
+  struct Held {
+    Request request;
+    RequestSource* from;
+  };
+  std::vector<std::deque<Held>> held_;
+
+  std::uint64_t admitted_ = 0;
+  std::uint64_t self_redirects_ = 0;
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
+};
+
+}  // namespace sharegrid::nodes

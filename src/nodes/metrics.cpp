@@ -1,0 +1,60 @@
+#include "nodes/metrics.hpp"
+
+namespace sharegrid::nodes {
+
+Metrics::Metrics(std::size_t principal_count, SimDuration bin_width) {
+  SHAREGRID_EXPECTS(principal_count > 0);
+  offered_.assign(principal_count, RateSeries(bin_width));
+  served_.assign(principal_count, RateSeries(bin_width));
+  rejected_.assign(principal_count, RateSeries(bin_width));
+  latency_.assign(principal_count, RunningStats());
+  bytes_.assign(principal_count, RateSeries(bin_width));
+}
+
+void Metrics::on_offered(core::PrincipalId p, SimTime t) {
+  check(p);
+  offered_[p].record(t);
+}
+
+void Metrics::on_served(core::PrincipalId p, SimTime t) {
+  check(p);
+  served_[p].record(t);
+}
+
+void Metrics::on_rejected(core::PrincipalId p, SimTime t) {
+  check(p);
+  rejected_[p].record(t);
+}
+
+void Metrics::on_latency(core::PrincipalId p, double seconds) {
+  check(p);
+  latency_[p].add(seconds);
+}
+
+void Metrics::on_reply_bytes(core::PrincipalId p, SimTime t, double bytes) {
+  check(p);
+  bytes_[p].record(t, static_cast<std::uint64_t>(bytes));
+}
+
+const RateSeries& Metrics::offered(core::PrincipalId p) const {
+  check(p);
+  return offered_[p];
+}
+const RateSeries& Metrics::served(core::PrincipalId p) const {
+  check(p);
+  return served_[p];
+}
+const RateSeries& Metrics::rejected(core::PrincipalId p) const {
+  check(p);
+  return rejected_[p];
+}
+const RunningStats& Metrics::latency(core::PrincipalId p) const {
+  check(p);
+  return latency_[p];
+}
+const RateSeries& Metrics::reply_bytes(core::PrincipalId p) const {
+  check(p);
+  return bytes_[p];
+}
+
+}  // namespace sharegrid::nodes

@@ -1,0 +1,50 @@
+// Central measurement hub for simulated experiments.
+//
+// Records the same quantities the paper plots: per-principal served
+// requests/second over time (every figure), offered load, rejections
+// (self-redirects / queue drops), response latency, and reply bandwidth.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/principal.hpp"
+#include "util/assert.hpp"
+#include "util/stats.hpp"
+#include "util/time.hpp"
+#include "util/time_series.hpp"
+
+namespace sharegrid::nodes {
+
+/// Per-principal time-series metrics; one instance per experiment.
+class Metrics {
+ public:
+  explicit Metrics(std::size_t principal_count,
+                   SimDuration bin_width = kSecond);
+
+  std::size_t principal_count() const { return served_.size(); }
+
+  void on_offered(core::PrincipalId p, SimTime t);
+  void on_served(core::PrincipalId p, SimTime t);
+  void on_rejected(core::PrincipalId p, SimTime t);
+  void on_latency(core::PrincipalId p, double seconds);
+  void on_reply_bytes(core::PrincipalId p, SimTime t, double bytes);
+
+  const RateSeries& offered(core::PrincipalId p) const;
+  const RateSeries& served(core::PrincipalId p) const;
+  const RateSeries& rejected(core::PrincipalId p) const;
+  const RunningStats& latency(core::PrincipalId p) const;
+  /// Reply bytes/sec series (events weighted by size).
+  const RateSeries& reply_bytes(core::PrincipalId p) const;
+
+ private:
+  void check(core::PrincipalId p) const { SHAREGRID_EXPECTS(p < served_.size()); }
+
+  std::vector<RateSeries> offered_;
+  std::vector<RateSeries> served_;
+  std::vector<RateSeries> rejected_;
+  std::vector<RunningStats> latency_;
+  std::vector<RateSeries> bytes_;
+};
+
+}  // namespace sharegrid::nodes

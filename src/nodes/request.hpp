@@ -1,0 +1,29 @@
+// The unit of work flowing through the simulated system.
+#pragma once
+
+#include <cstdint>
+
+#include "core/principal.hpp"
+#include "util/time.hpp"
+
+namespace sharegrid::nodes {
+
+/// One client request (for L4, one TCP connection carrying one request).
+struct Request {
+  std::uint64_t id = 0;
+  /// Organization owning the target URL; decides whose queue/agreement the
+  /// request is charged against.
+  core::PrincipalId principal = core::kNoPrincipal;
+  /// Scheduling units (reply size / mean reply size; §4 "large requests are
+  /// treated as multiple small ones").
+  double weight = 1.0;
+  /// Modeled reply size, for bandwidth accounting.
+  double reply_bytes = 6144.0;
+  /// When the client first issued the request (for latency accounting;
+  /// retries keep the original timestamp).
+  SimTime created = 0;
+  /// Index of the originating client machine.
+  std::size_t client = 0;
+};
+
+}  // namespace sharegrid::nodes

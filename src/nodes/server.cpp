@@ -1,0 +1,86 @@
+#include "nodes/server.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/assert.hpp"
+
+namespace sharegrid::nodes {
+
+Server::Server(sim::Simulator* sim, Metrics* metrics, Config config)
+    : sim_(sim), metrics_(metrics), config_(std::move(config)) {
+  SHAREGRID_EXPECTS(sim != nullptr);
+  SHAREGRID_EXPECTS(metrics != nullptr);
+  SHAREGRID_EXPECTS(config_.capacity > 0.0);
+  SHAREGRID_EXPECTS(config_.owner != core::kNoPrincipal);
+}
+
+void Server::submit(const Request& request,
+                    std::function<void(const Request&)> on_complete) {
+  SHAREGRID_EXPECTS(request.weight > 0.0);
+  const SimTime start = std::max(sim_->now(), next_free_);
+  const auto service =
+      static_cast<SimDuration>(request.weight / config_.capacity *
+                               static_cast<double>(kSecond));
+  next_free_ = start + std::max<SimDuration>(1, service);
+  units_served_ += request.weight;
+
+  sim_->schedule_at(
+      next_free_,
+      [this, alive = alive_, request, cb = std::move(on_complete)] {
+        if (!*alive) return;
+        metrics_->on_served(request.principal, sim_->now());
+        metrics_->on_reply_bytes(request.principal, sim_->now(),
+                                 request.reply_bytes);
+        if (cb) cb(request);
+      });
+}
+
+double Server::backlog_seconds() const {
+  return std::max<double>(0.0, to_seconds(next_free_ - sim_->now()));
+}
+
+void Server::set_capacity(double capacity) {
+  SHAREGRID_EXPECTS(capacity > 0.0);
+  config_.capacity = capacity;
+}
+
+const std::vector<Server*> ServerPool::kEmpty;
+
+void ServerPool::add(Server* server) {
+  SHAREGRID_EXPECTS(server != nullptr);
+  const core::PrincipalId owner = server->config().owner;
+  if (owner >= by_owner_.size()) by_owner_.resize(owner + 1);
+  by_owner_[owner].push_back(server);
+  all_.push_back(server);
+}
+
+Server* ServerPool::pick(core::PrincipalId owner) const {
+  if (owner >= by_owner_.size() || by_owner_[owner].empty()) return nullptr;
+  Server* best = by_owner_[owner].front();
+  for (Server* s : by_owner_[owner]) {
+    if (s->backlog_seconds() < best->backlog_seconds()) best = s;
+  }
+  return best;
+}
+
+Server* ServerPool::find(const l4::Endpoint& endpoint) const {
+  for (Server* s : all_) {
+    if (s->config().endpoint == endpoint) return s;
+  }
+  return nullptr;
+}
+
+const std::vector<Server*>& ServerPool::machines(
+    core::PrincipalId owner) const {
+  if (owner >= by_owner_.size()) return kEmpty;
+  return by_owner_[owner];
+}
+
+double ServerPool::capacity(core::PrincipalId owner) const {
+  double total = 0.0;
+  for (const Server* s : machines(owner)) total += s->config().capacity;
+  return total;
+}
+
+}  // namespace sharegrid::nodes

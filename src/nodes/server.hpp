@@ -1,0 +1,90 @@
+// Simulated server machine and per-owner server pools (§5 testbed: Apache on
+// 1 GHz PCs; here a capacity-C requests/sec service queue, DESIGN.md §4).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/principal.hpp"
+#include "l4/packet.hpp"
+#include "nodes/metrics.hpp"
+#include "nodes/request.hpp"
+#include "sim/simulator.hpp"
+
+namespace sharegrid::nodes {
+
+/// A single server machine: processes requests in FIFO order at a fixed
+/// capacity (weight units per second). Completion time for a request of
+/// weight w arriving when the server frees at time f is max(now, f) + w/C.
+class Server {
+ public:
+  struct Config {
+    std::string name;
+    core::PrincipalId owner = core::kNoPrincipal;  ///< resource owner
+    double capacity = 320.0;                       ///< units (requests)/sec
+    l4::Endpoint endpoint;                         ///< L4 address
+  };
+
+  Server(sim::Simulator* sim, Metrics* metrics, Config config);
+
+  /// Enqueues a request; @p on_complete fires (same simulated instant the
+  /// request finishes service) with the request. Serving is recorded in
+  /// Metrics at completion time.
+  void submit(const Request& request,
+              std::function<void(const Request&)> on_complete);
+
+  /// Seconds of queued work ahead of a new arrival.
+  double backlog_seconds() const;
+
+  /// Re-provisions the machine (degradation, recovery, upgrade). Applies to
+  /// requests submitted from now on; already-queued work keeps its old
+  /// completion schedule.
+  void set_capacity(double capacity);
+
+  /// Total weight units served so far.
+  double units_served() const { return units_served_; }
+
+  const Config& config() const { return config_; }
+
+  ~Server() { *alive_ = false; }
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+ private:
+  sim::Simulator* sim_;
+  Metrics* metrics_;
+  Config config_;
+  SimTime next_free_ = 0;
+  double units_served_ = 0.0;
+  // Completion events may still sit in the simulator queue when a server is
+  // destroyed mid-run; the shared flag makes them inert instead of dangling.
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
+};
+
+/// Maps resource-owning principals to their physical machines and picks a
+/// machine for each admitted request (least backlog, then declaration order).
+class ServerPool {
+ public:
+  /// Registers a machine (not owned).
+  void add(Server* server);
+
+  /// Least-backlogged machine owned by @p owner; null when the owner has no
+  /// machines.
+  Server* pick(core::PrincipalId owner) const;
+
+  /// Machine with the given L4 endpoint; null when unknown.
+  Server* find(const l4::Endpoint& endpoint) const;
+
+  const std::vector<Server*>& machines(core::PrincipalId owner) const;
+
+  /// Aggregate capacity owned by @p owner.
+  double capacity(core::PrincipalId owner) const;
+
+ private:
+  std::vector<std::vector<Server*>> by_owner_;
+  std::vector<Server*> all_;
+  static const std::vector<Server*> kEmpty;
+};
+
+}  // namespace sharegrid::nodes

@@ -1,0 +1,81 @@
+#include "nodes/trace_client.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace sharegrid::nodes {
+
+TraceClient::TraceClient(sim::Simulator* sim, Metrics* metrics,
+                         RedirectorBase* redirector,
+                         const workload::RequestTrace* trace, Config config,
+                         Rng rng)
+    : sim_(sim),
+      metrics_(metrics),
+      redirector_(redirector),
+      trace_(trace),
+      config_(config),
+      rng_(rng) {
+  SHAREGRID_EXPECTS(sim != nullptr);
+  SHAREGRID_EXPECTS(metrics != nullptr);
+  SHAREGRID_EXPECTS(redirector != nullptr);
+  SHAREGRID_EXPECTS(trace != nullptr);
+}
+
+void TraceClient::start() {
+  for (const workload::TraceEntry& entry : trace_->entries()) {
+    sim_->schedule_at(entry.time, [this, alive = alive_, entry] {
+      if (!*alive) return;
+      Request req;
+      req.id = (static_cast<std::uint64_t>(config_.index) << 32) | issued_;
+      ++issued_;
+      req.principal = entry.principal;
+      req.weight = entry.weight;
+      req.reply_bytes = entry.reply_bytes;
+      req.created = sim_->now();
+      req.client = config_.index;
+      metrics_->on_offered(req.principal, sim_->now());
+      send(req);
+    });
+  }
+}
+
+void TraceClient::send(const Request& request) {
+  sim_->schedule_after(config_.net_delay, [this, alive = alive_, request] {
+    if (!*alive) return;
+    redirector_->on_client_request(request, this);
+  });
+}
+
+void TraceClient::on_redirect_to_server(const Request& request,
+                                        Server* server) {
+  SHAREGRID_EXPECTS(server != nullptr);
+  sim_->schedule_after(config_.net_delay, [this, alive = alive_, request,
+                                           server] {
+    if (!*alive) return;
+    server->submit(request, [this, alive](const Request& done) {
+      sim_->schedule_after(config_.net_delay, [this, alive, done] {
+        if (!*alive) return;
+        on_response(done);
+      });
+    });
+  });
+}
+
+void TraceClient::on_self_redirect(const Request& request) {
+  metrics_->on_rejected(request.principal, sim_->now());
+  const double delay_sec = config_.retry_delay_sec * rng_.uniform(0.6, 1.4);
+  sim_->schedule_after(std::max<SimDuration>(1, seconds(delay_sec)),
+                       [this, alive = alive_, request] {
+                         if (!*alive) return;
+                         send(request);
+                       });
+}
+
+void TraceClient::on_response(const Request& request) {
+  ++completed_;
+  metrics_->on_latency(request.principal,
+                       to_seconds(sim_->now() - request.created));
+}
+
+}  // namespace sharegrid::nodes

@@ -1,0 +1,34 @@
+#include "nodes/window_trace.hpp"
+
+#include "util/table.hpp"
+
+namespace sharegrid::nodes {
+
+void WindowTrace::write_csv(
+    std::ostream& os, const std::vector<std::string>& principal_names) const {
+  std::vector<std::string> headers{"time_s", "redirector", "theta"};
+  for (const auto& name : principal_names) {
+    headers.push_back(name + "_local");
+    headers.push_back(name + "_global");
+    headers.push_back(name + "_planned");
+  }
+  TextTable table(std::move(headers));
+
+  for (const Row& row : rows_) {
+    std::vector<std::string> cells{TextTable::num(to_seconds(row.window_start), 3),
+                                   row.redirector,
+                                   TextTable::num(row.theta, 3)};
+    for (std::size_t p = 0; p < principal_names.size(); ++p) {
+      cells.push_back(TextTable::num(
+          p < row.local_demand.size() ? row.local_demand[p] : 0.0));
+      cells.push_back(TextTable::num(
+          p < row.global_demand.size() ? row.global_demand[p] : 0.0));
+      cells.push_back(TextTable::num(
+          p < row.planned_rate.size() ? row.planned_rate[p] : 0.0));
+    }
+    table.add_row(std::move(cells));
+  }
+  table.print_csv(os);
+}
+
+}  // namespace sharegrid::nodes

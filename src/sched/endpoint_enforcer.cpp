@@ -1,0 +1,63 @@
+#include "sched/endpoint_enforcer.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace sharegrid::sched {
+
+EndpointEnforcer::EndpointEnforcer(double capacity, std::vector<double> shares)
+    : capacity_(capacity), shares_(std::move(shares)) {
+  SHAREGRID_EXPECTS(capacity > 0.0);
+  double total = 0.0;
+  for (double s : shares_) {
+    SHAREGRID_EXPECTS(s >= 0.0);
+    total += s;
+  }
+  SHAREGRID_EXPECTS(total <= 1.0 + 1e-9);
+}
+
+std::vector<double> EndpointEnforcer::allocate(
+    const std::vector<double>& demand) const {
+  SHAREGRID_EXPECTS(demand.size() == shares_.size());
+  const std::size_t n = shares_.size();
+  std::vector<double> alloc(n, 0.0);
+  std::vector<bool> satisfied(n, false);
+
+  // Progressive filling: grant each unsatisfied principal its share of the
+  // remaining capacity; principals whose demand is met release the surplus,
+  // which is re-divided among the rest by share weight.
+  double remaining = capacity_;
+  for (std::size_t round = 0; round < n; ++round) {
+    double active_weight = 0.0;
+    for (std::size_t i = 0; i < n; ++i)
+      if (!satisfied[i]) active_weight += shares_[i];
+    if (active_weight <= 0.0 || remaining <= 1e-12) break;
+
+    bool someone_finished = false;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (satisfied[i]) continue;
+      const double offer = remaining * shares_[i] / active_weight;
+      if (demand[i] - alloc[i] <= offer + 1e-12) {
+        // Demand met; mark satisfied so the surplus recirculates.
+        alloc[i] = demand[i];
+        satisfied[i] = true;
+        someone_finished = true;
+      }
+    }
+    if (!someone_finished) {
+      // Everyone still hungry: split the remainder by share and stop.
+      for (std::size_t i = 0; i < n; ++i) {
+        if (satisfied[i]) continue;
+        alloc[i] += remaining * shares_[i] / active_weight;
+      }
+      remaining = 0.0;
+      break;
+    }
+    // Recompute remaining capacity after this round's satisfactions.
+    double used = std::accumulate(alloc.begin(), alloc.end(), 0.0);
+    remaining = capacity_ - used;
+  }
+  return alloc;
+}
+
+}  // namespace sharegrid::sched

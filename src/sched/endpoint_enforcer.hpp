@@ -1,0 +1,38 @@
+// End-point (per-server, uncoordinated) SLA enforcement — the baseline the
+// paper's Figure 1 argues against (§1).
+//
+// Each server independently caps every principal at its agreed share of that
+// server's own capacity, redistributing unused share to still-hungry
+// principals (water-filling). Because each server only sees its own incoming
+// mix, the aggregate allocation can violate the global SLA when load is
+// skewed across redirectors; bench/fig01_motivation demonstrates exactly the
+// paper's (A:30, B:70) violation of B's 80% guarantee.
+#pragma once
+
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace sharegrid::sched {
+
+/// Water-filling allocator for a single server enforcing shares locally.
+class EndpointEnforcer {
+ public:
+  /// @param capacity  this server's capacity (requests/sec).
+  /// @param shares    per-principal agreed shares; must sum to <= 1.
+  EndpointEnforcer(double capacity, std::vector<double> shares);
+
+  /// Allocates this server's capacity against the demand it sees locally.
+  /// Guarantees: allocation_i <= demand_i, sum <= capacity, and any
+  /// principal held below its demand receives at least share_i * capacity
+  /// (unused shares are redistributed proportionally).
+  std::vector<double> allocate(const std::vector<double>& demand) const;
+
+  double capacity() const { return capacity_; }
+
+ private:
+  double capacity_;
+  std::vector<double> shares_;
+};
+
+}  // namespace sharegrid::sched

@@ -1,0 +1,100 @@
+#include "sched/income_scheduler.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "lp/simplex.hpp"
+#include "util/assert.hpp"
+
+namespace sharegrid::sched {
+
+using lp::Problem;
+using lp::Relation;
+using lp::Sense;
+
+IncomeScheduler::IncomeScheduler(const core::AgreementGraph& graph,
+                                 core::AccessLevels levels,
+                                 core::PrincipalId provider,
+                                 std::vector<double> prices,
+                                 bool work_conserving)
+    : provider_(provider),
+      prices_(std::move(prices)),
+      work_conserving_(work_conserving) {
+  SHAREGRID_EXPECTS(provider < graph.size());
+  SHAREGRID_EXPECTS(prices_.size() == graph.size());
+  SHAREGRID_EXPECTS(levels.size() == graph.size());
+  for (double p : prices_) SHAREGRID_EXPECTS(p >= 0.0);
+  mandatory_ = levels.mandatory_capacity;
+  optional_ = levels.optional_capacity;
+  provider_capacity_ = graph.capacity(provider);
+  SHAREGRID_EXPECTS(provider_capacity_ > 0.0);
+}
+
+Plan IncomeScheduler::plan(const std::vector<double>& demand) const {
+  const std::size_t n = prices_.size();
+  SHAREGRID_EXPECTS(demand.size() == n);
+  for (double d : demand) SHAREGRID_EXPECTS(d >= 0.0);
+
+  // One variable per principal: the rate admitted to the provider's pool.
+  auto build = [&] {
+    Problem p(n, Sense::kMaximize);
+    for (std::size_t i = 0; i < n; ++i) {
+      // Mandatory level is honoured up to available demand; the ceiling is
+      // the agreement upper bound.
+      const double lo = std::min(mandatory_[i], demand[i]);
+      const double hi =
+          std::min(mandatory_[i] + optional_[i], std::max(lo, demand[i]));
+      p.set_bounds(i, lo, hi);
+    }
+    std::vector<std::pair<std::size_t, double>> cap_terms;
+    for (std::size_t i = 0; i < n; ++i) cap_terms.emplace_back(i, 1.0);
+    p.add_constraint(std::move(cap_terms), Relation::kLessEq,
+                     provider_capacity_);
+    return p;
+  };
+
+  // Stage 1: maximize income. The objective is sum p_i * (x_i - MC_i); the
+  // -p_i*MC_i terms are constant and do not affect the argmax.
+  Problem p1 = build();
+  for (std::size_t i = 0; i < n; ++i) p1.set_objective(i, prices_[i]);
+  const lp::Solution s1 = lp::solve(p1);
+  SHAREGRID_ENSURES(s1.optimal());
+
+  const lp::Solution* final_solution = &s1;
+  lp::Solution s2;
+  if (work_conserving_) {
+    // Stage 2: at the optimal income, maximize total admitted rate so
+    // zero-price demand can use capacity the paying customers leave idle.
+    Problem p2 = build();
+    for (std::size_t i = 0; i < n; ++i) p2.set_objective(i, 1.0);
+    std::vector<std::pair<std::size_t, double>> income_terms;
+    for (std::size_t i = 0; i < n; ++i)
+      if (prices_[i] > 0.0) income_terms.emplace_back(i, prices_[i]);
+    if (!income_terms.empty()) {
+      double income_star = 0.0;
+      for (std::size_t i = 0; i < n; ++i)
+        income_star += prices_[i] * s1.values[i];
+      p2.add_constraint(std::move(income_terms), Relation::kGreaterEq,
+                        income_star * (1.0 - 1e-9) - 1e-9);
+    }
+    s2 = lp::solve(p2);
+    SHAREGRID_ENSURES(s2.optimal());
+    final_solution = &s2;
+  }
+
+  Plan out;
+  out.demand = demand;
+  out.rate = Matrix(n, n, 0.0);
+  for (std::size_t i = 0; i < n; ++i)
+    out.rate(i, provider_) = std::max(0.0, final_solution->values[i]);
+  return out;
+}
+
+double IncomeScheduler::income(const Plan& plan) const {
+  double total = 0.0;
+  for (std::size_t i = 0; i < prices_.size(); ++i)
+    total += prices_[i] * std::max(0.0, plan.admitted(i) - mandatory_[i]);
+  return total;
+}
+
+}  // namespace sharegrid::sched

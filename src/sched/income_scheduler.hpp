@@ -1,0 +1,55 @@
+// Service-provider scheduler: maximize provider income (§3.1.2, "Total
+// Income of Provider").
+//
+// A single provider owns a set of servers and has an SLA [lb_i, ub_i] with
+// each customer i; the customer pays p_i per request processed beyond its
+// mandatory level MC_i. Each window the scheduler picks per-customer
+// admission rates x_i maximizing sum_i p_i * (x_i - MC_i) subject to
+// aggregate capacity and the agreement bounds, then spreads each customer's
+// admitted rate across the provider's servers in proportion to capacity.
+#pragma once
+
+#include <vector>
+
+#include "core/agreement_graph.hpp"
+#include "core/flow.hpp"
+#include "sched/scheduler.hpp"
+
+namespace sharegrid::sched {
+
+/// Provider-income maximization via LP.
+class IncomeScheduler final : public Scheduler {
+ public:
+  /// @param graph     agreement graph; the provider is @p provider and every
+  ///                  other principal is a customer.
+  /// @param levels    access levels precomputed from @p graph.
+  /// @param provider  id of the resource-owning provider.
+  /// @param prices    price per extra request, indexed by principal id; the
+  ///                  provider's own entry is ignored.
+  /// @param work_conserving  when true (default), a second lexicographic
+  ///                  stage maximizes total admitted rate at the optimal
+  ///                  income, so zero-price traffic soaks up capacity the
+  ///                  paying customers leave idle (serving it costs the
+  ///                  provider nothing and helps the community metric).
+  IncomeScheduler(const core::AgreementGraph& graph,
+                  core::AccessLevels levels, core::PrincipalId provider,
+                  std::vector<double> prices, bool work_conserving = true);
+
+  Plan plan(const std::vector<double>& demand) const override;
+  std::size_t size() const override { return prices_.size(); }
+
+  core::PrincipalId provider() const { return provider_; }
+
+  /// Income implied by a plan: sum of p_i * max(0, admitted_i - MC_i).
+  double income(const Plan& plan) const;
+
+ private:
+  core::PrincipalId provider_;
+  std::vector<double> prices_;
+  bool work_conserving_;
+  std::vector<double> mandatory_;  // MC_i
+  std::vector<double> optional_;   // OC_i
+  double provider_capacity_ = 0.0;
+};
+
+}  // namespace sharegrid::sched

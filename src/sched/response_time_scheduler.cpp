@@ -1,0 +1,154 @@
+#include "sched/response_time_scheduler.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "lp/simplex.hpp"
+#include "util/assert.hpp"
+
+namespace sharegrid::sched {
+
+using lp::Problem;
+using lp::Relation;
+using lp::Sense;
+
+ResponseTimeScheduler::ResponseTimeScheduler(const core::AgreementGraph& graph,
+                                             core::AccessLevels levels,
+                                             ResponseTimeOptions options)
+    : levels_(std::move(levels)), options_(std::move(options)) {
+  SHAREGRID_EXPECTS(levels_.size() == graph.size());
+  SHAREGRID_EXPECTS(options_.locality_caps.empty() ||
+                    options_.locality_caps.size() == graph.size());
+  capacities_.reserve(graph.size());
+  for (core::PrincipalId k = 0; k < graph.size(); ++k)
+    capacities_.push_back(graph.capacity(k));
+}
+
+Plan ResponseTimeScheduler::plan(const std::vector<double>& raw_demand) const {
+  const std::size_t n = capacities_.size();
+  SHAREGRID_EXPECTS(raw_demand.size() == n);
+
+  // Clamp demands to 100x the total capacity: far above anything real
+  // backlogs reach (so demand *ratios*, which drive the max-min split,
+  // survive), yet small enough that theta-row coefficients times the solver
+  // tolerance stay orders of magnitude below one request — a raw 1e9
+  // "saturated" demand would otherwise leave request-sized noise in the
+  // solution, admitting traffic to servers whose true allocation is zero.
+  double total_capacity = 0.0;
+  for (double v : capacities_) total_capacity += v;
+  const double demand_cap = 100.0 * total_capacity + 1.0;
+  std::vector<double> demand = raw_demand;
+  for (double& d : demand) {
+    SHAREGRID_EXPECTS(d >= 0.0);
+    d = std::min(d, demand_cap);
+  }
+
+  Plan out;
+  out.demand = demand;
+  out.rate = Matrix(n, n, 0.0);
+
+  // Variable layout: x_ik at i*n + k, theta at n*n.
+  const std::size_t theta_var = n * n;
+  auto var = [n](std::size_t i, std::size_t k) { return i * n + k; };
+
+  auto build = [&](bool with_floors) {
+    Problem p(n * n + 1, Sense::kMaximize);
+    // Per-pair entitlement ceilings: x_ik <= EM(i,k) + EO(i,k). The
+    // mandatory guarantee is enforced on each principal's *total* admitted
+    // rate below, not per pair: a per-pair floor (the paper's literal
+    // constraint) can force requests onto a remote server even when the
+    // principal's own server could absorb them, needlessly displacing other
+    // principals (see DESIGN.md D1).
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t k = 0; k < n; ++k) {
+        const double em = levels_.mandatory_entitlement(i, k);
+        const double eo = levels_.optional_entitlement(i, k);
+        p.set_bounds(var(i, k), 0.0, em + eo);
+      }
+    }
+    p.set_bounds(theta_var, 0.0, 1.0);
+    // Mandatory floors: sum_k x_ik >= min(MC_i, n_i) — the agreement lower
+    // bound, clipped to available demand (the paper's "drop the lower bound
+    // if the queue is not large enough").
+    if (with_floors) {
+      for (std::size_t i = 0; i < n; ++i) {
+        const double floor = std::min(levels_.mandatory_capacity[i], demand[i]);
+        if (floor <= 0.0) continue;
+        std::vector<std::pair<std::size_t, double>> terms;
+        for (std::size_t k = 0; k < n; ++k) terms.emplace_back(var(i, k), 1.0);
+        p.add_constraint(std::move(terms), Relation::kGreaterEq,
+                         floor * (1.0 - 1e-9));
+      }
+    }
+
+    // Server capacity: sum_i x_ik <= V_k.
+    for (std::size_t k = 0; k < n; ++k) {
+      std::vector<std::pair<std::size_t, double>> terms;
+      for (std::size_t i = 0; i < n; ++i) terms.emplace_back(var(i, k), 1.0);
+      p.add_constraint(std::move(terms), Relation::kLessEq, capacities_[k]);
+    }
+    // Queue limits: sum_k x_ik <= n_i.
+    for (std::size_t i = 0; i < n; ++i) {
+      std::vector<std::pair<std::size_t, double>> terms;
+      for (std::size_t k = 0; k < n; ++k) terms.emplace_back(var(i, k), 1.0);
+      p.add_constraint(std::move(terms), Relation::kLessEq, demand[i]);
+    }
+    // Locality caps: sum_i x_ik <= c_k.
+    if (!options_.locality_caps.empty()) {
+      for (std::size_t k = 0; k < n; ++k) {
+        std::vector<std::pair<std::size_t, double>> terms;
+        for (std::size_t i = 0; i < n; ++i)
+          terms.emplace_back(var(i, k), 1.0);
+        p.add_constraint(std::move(terms), Relation::kLessEq,
+                         options_.locality_caps[k]);
+      }
+    }
+    // Theta definition: sum_k x_ik >= theta * n_i for demanding principals.
+    for (std::size_t i = 0; i < n; ++i) {
+      if (demand[i] <= 0.0) continue;
+      std::vector<std::pair<std::size_t, double>> terms;
+      for (std::size_t k = 0; k < n; ++k) terms.emplace_back(var(i, k), 1.0);
+      terms.emplace_back(theta_var, -demand[i]);
+      p.add_constraint(std::move(terms), Relation::kGreaterEq, 0.0);
+    }
+    return p;
+  };
+
+  // Stage 1: maximize theta. Mandatory floors can conflict with locality
+  // caps; when they do, fall back to a floorless program (best effort).
+  bool floors = true;
+  Problem p1 = build(floors);
+  p1.set_objective(theta_var, 1.0);
+  lp::Solution s1 = lp::solve(p1);
+  if (!s1.optimal() && !options_.locality_caps.empty()) {
+    floors = false;
+    Problem retry = build(floors);
+    retry.set_objective(theta_var, 1.0);
+    s1 = lp::solve(retry);
+  }
+  SHAREGRID_ENSURES(s1.optimal());
+  const double theta = s1.values[theta_var];
+  out.theta = theta;
+
+  const lp::Solution* final_solution = &s1;
+  lp::Solution s2;
+  if (options_.work_conserving) {
+    // Stage 2: at fixed theta, maximize the total admitted rate so spare
+    // capacity flows to whoever can still use it.
+    Problem p2 = build(floors);
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t k = 0; k < n; ++k) p2.set_objective(var(i, k), 1.0);
+    // Tiny slack below theta guards against round-off infeasibility.
+    p2.set_bounds(theta_var, std::max(0.0, theta - 1e-9), 1.0);
+    s2 = lp::solve(p2);
+    SHAREGRID_ENSURES(s2.optimal());
+    final_solution = &s2;
+  }
+
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t k = 0; k < n; ++k)
+      out.rate(i, k) = std::max(0.0, final_solution->values[var(i, k)]);
+  return out;
+}
+
+}  // namespace sharegrid::sched

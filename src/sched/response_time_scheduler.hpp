@@ -1,0 +1,49 @@
+// Community-context scheduler: minimize the maximum global response time
+// (§3.1.2, "Global Response Time").
+//
+// Maximizes theta = min_i (admitted_i / n_i) subject to server capacities,
+// agreement entitlements, and optional per-server locality caps, as a linear
+// program. A second lexicographic stage maximizes total admitted rate at the
+// optimal theta so the plan is work-conserving (spare capacity is never left
+// idle merely because theta is already pinned by the worst-off principal).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/agreement_graph.hpp"
+#include "core/flow.hpp"
+#include "sched/scheduler.hpp"
+
+namespace sharegrid::sched {
+
+/// Configuration for ResponseTimeScheduler.
+struct ResponseTimeOptions {
+  /// Per-server locality caps c_k (requests/sec a redirector may push to
+  /// server k per window); empty = unlimited (the paper's base model).
+  std::vector<double> locality_caps;
+  /// Run the work-conserving second stage (on by default).
+  bool work_conserving = true;
+};
+
+/// Max-min fairness over agreement entitlements via two-stage LP.
+class ResponseTimeScheduler final : public Scheduler {
+ public:
+  /// @param graph   agreement graph (capacities in requests/sec).
+  /// @param levels  access levels precomputed from @p graph.
+  ResponseTimeScheduler(const core::AgreementGraph& graph,
+                        core::AccessLevels levels,
+                        ResponseTimeOptions options = {});
+
+  Plan plan(const std::vector<double>& demand) const override;
+  std::size_t size() const override { return capacities_.size(); }
+
+  const core::AccessLevels& levels() const { return levels_; }
+
+ private:
+  std::vector<double> capacities_;
+  core::AccessLevels levels_;
+  ResponseTimeOptions options_;
+};
+
+}  // namespace sharegrid::sched

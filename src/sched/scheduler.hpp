@@ -1,0 +1,28 @@
+// Scheduler interface: one plan per time window from global queue lengths.
+#pragma once
+
+#include <vector>
+
+#include "sched/plan.hpp"
+
+namespace sharegrid::sched {
+
+/// Computes admission plans from (estimated) global per-principal demand.
+///
+/// Implementations are pure functions of their configuration plus the demand
+/// argument; they hold no per-window mutable state, so one instance may be
+/// shared by every redirector in a simulation (or called concurrently from
+/// multiple threads).
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  /// @param demand  global queue length per principal, expressed as
+  ///                requests/second of offered load.
+  virtual Plan plan(const std::vector<double>& demand) const = 0;
+
+  /// Number of principals the scheduler was configured with.
+  virtual std::size_t size() const = 0;
+};
+
+}  // namespace sharegrid::sched

@@ -1,0 +1,45 @@
+// Hot-swappable scheduler indirection.
+//
+// Agreements are interpreted dynamically (§2.2): when a principal's physical
+// resources change — a server degrades, recovers, or is re-provisioned — the
+// flow analysis and the window LP must be rebuilt against the new
+// capacities, while redirectors keep planning every 100 ms. Redirectors hold
+// a stable pointer to a SwappableScheduler; the experiment harness replaces
+// the inner scheduler at event time and the very next window plans against
+// the new agreement valuations.
+#pragma once
+
+#include <memory>
+#include <utility>
+
+#include "sched/scheduler.hpp"
+#include "util/assert.hpp"
+
+namespace sharegrid::sched {
+
+/// Scheduler decorator whose implementation can be replaced between windows.
+class SwappableScheduler final : public Scheduler {
+ public:
+  explicit SwappableScheduler(std::unique_ptr<Scheduler> inner)
+      : inner_(std::move(inner)) {
+    SHAREGRID_EXPECTS(inner_ != nullptr);
+  }
+
+  /// Replaces the implementation. The principal count must not change —
+  /// queues and metrics are indexed by principal id.
+  void replace(std::unique_ptr<Scheduler> inner) {
+    SHAREGRID_EXPECTS(inner != nullptr);
+    SHAREGRID_EXPECTS(inner->size() == inner_->size());
+    inner_ = std::move(inner);
+  }
+
+  Plan plan(const std::vector<double>& demand) const override {
+    return inner_->plan(demand);
+  }
+  std::size_t size() const override { return inner_->size(); }
+
+ private:
+  std::unique_ptr<Scheduler> inner_;
+};
+
+}  // namespace sharegrid::sched

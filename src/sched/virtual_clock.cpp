@@ -1,0 +1,46 @@
+#include "sched/virtual_clock.hpp"
+
+#include <algorithm>
+
+namespace sharegrid::sched {
+
+VirtualClockQueue::VirtualClockQueue(std::vector<double> weights)
+    : weights_(std::move(weights)),
+      last_finish_(weights_.size(), 0.0),
+      backlog_(weights_.size(), 0) {
+  SHAREGRID_EXPECTS(!weights_.empty());
+  for (double w : weights_) SHAREGRID_EXPECTS(w > 0.0);
+}
+
+void VirtualClockQueue::enqueue(std::size_t flow, double cost,
+                                std::uint64_t payload) {
+  SHAREGRID_EXPECTS(flow < weights_.size());
+  SHAREGRID_EXPECTS(cost > 0.0);
+  Tagged tagged;
+  // SFQ start tag: an idle flow restarts at the system virtual time, a
+  // backlogged flow continues where its previous item finished — this is
+  // what prevents an idle flow from banking credit.
+  tagged.start = std::max(virtual_time_, last_finish_[flow]);
+  tagged.finish = tagged.start + cost / weights_[flow];
+  tagged.seq = next_seq_++;
+  tagged.item = {flow, cost, payload};
+  last_finish_[flow] = tagged.finish;
+  ++backlog_[flow];
+  heap_.push(tagged);
+}
+
+std::size_t VirtualClockQueue::flow_backlog(std::size_t flow) const {
+  SHAREGRID_EXPECTS(flow < weights_.size());
+  return backlog_[flow];
+}
+
+VirtualClockQueue::Item VirtualClockQueue::dequeue() {
+  SHAREGRID_EXPECTS(!heap_.empty());
+  const Tagged tagged = heap_.top();
+  heap_.pop();
+  virtual_time_ = std::max(virtual_time_, tagged.start);
+  --backlog_[tagged.item.flow];
+  return tagged.item;
+}
+
+}  // namespace sharegrid::sched

@@ -1,0 +1,80 @@
+// Virtual-time fair queuing — the related-work baseline the paper builds on
+// and departs from (§6: Demers et al. fair queuing, Zhang's VirtualClock,
+// BVT/SMART CPU schedulers).
+//
+// Classic proportional sharing keeps an explicit queue per flow and serves
+// the packet/request with the smallest virtual finish time: flow f with
+// weight w_f gets a w_f-proportional share of whatever is active. The paper
+// notes it chose a *credit-based* implementation instead because explicit
+// virtual-time queues (a) need the queue to be materialized at the
+// scheduler, which does not fit client-side implicit queuing, and (b) have
+// no notion of mandatory/optional bands or coordination across nodes.
+//
+// This implementation exists as a baseline: bench/abl_baselines contrasts
+// its proportional behaviour with agreement enforcement, and the tests pin
+// the classic fairness properties.
+#pragma once
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace sharegrid::sched {
+
+/// Weighted fair queue over flows 0..n-1 with start-time fair queuing
+/// (SFQ-style) virtual time: enqueue tags each item with
+///   start  = max(V, finish of the flow's previous item)
+///   finish = start + cost / weight
+/// and dequeue serves the smallest finish tag, advancing V to its start.
+class VirtualClockQueue {
+ public:
+  /// @param weights  per-flow service weights (> 0).
+  explicit VirtualClockQueue(std::vector<double> weights);
+
+  /// Enqueues one item for @p flow with service cost @p cost (> 0), tagged
+  /// with @p payload for identification on dequeue.
+  void enqueue(std::size_t flow, double cost, std::uint64_t payload);
+
+  /// True when no items are queued.
+  bool empty() const { return heap_.empty(); }
+  std::size_t size() const { return heap_.size(); }
+
+  /// Number of items queued for one flow.
+  std::size_t flow_backlog(std::size_t flow) const;
+
+  struct Item {
+    std::size_t flow = 0;
+    double cost = 0.0;
+    std::uint64_t payload = 0;
+  };
+
+  /// Removes and returns the item with the smallest virtual finish time.
+  Item dequeue();
+
+  /// Current virtual time (monotone; advances on dequeue).
+  double virtual_time() const { return virtual_time_; }
+
+ private:
+  struct Tagged {
+    double start = 0.0;
+    double finish = 0.0;
+    std::uint64_t seq = 0;  // FIFO tie-break
+    Item item;
+  };
+  struct Later {
+    bool operator()(const Tagged& a, const Tagged& b) const {
+      return a.finish != b.finish ? a.finish > b.finish : a.seq > b.seq;
+    }
+  };
+
+  std::vector<double> weights_;
+  std::vector<double> last_finish_;   // per flow
+  std::vector<std::size_t> backlog_;  // per flow
+  std::priority_queue<Tagged, std::vector<Tagged>, Later> heap_;
+  double virtual_time_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace sharegrid::sched

@@ -1,0 +1,72 @@
+#include "sched/weighted_fair_scheduler.hpp"
+
+#include <numeric>
+
+#include "util/assert.hpp"
+
+namespace sharegrid::sched {
+
+WeightedFairScheduler::WeightedFairScheduler(double capacity,
+                                             std::vector<double> weights)
+    : capacity_(capacity), weights_(std::move(weights)) {
+  SHAREGRID_EXPECTS(capacity > 0.0);
+  SHAREGRID_EXPECTS(!weights_.empty());
+  double total = 0.0;
+  for (double w : weights_) {
+    SHAREGRID_EXPECTS(w >= 0.0);
+    total += w;
+  }
+  SHAREGRID_EXPECTS(total > 0.0);
+}
+
+Plan WeightedFairScheduler::plan(const std::vector<double>& demand) const {
+  const std::size_t n = weights_.size();
+  SHAREGRID_EXPECTS(demand.size() == n);
+  for (double d : demand) SHAREGRID_EXPECTS(d >= 0.0);
+
+  Plan out;
+  out.demand = demand;
+  out.rate = Matrix(n, n, 0.0);
+
+  // Water-filling: offer each unsatisfied principal its weight-share of the
+  // remaining capacity; satisfied principals release surplus for another
+  // round. Identical structure to EndpointEnforcer, but as a Scheduler so
+  // it can drive redirectors in end-to-end comparisons.
+  std::vector<double> alloc(n, 0.0);
+  std::vector<bool> satisfied(n, false);
+  double remaining = capacity_;
+  for (std::size_t round = 0; round < n && remaining > 1e-12; ++round) {
+    double active_weight = 0.0;
+    for (std::size_t i = 0; i < n; ++i)
+      if (!satisfied[i] && demand[i] > 0.0) active_weight += weights_[i];
+    if (active_weight <= 0.0) break;
+
+    bool someone_finished = false;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (satisfied[i] || demand[i] <= 0.0) continue;
+      const double offer = remaining * weights_[i] / active_weight;
+      if (demand[i] - alloc[i] <= offer + 1e-12) {
+        alloc[i] = demand[i];
+        satisfied[i] = true;
+        someone_finished = true;
+      }
+    }
+    if (!someone_finished) {
+      for (std::size_t i = 0; i < n; ++i) {
+        if (satisfied[i] || demand[i] <= 0.0) continue;
+        alloc[i] += remaining * weights_[i] / active_weight;
+      }
+      remaining = 0.0;
+      break;
+    }
+    remaining =
+        capacity_ - std::accumulate(alloc.begin(), alloc.end(), 0.0);
+  }
+
+  // Single shared pool: attribute everything to server column 0 (the node
+  // layer spreads across the pool's machines).
+  for (std::size_t i = 0; i < n; ++i) out.rate(i, 0) = alloc[i];
+  return out;
+}
+
+}  // namespace sharegrid::sched

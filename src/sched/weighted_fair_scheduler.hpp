@@ -1,0 +1,35 @@
+// Weighted-fair baseline scheduler: proportional sharing without agreement
+// semantics.
+//
+// Most request-distribution front-ends the paper surveys (§6: weighted
+// round-robin and variants) divide capacity among active flows in
+// proportion to static weights. That enforces *relative* shares of the
+// moment's active set, but not the paper's [lb, ub] contracts: there is no
+// mandatory floor under overload (a flood of cheap traffic dilutes everyone)
+// and no upper bound (an idle system lets any flow take 100%, even past its
+// contract). bench/abl_baselines demonstrates both failure modes against the
+// LP schedulers.
+#pragma once
+
+#include <vector>
+
+#include "sched/scheduler.hpp"
+
+namespace sharegrid::sched {
+
+/// Water-filling proportional scheduler over one capacity pool.
+class WeightedFairScheduler final : public Scheduler {
+ public:
+  /// @param capacity  total pool capacity (requests/sec).
+  /// @param weights   per-principal weights (>= 0; zero = best effort only).
+  WeightedFairScheduler(double capacity, std::vector<double> weights);
+
+  Plan plan(const std::vector<double>& demand) const override;
+  std::size_t size() const override { return weights_.size(); }
+
+ private:
+  double capacity_;
+  std::vector<double> weights_;
+};
+
+}  // namespace sharegrid::sched

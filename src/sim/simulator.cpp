@@ -1,0 +1,59 @@
+#include "sim/simulator.hpp"
+
+#include <memory>
+#include <utility>
+
+namespace sharegrid::sim {
+
+void Simulator::schedule_at(SimTime t, Callback fn) {
+  SHAREGRID_EXPECTS(t >= now_);
+  SHAREGRID_EXPECTS(fn != nullptr);
+  queue_.push({t, next_seq_++, std::move(fn)});
+}
+
+void Simulator::run_until(SimTime deadline) {
+  SHAREGRID_EXPECTS(deadline >= now_);
+  while (!queue_.empty() && queue_.top().time <= deadline) {
+    // Copy out before pop: the callback may schedule new events.
+    Event ev = queue_.top();
+    queue_.pop();
+    now_ = ev.time;
+    ++events_processed_;
+    ev.fn();
+  }
+  now_ = deadline;
+}
+
+void Simulator::run_all() {
+  while (!queue_.empty()) {
+    Event ev = queue_.top();
+    queue_.pop();
+    now_ = ev.time;
+    ++events_processed_;
+    ev.fn();
+  }
+}
+
+PeriodicTask::PeriodicTask(Simulator* sim, SimTime start, SimDuration period,
+                           std::function<void()> body)
+    : sim_(sim),
+      period_(period),
+      body_(std::move(body)),
+      alive_(std::make_shared<bool>(true)) {
+  SHAREGRID_EXPECTS(sim != nullptr);
+  SHAREGRID_EXPECTS(period > 0);
+  SHAREGRID_EXPECTS(body_ != nullptr);
+  arm(start);
+}
+
+void PeriodicTask::arm(SimTime when) {
+  // The shared alive flag lets a cancelled/destroyed task leave its pending
+  // event harmlessly in the queue.
+  sim_->schedule_at(when, [this, alive = alive_, when] {
+    if (!*alive) return;
+    body_();
+    if (*alive) arm(when + period_);
+  });
+}
+
+}  // namespace sharegrid::sim

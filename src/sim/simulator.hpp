@@ -1,0 +1,93 @@
+// Deterministic discrete-event simulation engine.
+//
+// Substitute for the paper's physical testbed (DESIGN.md §4): every node —
+// client machines, redirectors, servers, combining-tree links — advances by
+// scheduling callbacks on one shared event queue. Events at equal timestamps
+// fire in scheduling order (a stable tie-break), so runs are bit-reproducible
+// (DESIGN.md D4).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "util/assert.hpp"
+#include "util/time.hpp"
+
+namespace sharegrid::sim {
+
+/// Single-threaded event-driven simulator.
+class Simulator {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Current simulated time.
+  SimTime now() const { return now_; }
+
+  /// Schedules @p fn to run at absolute time @p t (>= now()).
+  void schedule_at(SimTime t, Callback fn);
+
+  /// Schedules @p fn to run @p delay after now().
+  void schedule_after(SimDuration delay, Callback fn) {
+    SHAREGRID_EXPECTS(delay >= 0);
+    schedule_at(now_ + delay, std::move(fn));
+  }
+
+  /// Runs events until the queue empties or simulated time would pass
+  /// @p deadline; leaves now() == deadline.
+  void run_until(SimTime deadline);
+
+  /// Runs until the event queue is empty.
+  void run_all();
+
+  /// True if no events remain.
+  bool idle() const { return queue_.empty(); }
+
+  /// Total events executed so far (for the micro benches).
+  std::uint64_t events_processed() const { return events_processed_; }
+
+ private:
+  struct Event {
+    SimTime time;
+    std::uint64_t seq;  // stable FIFO tie-break at equal times
+    Callback fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      return a.time != b.time ? a.time > b.time : a.seq > b.seq;
+    }
+  };
+
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t events_processed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+/// Helper that reruns a callback at a fixed period until cancelled; the
+/// backbone of window schedulers and combining-tree rounds.
+class PeriodicTask {
+ public:
+  /// Starts firing at @p start and then every @p period. The callback runs
+  /// while the task is live; destroying or cancel()ing stops future firings.
+  PeriodicTask(Simulator* sim, SimTime start, SimDuration period,
+               std::function<void()> body);
+  ~PeriodicTask() { cancel(); }
+
+  PeriodicTask(const PeriodicTask&) = delete;
+  PeriodicTask& operator=(const PeriodicTask&) = delete;
+
+  void cancel() { *alive_ = false; }
+
+ private:
+  void arm(SimTime when);
+
+  Simulator* sim_;
+  SimDuration period_;
+  std::function<void()> body_;
+  std::shared_ptr<bool> alive_;
+};
+
+}  // namespace sharegrid::sim

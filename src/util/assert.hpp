@@ -1,0 +1,49 @@
+// Lightweight contract-checking macros used across sharegrid.
+//
+// SHAREGRID_EXPECTS / SHAREGRID_ENSURES follow the C++ Core Guidelines I.6 /
+// I.8 convention: preconditions and postconditions that hold in every build
+// type. Violations throw sharegrid::ContractViolation rather than aborting so
+// tests can assert on misuse and long simulations fail loudly but cleanly.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace sharegrid {
+
+/// Thrown when a precondition, postcondition, or internal invariant fails.
+class ContractViolation : public std::logic_error {
+ public:
+  explicit ContractViolation(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void contract_fail(const char* kind, const char* expr,
+                                       const char* file, int line) {
+  throw ContractViolation(std::string(kind) + " failed: " + expr + " at " +
+                          file + ":" + std::to_string(line));
+}
+}  // namespace detail
+
+}  // namespace sharegrid
+
+#define SHAREGRID_EXPECTS(cond)                                              \
+  do {                                                                       \
+    if (!(cond))                                                             \
+      ::sharegrid::detail::contract_fail("precondition", #cond, __FILE__,    \
+                                         __LINE__);                          \
+  } while (false)
+
+#define SHAREGRID_ENSURES(cond)                                              \
+  do {                                                                       \
+    if (!(cond))                                                             \
+      ::sharegrid::detail::contract_fail("postcondition", #cond, __FILE__,   \
+                                         __LINE__);                          \
+  } while (false)
+
+#define SHAREGRID_ASSERT(cond)                                               \
+  do {                                                                       \
+    if (!(cond))                                                             \
+      ::sharegrid::detail::contract_fail("invariant", #cond, __FILE__,       \
+                                         __LINE__);                          \
+  } while (false)

@@ -1,0 +1,64 @@
+// Minimal INI-style configuration reader for scenario files.
+//
+// Grammar (deliberately small, fully covered by tests):
+//   - `# comment` and `; comment` lines (or trailing after values)
+//   - `[section]` headers; repeated section names are allowed and create
+//     separate section instances, in file order (used for [client] blocks)
+//   - `key = value` pairs; whitespace around keys/values is trimmed
+//   - values can be read as string, double, bool (true/false/1/0), or a
+//     comma-separated list of doubles
+//
+// Parse errors carry line numbers so scenario-file typos are diagnosable.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace sharegrid {
+
+/// One `[section]` instance with its key/value pairs.
+struct IniSection {
+  std::string name;
+  std::size_t line = 0;  ///< line number of the header (1-based)
+  std::map<std::string, std::string> values;
+
+  bool has(const std::string& key) const { return values.count(key) > 0; }
+
+  /// Typed getters: nullopt when the key is absent; throws
+  /// ContractViolation when present but malformed.
+  std::optional<std::string> get_string(const std::string& key) const;
+  std::optional<double> get_double(const std::string& key) const;
+  std::optional<bool> get_bool(const std::string& key) const;
+  std::optional<std::vector<double>> get_double_list(
+      const std::string& key) const;
+
+  /// Required-field variants: throw with a helpful message when absent.
+  std::string require_string(const std::string& key) const;
+  double require_double(const std::string& key) const;
+};
+
+/// A parsed INI document: sections in file order, plus any key/value pairs
+/// that appeared before the first section header (the "global" section).
+struct IniDocument {
+  IniSection global;
+  std::vector<IniSection> sections;
+
+  /// All sections with the given name, in file order.
+  std::vector<const IniSection*> all(const std::string& name) const;
+
+  /// The single section with the given name; nullopt when absent, throws
+  /// when duplicated.
+  const IniSection* unique(const std::string& name) const;
+};
+
+/// Parses INI text. Throws ContractViolation (with a line number) on
+/// malformed lines.
+IniDocument parse_ini(const std::string& text);
+
+/// Reads and parses an INI file; throws ContractViolation when unreadable.
+IniDocument parse_ini_file(const std::string& path);
+
+}  // namespace sharegrid

@@ -1,0 +1,67 @@
+// Dense row-major matrix of doubles, sized for the small principal counts the
+// paper targets ("this latter number is expected to be small", §3.1.2) and for
+// the simplex tableaus built on top of it.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace sharegrid {
+
+/// Row-major dense matrix with bounds-checked access.
+class Matrix {
+ public:
+  Matrix() = default;
+
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  bool empty() const { return data_.empty(); }
+
+  double& operator()(std::size_t r, std::size_t c) {
+    SHAREGRID_EXPECTS(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  double operator()(std::size_t r, std::size_t c) const {
+    SHAREGRID_EXPECTS(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  /// Pointer to the start of row r (contiguous, cols() elements).
+  double* row(std::size_t r) {
+    SHAREGRID_EXPECTS(r < rows_);
+    return data_.data() + r * cols_;
+  }
+  const double* row(std::size_t r) const {
+    SHAREGRID_EXPECTS(r < rows_);
+    return data_.data() + r * cols_;
+  }
+
+  /// Sum over one row / one column.
+  double row_sum(std::size_t r) const {
+    SHAREGRID_EXPECTS(r < rows_);
+    double s = 0.0;
+    for (std::size_t c = 0; c < cols_; ++c) s += (*this)(r, c);
+    return s;
+  }
+  double col_sum(std::size_t c) const {
+    SHAREGRID_EXPECTS(c < cols_);
+    double s = 0.0;
+    for (std::size_t r = 0; r < rows_; ++r) s += (*this)(r, c);
+    return s;
+  }
+
+  bool operator==(const Matrix& other) const = default;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace sharegrid

@@ -1,0 +1,34 @@
+// Streaming and batch descriptive statistics used by benches and tests.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace sharegrid {
+
+/// Welford streaming accumulator for mean / variance / extrema.
+class RunningStats {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ > 0 ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 when fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return n_ > 0 ? min_ : 0.0; }
+  double max() const { return n_ > 0 ? max_ : 0.0; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Percentile of a sample set via linear interpolation; @p q in [0, 1].
+/// Copies and sorts; intended for end-of-run reporting, not hot paths.
+double percentile(std::vector<double> values, double q);
+
+}  // namespace sharegrid

@@ -1,0 +1,37 @@
+// Plain-text table rendering for bench output.
+//
+// Figure benches print the same rows/series the paper's plots report; this
+// helper keeps columns aligned and emits an optional CSV form for plotting.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace sharegrid {
+
+/// Column-aligned text table with an optional CSV serialization.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Appends a row; must have exactly one cell per header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with fixed precision.
+  static std::string num(double v, int precision = 1);
+
+  /// Renders with padded columns and a header underline.
+  void print(std::ostream& os) const;
+
+  /// Renders as CSV (RFC-4180-ish; cells containing commas are quoted).
+  void print_csv(std::ostream& os) const;
+
+  std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace sharegrid

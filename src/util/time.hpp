@@ -1,0 +1,39 @@
+// Simulated-time representation shared by the whole library.
+//
+// Simulation time is an integer count of microseconds from experiment start.
+// Integers avoid the drift that floating-point accumulation would introduce
+// over the multi-hundred-second runs in the paper's figures.
+#pragma once
+
+#include <cstdint>
+
+namespace sharegrid {
+
+/// Microseconds since simulation start.
+using SimTime = std::int64_t;
+
+/// Duration in microseconds.
+using SimDuration = std::int64_t;
+
+constexpr SimDuration kMicrosecond = 1;
+constexpr SimDuration kMillisecond = 1000;
+constexpr SimDuration kSecond = 1000 * 1000;
+
+/// Converts a floating-point second count to SimDuration (round to nearest).
+constexpr SimDuration seconds(double s) {
+  return static_cast<SimDuration>(s * static_cast<double>(kSecond) +
+                                  (s >= 0 ? 0.5 : -0.5));
+}
+
+/// Converts a floating-point millisecond count to SimDuration.
+constexpr SimDuration milliseconds(double ms) {
+  return static_cast<SimDuration>(ms * static_cast<double>(kMillisecond) +
+                                  (ms >= 0 ? 0.5 : -0.5));
+}
+
+/// SimTime expressed in (fractional) seconds, for reporting.
+constexpr double to_seconds(SimTime t) {
+  return static_cast<double>(t) / static_cast<double>(kSecond);
+}
+
+}  // namespace sharegrid

@@ -1,0 +1,33 @@
+#include "util/time_series.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace sharegrid {
+
+std::uint64_t RateSeries::events_between(SimTime from, SimTime to) const {
+  SHAREGRID_EXPECTS(from >= 0 && to >= from);
+  if (bins_.empty() || from == to) return 0;
+  // Bins fully inside [from, to) are counted whole; partial edge bins are
+  // attributed proportionally so that phase boundaries that do not align with
+  // bin edges still report sensible averages.
+  const double from_bin = static_cast<double>(from) / static_cast<double>(bin_width_);
+  const double to_bin = static_cast<double>(to) / static_cast<double>(bin_width_);
+  const auto first = static_cast<std::size_t>(from_bin);
+  const auto last = std::min(static_cast<std::size_t>(to_bin), bins_.size() - 1);
+
+  double total = 0.0;
+  for (std::size_t i = first; i <= last && i < bins_.size(); ++i) {
+    const double lo = std::max(from_bin, static_cast<double>(i));
+    const double hi = std::min(to_bin, static_cast<double>(i + 1));
+    if (hi <= lo) continue;
+    total += static_cast<double>(bins_[i]) * (hi - lo);
+  }
+  return static_cast<std::uint64_t>(total + 0.5);
+}
+
+std::uint64_t RateSeries::total_events() const {
+  return std::accumulate(bins_.begin(), bins_.end(), std::uint64_t{0});
+}
+
+}  // namespace sharegrid

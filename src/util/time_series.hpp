@@ -1,0 +1,64 @@
+// Binned event counting for throughput time series.
+//
+// Every figure in the paper's evaluation plots requests/second per principal
+// against time. RateSeries accumulates discrete events into fixed-width time
+// bins and reports per-bin rates and interval averages.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/assert.hpp"
+#include "util/time.hpp"
+
+namespace sharegrid {
+
+/// Counts events into fixed-width time bins and reports rates in events/sec.
+class RateSeries {
+ public:
+  /// @param bin_width  width of each bin (default 1 s, matching the paper's
+  ///                   plots).
+  explicit RateSeries(SimDuration bin_width = kSecond) : bin_width_(bin_width) {
+    SHAREGRID_EXPECTS(bin_width > 0);
+  }
+
+  /// Records @p count events at time @p t (bins grow on demand).
+  void record(SimTime t, std::uint64_t count = 1) {
+    SHAREGRID_EXPECTS(t >= 0);
+    const auto bin = static_cast<std::size_t>(t / bin_width_);
+    if (bin >= bins_.size()) bins_.resize(bin + 1, 0);
+    bins_[bin] += count;
+  }
+
+  SimDuration bin_width() const { return bin_width_; }
+  std::size_t bin_count() const { return bins_.size(); }
+
+  /// Events recorded in bin @p i (0 for bins never touched).
+  std::uint64_t events_in_bin(std::size_t i) const {
+    return i < bins_.size() ? bins_[i] : 0;
+  }
+
+  /// Rate (events/sec) in bin @p i.
+  double rate_in_bin(std::size_t i) const {
+    return static_cast<double>(events_in_bin(i)) /
+           (static_cast<double>(bin_width_) / static_cast<double>(kSecond));
+  }
+
+  /// Total events in [from, to).
+  std::uint64_t events_between(SimTime from, SimTime to) const;
+
+  /// Average rate (events/sec) over [from, to).
+  double average_rate(SimTime from, SimTime to) const {
+    SHAREGRID_EXPECTS(to > from);
+    return static_cast<double>(events_between(from, to)) /
+           to_seconds(to - from);
+  }
+
+  std::uint64_t total_events() const;
+
+ private:
+  SimDuration bin_width_;
+  std::vector<std::uint64_t> bins_;
+};
+
+}  // namespace sharegrid

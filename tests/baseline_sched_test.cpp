@@ -1,0 +1,157 @@
+// Tests for the related-work baseline schedulers: virtual-time fair queuing
+// and weighted-fair sharing (§6), and the properties that distinguish them
+// from agreement enforcement.
+#include <gtest/gtest.h>
+
+#include "core/agreement_graph.hpp"
+#include "core/flow.hpp"
+#include "sched/response_time_scheduler.hpp"
+#include "sched/virtual_clock.hpp"
+#include "sched/weighted_fair_scheduler.hpp"
+
+namespace sharegrid::sched {
+namespace {
+
+// --- VirtualClockQueue ------------------------------------------------------
+
+TEST(VirtualClock, ServesProportionallyToWeights) {
+  // Flows with weights 1 and 3, both continuously backlogged: over any
+  // prefix, flow 1 should receive ~3x flow 0's service.
+  VirtualClockQueue q({1.0, 3.0});
+  for (int i = 0; i < 40; ++i) {
+    q.enqueue(0, 1.0, 0);
+    q.enqueue(1, 1.0, 0);
+  }
+  int served[2] = {0, 0};
+  for (int i = 0; i < 40; ++i) ++served[q.dequeue().flow];
+  EXPECT_NEAR(served[1], 30, 1);
+  EXPECT_NEAR(served[0], 10, 1);
+}
+
+TEST(VirtualClock, EqualWeightsInterleave) {
+  VirtualClockQueue q({1.0, 1.0});
+  for (int i = 0; i < 10; ++i) {
+    q.enqueue(0, 1.0, 0);
+    q.enqueue(1, 1.0, 0);
+  }
+  int consecutive = 0;
+  int max_consecutive = 0;
+  std::size_t last = 2;
+  while (!q.empty()) {
+    const auto item = q.dequeue();
+    consecutive = item.flow == last ? consecutive + 1 : 1;
+    max_consecutive = std::max(max_consecutive, consecutive);
+    last = item.flow;
+  }
+  EXPECT_LE(max_consecutive, 2);
+}
+
+TEST(VirtualClock, IdleFlowCannotBankCredit) {
+  // Flow 0 stays backlogged while flow 1 idles; when flow 1 wakes up it
+  // competes from the current virtual time instead of draining a backlog of
+  // "saved" service (the SFQ start rule).
+  VirtualClockQueue q({1.0, 1.0});
+  for (int i = 0; i < 20; ++i) q.enqueue(0, 1.0, 0);
+  for (int i = 0; i < 10; ++i) (void)q.dequeue();  // flow 1 idle throughout
+
+  for (int i = 0; i < 10; ++i) q.enqueue(1, 1.0, 0);
+  int flow1_in_next_10 = 0;
+  for (int i = 0; i < 10; ++i) flow1_in_next_10 += q.dequeue().flow == 1;
+  // Fair from now on: about half, definitely not all 10.
+  EXPECT_GE(flow1_in_next_10, 4);
+  EXPECT_LE(flow1_in_next_10, 6);
+}
+
+TEST(VirtualClock, CostScalesService) {
+  // Equal weights, but flow 0's items cost 2x: it should get ~half the
+  // item count (equal *service*, not equal items).
+  VirtualClockQueue q({1.0, 1.0});
+  for (int i = 0; i < 30; ++i) {
+    q.enqueue(0, 2.0, 0);
+    q.enqueue(1, 1.0, 0);
+  }
+  int served[2] = {0, 0};
+  for (int i = 0; i < 30; ++i) ++served[q.dequeue().flow];
+  EXPECT_NEAR(served[1], 20, 1);
+  EXPECT_NEAR(served[0], 10, 1);
+}
+
+TEST(VirtualClock, PayloadsAndBacklogTracked) {
+  VirtualClockQueue q({1.0});
+  q.enqueue(0, 1.0, 42);
+  q.enqueue(0, 1.0, 43);
+  EXPECT_EQ(q.flow_backlog(0), 2u);
+  EXPECT_EQ(q.dequeue().payload, 42u);  // FIFO within a flow
+  EXPECT_EQ(q.flow_backlog(0), 1u);
+  EXPECT_EQ(q.dequeue().payload, 43u);
+  EXPECT_TRUE(q.empty());
+  EXPECT_THROW(q.dequeue(), ContractViolation);
+}
+
+TEST(VirtualClock, ValidatesInputs) {
+  EXPECT_THROW(VirtualClockQueue({}), ContractViolation);
+  EXPECT_THROW(VirtualClockQueue({0.0}), ContractViolation);
+  VirtualClockQueue q({1.0});
+  EXPECT_THROW(q.enqueue(1, 1.0, 0), ContractViolation);
+  EXPECT_THROW(q.enqueue(0, 0.0, 0), ContractViolation);
+}
+
+// --- WeightedFairScheduler ----------------------------------------------------
+
+TEST(WeightedFair, SplitsByWeightUnderOverload) {
+  WeightedFairScheduler sched(100.0, {1.0, 3.0});
+  const Plan plan = sched.plan({500.0, 500.0});
+  EXPECT_NEAR(plan.admitted(0), 25.0, 1e-9);
+  EXPECT_NEAR(plan.admitted(1), 75.0, 1e-9);
+}
+
+TEST(WeightedFair, RedistributesIdleShare) {
+  WeightedFairScheduler sched(100.0, {1.0, 1.0});
+  const Plan plan = sched.plan({10.0, 500.0});
+  EXPECT_NEAR(plan.admitted(0), 10.0, 1e-9);
+  EXPECT_NEAR(plan.admitted(1), 90.0, 1e-9);
+}
+
+TEST(WeightedFair, HasNoUpperBoundSemantics) {
+  // The contract-violating behaviour the paper fixes: alone on the system,
+  // a flow takes everything regardless of any [lb, ub] it nominally holds.
+  WeightedFairScheduler wfq(320.0, {1.0, 4.0});
+  const Plan plan = wfq.plan({1000.0, 0.0});
+  EXPECT_NEAR(plan.admitted(0), 320.0, 1e-9);  // > any 20% contract ceiling
+
+  // The LP scheduler with B's [0.1, 0.3] really does cap at 96.
+  core::AgreementGraph g;
+  g.add_principal("S", 320.0);
+  g.add_principal("B", 0.0);
+  g.set_agreement(0, 1, 0.1, 0.3);
+  const ResponseTimeScheduler lp(g, core::compute_access_levels(g));
+  const Plan capped = lp.plan({0.0, 1000.0});
+  EXPECT_NEAR(capped.admitted(1), 96.0, 1e-6);
+}
+
+TEST(WeightedFair, HasNoMandatoryFloorSemantics) {
+  // Under a 10:1 demand skew with equal weights... weighted fair holds the
+  // light flow to its share only while the heavy one is unsatisfied, which
+  // is proportional, not contractual: with weights matching an 80/20 SLA
+  // and demands (heavy on the 20% holder), the 80% holder's floor erodes.
+  WeightedFairScheduler wfq(100.0, {0.2, 0.8});
+  // The 80%-weight principal only offers 30; the other floods. WFQ gives
+  // the flooder 70 — fine — but now flip roles mid-contract: if the 80%
+  // holder needs its guarantee back *this window*, WFQ has already handed
+  // the capacity out by weight-of-the-active-set, not by agreement.
+  const Plan plan = wfq.plan({500.0, 30.0});
+  EXPECT_NEAR(plan.admitted(1), 30.0, 1e-9);
+  EXPECT_NEAR(plan.admitted(0), 70.0, 1e-9);
+}
+
+TEST(WeightedFair, ValidatesInputs) {
+  EXPECT_THROW(WeightedFairScheduler(0.0, {1.0}), ContractViolation);
+  EXPECT_THROW(WeightedFairScheduler(10.0, {}), ContractViolation);
+  EXPECT_THROW(WeightedFairScheduler(10.0, {0.0, 0.0}), ContractViolation);
+  EXPECT_THROW(WeightedFairScheduler(10.0, {-1.0, 2.0}), ContractViolation);
+  WeightedFairScheduler ok(10.0, {1.0});
+  EXPECT_THROW(ok.plan({1.0, 2.0}), ContractViolation);
+}
+
+}  // namespace
+}  // namespace sharegrid::sched

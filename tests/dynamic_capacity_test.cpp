@@ -1,0 +1,110 @@
+// Tests for dynamic agreement interpretation: swappable schedulers and
+// runtime capacity events (§2.2).
+#include <gtest/gtest.h>
+
+#include "experiments/scenario.hpp"
+#include "experiments/scenario_ini.hpp"
+#include "sched/swappable_scheduler.hpp"
+#include "test_helpers.hpp"
+
+namespace sharegrid {
+namespace {
+
+TEST(SwappableScheduler, ForwardsAndReplaces) {
+  auto swap = sched::SwappableScheduler(
+      std::make_unique<test::FixedRateScheduler>(std::vector<double>{10.0}));
+  EXPECT_EQ(swap.size(), 1u);
+  EXPECT_NEAR(swap.plan({100.0}).admitted(0), 10.0, 1e-9);
+
+  swap.replace(
+      std::make_unique<test::FixedRateScheduler>(std::vector<double>{25.0}));
+  EXPECT_NEAR(swap.plan({100.0}).admitted(0), 25.0, 1e-9);
+}
+
+TEST(SwappableScheduler, RejectsSizeChangeAndNull) {
+  auto swap = sched::SwappableScheduler(
+      std::make_unique<test::FixedRateScheduler>(std::vector<double>{1.0}));
+  EXPECT_THROW(swap.replace(std::make_unique<test::FixedRateScheduler>(
+                   std::vector<double>{1.0, 2.0})),
+               ContractViolation);
+  EXPECT_THROW(swap.replace(nullptr), ContractViolation);
+}
+
+experiments::ScenarioConfig brownout_config() {
+  using namespace experiments;
+  core::AgreementGraph graph;
+  graph.add_principal("A", 0.0);
+  graph.add_principal("B", 0.0);
+  graph.set_agreement(1, 0, 0.5, 0.5);  // B shares half with A
+
+  ScenarioConfig config;
+  config.graph = graph;
+  config.layer = Layer::kL4;
+  config.servers = {{"A", 320.0}, {"B", 320.0}};
+  config.clients = {
+      {"A1", "A", 0, 400.0, {{0.0, 90.0}}},
+      {"A2", "A", 0, 400.0, {{0.0, 90.0}}},
+      {"B1", "B", 0, 400.0, {{0.0, 90.0}}},
+  };
+  config.capacity_events = {{30.0, 1, 160.0}, {60.0, 1, 320.0}};
+  config.phases = {{"healthy", 8.0, 28.0},
+                   {"brownout", 35.0, 58.0},
+                   {"recovered", 65.0, 88.0}};
+  config.duration_sec = 90.0;
+  return config;
+}
+
+TEST(CapacityEvents, EntitlementsTrackDegradationAndRecovery) {
+  const auto result = experiments::run_scenario(brownout_config());
+  // Healthy: A = 480, B = 160. Brownout (B's server at 160): A = 400,
+  // B = 80. Recovery restores the original split.
+  EXPECT_NEAR(result.phase_served(0, 0), 480.0, 25.0);
+  EXPECT_NEAR(result.phase_served(0, 1), 160.0, 16.0);
+  EXPECT_NEAR(result.phase_served(1, 0), 400.0, 20.0);
+  EXPECT_NEAR(result.phase_served(1, 1), 80.0, 10.0);
+  EXPECT_NEAR(result.phase_served(2, 0), 480.0, 25.0);
+  EXPECT_NEAR(result.phase_served(2, 1), 160.0, 16.0);
+}
+
+TEST(CapacityEvents, ValidateInputs) {
+  auto config = brownout_config();
+  config.capacity_events = {{10.0, 9, 100.0}};  // bad server index
+  EXPECT_THROW(experiments::run_scenario(config), ContractViolation);
+
+  config = brownout_config();
+  config.capacity_events = {{10.0, 0, -5.0}};  // bad capacity
+  EXPECT_THROW(experiments::run_scenario(config), ContractViolation);
+}
+
+TEST(CapacityEvents, ParseFromIni) {
+  const std::string text = R"ini(
+layer = l4
+duration = 20
+[principal]
+name = A
+[server]
+owner = A
+capacity = 320
+[client]
+name = C
+principal = A
+rate = 100
+active = 0-20
+[capacity_event]
+time = 10
+server = 0
+capacity = 160
+)ini";
+  const auto config = experiments::scenario_from_ini(parse_ini(text));
+  ASSERT_EQ(config.capacity_events.size(), 1u);
+  EXPECT_DOUBLE_EQ(config.capacity_events[0].time_sec, 10.0);
+  EXPECT_EQ(config.capacity_events[0].server, 0u);
+  EXPECT_DOUBLE_EQ(config.capacity_events[0].capacity, 160.0);
+
+  const std::string bad = text + "[capacity_event]\ntime=1\nserver=7\ncapacity=1\n";
+  EXPECT_THROW(experiments::scenario_from_ini(parse_ini(bad)),
+               ContractViolation);
+}
+
+}  // namespace
+}  // namespace sharegrid

@@ -1,0 +1,103 @@
+// Unit tests for the HTTP message model used by the Layer-7 redirector.
+#include <gtest/gtest.h>
+
+#include "http/message.hpp"
+
+namespace sharegrid::http {
+namespace {
+
+TEST(HttpRequest, SerializeParseRoundTrip) {
+  Request req;
+  req.method = "GET";
+  req.target = "/org/acme/index.html";
+  req.headers["host"] = "redirector.example";
+  req.headers["user-agent"] = "webbench/4.1";
+
+  const auto parsed = parse_request(req.serialize());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->method, "GET");
+  EXPECT_EQ(parsed->target, "/org/acme/index.html");
+  EXPECT_EQ(parsed->headers.at("host"), "redirector.example");
+  EXPECT_EQ(parsed->headers.at("user-agent"), "webbench/4.1");
+}
+
+TEST(HttpRequest, HeaderNamesAreCaseInsensitive) {
+  const auto parsed = parse_request(
+      "GET / HTTP/1.1\r\nHoSt: example\r\nX-CUSTOM:  padded value \r\n\r\n");
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->headers.at("host"), "example");
+  EXPECT_EQ(parsed->headers.at("x-custom"), "padded value");
+}
+
+TEST(HttpRequest, ToleratesBareLf) {
+  const auto parsed = parse_request("GET /x HTTP/1.0\nhost: h\n\n");
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->version, "HTTP/1.0");
+}
+
+TEST(HttpRequest, RejectsMalformedInput) {
+  EXPECT_FALSE(parse_request("").has_value());
+  EXPECT_FALSE(parse_request("GET /x HTTP/1.1\r\n").has_value());  // no blank
+  EXPECT_FALSE(parse_request("GET\r\n\r\n").has_value());
+  EXPECT_FALSE(parse_request("GET /x HTTP/1.1 extra\r\n\r\n").has_value());
+  EXPECT_FALSE(parse_request("GET x-no-slash HTTP/1.1\r\n\r\n").has_value());
+  EXPECT_FALSE(parse_request("GET / FTP/1.1\r\n\r\n").has_value());
+  EXPECT_FALSE(
+      parse_request("GET / HTTP/1.1\r\nno-colon-here\r\n\r\n").has_value());
+  EXPECT_FALSE(
+      parse_request("GET / HTTP/1.1\r\n: empty-name\r\n\r\n").has_value());
+}
+
+TEST(HttpResponse, SerializeParseRoundTrip) {
+  Response resp;
+  resp.status = 200;
+  resp.reason = "OK";
+  resp.headers["content-length"] = "6144";
+
+  const auto parsed = parse_response(resp.serialize());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->status, 200);
+  EXPECT_EQ(parsed->reason, "OK");
+  EXPECT_EQ(parsed->headers.at("content-length"), "6144");
+}
+
+TEST(HttpResponse, RejectsMalformedStatus) {
+  EXPECT_FALSE(parse_response("HTTP/1.1 abc OK\r\n\r\n").has_value());
+  EXPECT_FALSE(parse_response("HTTP/1.1 99 Low\r\n\r\n").has_value());
+  EXPECT_FALSE(parse_response("HTTP/1.1 600 High\r\n\r\n").has_value());
+  EXPECT_FALSE(parse_response("NOPE 200 OK\r\n\r\n").has_value());
+}
+
+TEST(PrincipalFromTarget, ExtractsOrganization) {
+  EXPECT_EQ(principal_from_target("/org/acme/a/b.html").value(), "acme");
+  EXPECT_EQ(principal_from_target("/org/acme").value(), "acme");
+  EXPECT_FALSE(principal_from_target("/other/acme").has_value());
+  EXPECT_FALSE(principal_from_target("/org/").has_value());
+  EXPECT_FALSE(principal_from_target("").has_value());
+}
+
+TEST(Redirects, ServerRedirectCarriesAssignedHost) {
+  Request req;
+  req.target = "/org/acme/page";
+  const Response r = make_server_redirect(req, "server3.cluster");
+  EXPECT_EQ(r.status, 302);
+  EXPECT_EQ(r.headers.at("location"), "http://server3.cluster/org/acme/page");
+
+  // Round-trip through the wire format.
+  const auto parsed = parse_response(r.serialize());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->status, 302);
+  EXPECT_EQ(parsed->headers.at("location"),
+            "http://server3.cluster/org/acme/page");
+}
+
+TEST(Redirects, SelfRedirectPointsBackAtRedirector) {
+  Request req;
+  req.target = "/org/acme/page";
+  const Response r = make_self_redirect(req, "redirector1");
+  EXPECT_EQ(r.status, 302);
+  EXPECT_EQ(r.headers.at("location"), "http://redirector1/org/acme/page");
+}
+
+}  // namespace
+}  // namespace sharegrid::http

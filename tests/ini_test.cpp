@@ -1,0 +1,172 @@
+// Unit tests for the INI reader and the scenario-file loader.
+#include <gtest/gtest.h>
+
+#include "experiments/scenario_ini.hpp"
+#include "util/assert.hpp"
+#include "util/ini.hpp"
+
+namespace sharegrid {
+namespace {
+
+TEST(Ini, ParsesGlobalAndSections) {
+  const IniDocument doc = parse_ini(
+      "speed = 3.5\n"
+      "# a comment\n"
+      "[alpha]\n"
+      "name = first ; trailing comment\n"
+      "[beta]\n"
+      "flag = true\n");
+  EXPECT_DOUBLE_EQ(*doc.global.get_double("speed"), 3.5);
+  ASSERT_EQ(doc.sections.size(), 2u);
+  EXPECT_EQ(*doc.sections[0].get_string("name"), "first");
+  EXPECT_TRUE(*doc.sections[1].get_bool("flag"));
+}
+
+TEST(Ini, RepeatedSectionsKeepOrder) {
+  const IniDocument doc = parse_ini(
+      "[client]\nname = a\n[client]\nname = b\n[other]\nx = 1\n");
+  const auto clients = doc.all("client");
+  ASSERT_EQ(clients.size(), 2u);
+  EXPECT_EQ(*clients[0]->get_string("name"), "a");
+  EXPECT_EQ(*clients[1]->get_string("name"), "b");
+  EXPECT_NE(doc.unique("other"), nullptr);
+  EXPECT_EQ(doc.unique("missing"), nullptr);
+  EXPECT_THROW(doc.unique("client"), ContractViolation);
+}
+
+TEST(Ini, DoubleLists) {
+  const IniDocument doc = parse_ini("values = 1, 2.5, -3\n");
+  const auto list = *doc.global.get_double_list("values");
+  ASSERT_EQ(list.size(), 3u);
+  EXPECT_DOUBLE_EQ(list[1], 2.5);
+  EXPECT_DOUBLE_EQ(list[2], -3.0);
+}
+
+TEST(Ini, MissingKeysAreNullopt) {
+  const IniDocument doc = parse_ini("a = 1\n");
+  EXPECT_FALSE(doc.global.get_double("b").has_value());
+  EXPECT_FALSE(doc.global.get_string("b").has_value());
+}
+
+TEST(Ini, MalformedInputsThrowWithLineNumbers) {
+  EXPECT_THROW(parse_ini("[unterminated\n"), ContractViolation);
+  EXPECT_THROW(parse_ini("[]\n"), ContractViolation);
+  EXPECT_THROW(parse_ini("no equals sign\n"), ContractViolation);
+  EXPECT_THROW(parse_ini("= value-without-key\n"), ContractViolation);
+  EXPECT_THROW(parse_ini("a = 1\na = 2\n"), ContractViolation);
+  try {
+    parse_ini("ok = 1\nbroken line\n");
+    FAIL() << "expected throw";
+  } catch (const ContractViolation& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(Ini, TypedGettersRejectGarbage) {
+  const IniDocument doc = parse_ini("n = abc\nb = maybe\nl = 1,x\n");
+  EXPECT_THROW(doc.global.get_double("n"), ContractViolation);
+  EXPECT_THROW(doc.global.get_bool("b"), ContractViolation);
+  EXPECT_THROW(doc.global.get_double_list("l"), ContractViolation);
+}
+
+TEST(Ini, RequireVariantsNameTheMissingKey) {
+  const IniDocument doc = parse_ini("[server]\ncapacity = 320\n");
+  try {
+    doc.sections[0].require_string("owner");
+    FAIL() << "expected throw";
+  } catch (const ContractViolation& e) {
+    EXPECT_NE(std::string(e.what()).find("owner"), std::string::npos);
+  }
+  EXPECT_DOUBLE_EQ(doc.sections[0].require_double("capacity"), 320.0);
+}
+
+// --- Scenario loading --------------------------------------------------------
+
+constexpr const char* kMinimalScenario = R"ini(
+layer = l4
+scheduler = response_time
+duration = 30
+[principal]
+name = A
+[principal]
+name = B
+[agreement]
+owner = B
+user = A
+lower = 0.5
+upper = 0.5
+[server]
+owner = A
+capacity = 320
+[server]
+owner = B
+capacity = 320
+[client]
+name = C1
+principal = A
+redirector = 0
+rate = 400
+active = 0-10, 20-30
+[phase]
+name = p1
+start = 1
+end = 9
+)ini";
+
+TEST(ScenarioIni, BuildsFullConfig) {
+  using namespace experiments;
+  const ScenarioConfig config = scenario_from_ini(parse_ini(kMinimalScenario));
+  EXPECT_EQ(config.layer, Layer::kL4);
+  EXPECT_EQ(config.scheduler, SchedulerKind::kResponseTime);
+  EXPECT_DOUBLE_EQ(config.duration_sec, 30.0);
+  EXPECT_EQ(config.graph.size(), 2u);
+  EXPECT_DOUBLE_EQ(config.graph.lower_bound(1, 0), 0.5);
+  ASSERT_EQ(config.servers.size(), 2u);
+  ASSERT_EQ(config.clients.size(), 1u);
+  ASSERT_EQ(config.clients[0].active_sec.size(), 2u);
+  EXPECT_DOUBLE_EQ(config.clients[0].active_sec[1].first, 20.0);
+  ASSERT_EQ(config.phases.size(), 1u);
+}
+
+TEST(ScenarioIni, LoadedScenarioActuallyRuns) {
+  using namespace experiments;
+  const ScenarioConfig config = scenario_from_ini(parse_ini(kMinimalScenario));
+  const ScenarioResult result = run_scenario(config);
+  // A alone: its own 320 plus half of B's = 400-capped by the one client.
+  EXPECT_NEAR(result.phase_served(0, 0), 400.0, 40.0);
+}
+
+TEST(ScenarioIni, RejectsUnknownEnumValues) {
+  using namespace experiments;
+  EXPECT_THROW(scenario_from_ini(parse_ini("layer = l5\n")),
+               ContractViolation);
+  EXPECT_THROW(scenario_from_ini(parse_ini("scheduler = fastest\n")),
+               ContractViolation);
+  EXPECT_THROW(scenario_from_ini(parse_ini("stale_policy = hopeful\n")),
+               ContractViolation);
+}
+
+TEST(ScenarioIni, RejectsDanglingReferences) {
+  using namespace experiments;
+  const std::string bad_owner = std::string(kMinimalScenario) +
+                                "[server]\nowner = nobody\ncapacity = 1\n";
+  EXPECT_THROW(scenario_from_ini(parse_ini(bad_owner)), ContractViolation);
+
+  const std::string bad_range =
+      std::string(kMinimalScenario) +
+      "[client]\nname = X\nprincipal = A\nrate = 1\nactive = 9-3\n";
+  EXPECT_THROW(scenario_from_ini(parse_ini(bad_range)), ContractViolation);
+}
+
+TEST(ScenarioIni, RequiresCoreSections) {
+  using namespace experiments;
+  EXPECT_THROW(scenario_from_ini(parse_ini("duration = 5\n")),
+               ContractViolation);
+}
+
+TEST(ScenarioIni, MissingFileThrows) {
+  EXPECT_THROW(parse_ini_file("/nonexistent/path.ini"), ContractViolation);
+}
+
+}  // namespace
+}  // namespace sharegrid

@@ -1,0 +1,136 @@
+// Tests for the live user-space L4-style proxy: connection-level admission
+// and protocol-agnostic byte relaying over loopback TCP.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "live/l4_proxy.hpp"
+#include "live/tcp.hpp"
+#include "test_helpers.hpp"
+
+namespace sharegrid::live {
+namespace {
+
+/// Echo backend: prefixes every received blob with "echo:".
+class EchoBackend {
+ public:
+  EchoBackend() : listener_(Socket::listen_on_loopback()) {
+    thread_ = std::thread([this] { loop(); });
+  }
+  ~EchoBackend() {
+    running_.store(false);
+    try {
+      Socket::connect_loopback(port());
+    } catch (const ContractViolation&) {
+    }
+    thread_.join();
+  }
+  std::uint16_t port() const { return listener_.local_port(); }
+
+ private:
+  void loop() {
+    while (running_.load()) {
+      try {
+        Socket conn = listener_.accept();
+        if (!running_.load()) break;
+        while (true) {
+          const std::string got = conn.read_some();
+          if (got.empty()) break;
+          conn.write_all("echo:" + got);
+        }
+      } catch (const ContractViolation&) {
+      }
+    }
+  }
+
+  Socket listener_;
+  std::atomic<bool> running_{true};
+  std::thread thread_;
+};
+
+TEST(L4Proxy, RelaysBytesBothWaysUnparsed) {
+  EchoBackend backend;
+  test::FixedRateScheduler scheduler({1000.0});
+  L4Proxy::Config config;
+  config.services = {{0, backend.port(), 0}};
+  L4Proxy proxy(&scheduler, config);
+  proxy.start();
+
+  Socket client = Socket::connect_loopback(proxy.service_port(0));
+  client.write_all("arbitrary \x01 bytes, not HTTP");
+  const std::string reply = client.read_some();
+  EXPECT_EQ(reply, "echo:arbitrary \x01 bytes, not HTTP");
+
+  // Same connection again: affinity means it stays on the same backend.
+  client.write_all("second");
+  EXPECT_EQ(client.read_some(), "echo:second");
+
+  client.close();
+  proxy.stop();
+  EXPECT_EQ(proxy.admitted(), 1u);  // one connection, many messages
+  EXPECT_EQ(proxy.refused(), 0u);
+}
+
+TEST(L4Proxy, RefusesConnectionsBeyondQuota) {
+  EchoBackend backend;
+  // 10 req/s => one connection per 100 ms window.
+  test::FixedRateScheduler scheduler({10.0});
+  L4Proxy::Config config;
+  config.services = {{0, backend.port(), 0}};
+  L4Proxy proxy(&scheduler, config);
+  proxy.start();
+
+  Socket first = Socket::connect_loopback(proxy.service_port(0));
+  first.write_all("a");
+  EXPECT_EQ(first.read_some(), "echo:a");  // admitted
+
+  // The second immediate connection is refused: the proxy closes it, so the
+  // first read returns empty.
+  Socket second = Socket::connect_loopback(proxy.service_port(0));
+  const std::string nothing = second.read_some();
+  EXPECT_TRUE(nothing.empty());
+
+  first.close();
+  second.close();
+  proxy.stop();
+  EXPECT_EQ(proxy.admitted(), 1u);
+  EXPECT_EQ(proxy.refused(), 1u);
+}
+
+TEST(L4Proxy, MultipleServicesMapPortsToPrincipals) {
+  EchoBackend backend_a;
+  EchoBackend backend_b;
+  // Principal 0 has generous quota, principal 1 none at all.
+  test::FixedRateScheduler scheduler({1000.0, 0.0});
+  L4Proxy::Config config;
+  config.services = {{0, backend_a.port(), 0}, {1, backend_b.port(), 1}};
+  L4Proxy proxy(&scheduler, config);
+  proxy.start();
+
+  Socket ok = Socket::connect_loopback(proxy.service_port(0));
+  ok.write_all("hi");
+  EXPECT_EQ(ok.read_some(), "echo:hi");
+
+  Socket denied = Socket::connect_loopback(proxy.service_port(1));
+  EXPECT_TRUE(denied.read_some().empty());
+
+  ok.close();
+  denied.close();
+  proxy.stop();
+  EXPECT_EQ(proxy.admitted(), 1u);
+  EXPECT_EQ(proxy.refused(), 1u);
+}
+
+TEST(L4Proxy, ValidatesConfig) {
+  test::FixedRateScheduler scheduler({10.0});
+  L4Proxy::Config empty;
+  EXPECT_THROW(L4Proxy(&scheduler, empty), ContractViolation);
+
+  L4Proxy::Config bad_principal;
+  bad_principal.services = {{7, 1234, 0}};
+  EXPECT_THROW(L4Proxy(&scheduler, bad_principal), ContractViolation);
+}
+
+}  // namespace
+}  // namespace sharegrid::live

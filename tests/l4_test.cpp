@@ -1,0 +1,99 @@
+// Unit tests for the L4 packet model and NAT connection table.
+#include <gtest/gtest.h>
+
+#include "l4/connection_table.hpp"
+#include "l4/packet.hpp"
+
+namespace sharegrid::l4 {
+namespace {
+
+const Endpoint kClient{100, 5000};
+const Endpoint kClient2{100, 5001};
+const Endpoint kVip{10, 80};
+const Endpoint kServerA{200, 80};
+const Endpoint kServerB{201, 80};
+
+TEST(ConnectionTable, EstablishLookupRelease) {
+  ConnectionTable table;
+  EXPECT_FALSE(table.lookup(kClient, kVip).has_value());
+
+  table.establish(kClient, kVip, kServerA);
+  ASSERT_TRUE(table.lookup(kClient, kVip).has_value());
+  EXPECT_EQ(*table.lookup(kClient, kVip), kServerA);
+  EXPECT_EQ(table.active_connections(), 1u);
+
+  table.release(kClient, kVip);
+  EXPECT_FALSE(table.lookup(kClient, kVip).has_value());
+  EXPECT_EQ(table.active_connections(), 0u);
+}
+
+TEST(ConnectionTable, ReleaseIsIdempotent) {
+  ConnectionTable table;
+  table.release(kClient, kVip);  // no-op on empty table
+  table.establish(kClient, kVip, kServerA);
+  table.release(kClient, kVip);
+  table.release(kClient, kVip);
+  EXPECT_EQ(table.active_connections(), 0u);
+}
+
+TEST(ConnectionTable, FlowsAreKeyedByFullClientEndpoint) {
+  ConnectionTable table;
+  table.establish(kClient, kVip, kServerA);
+  table.establish(kClient2, kVip, kServerB);
+  EXPECT_EQ(*table.lookup(kClient, kVip), kServerA);
+  EXPECT_EQ(*table.lookup(kClient2, kVip), kServerB);
+}
+
+TEST(ConnectionTable, AffinityHintSurvivesRelease) {
+  // SSL-style persistence: a later connection from the same client endpoint
+  // prefers the server that handled the previous one.
+  ConnectionTable table;
+  table.establish(kClient, kVip, kServerB);
+  table.release(kClient, kVip);
+  ASSERT_TRUE(table.affinity_hint(kClient, kVip).has_value());
+  EXPECT_EQ(*table.affinity_hint(kClient, kVip), kServerB);
+  // A different client port has no hint.
+  EXPECT_FALSE(table.affinity_hint(kClient2, kVip).has_value());
+}
+
+TEST(ConnectionTable, AffinityTracksLatestServer) {
+  ConnectionTable table;
+  table.establish(kClient, kVip, kServerA);
+  table.release(kClient, kVip);
+  table.establish(kClient, kVip, kServerB);
+  EXPECT_EQ(*table.affinity_hint(kClient, kVip), kServerB);
+}
+
+TEST(ConnectionTable, ForwardRewriteSetsServerDestination) {
+  Packet syn;
+  syn.kind = PacketKind::kSyn;
+  syn.src = kClient;
+  syn.dst = kVip;
+  const Packet out = ConnectionTable::rewrite_to_server(syn, kServerA);
+  EXPECT_EQ(out.dst, kServerA);
+  EXPECT_EQ(out.src, kClient);  // source untouched on the forward path (NAT)
+}
+
+TEST(ConnectionTable, ReverseRewriteMasksServerBehindVip) {
+  Packet reply;
+  reply.kind = PacketKind::kData;
+  reply.src = kServerA;
+  reply.dst = kClient;
+  const Packet out = ConnectionTable::rewrite_to_client(reply, kVip, kClient);
+  EXPECT_EQ(out.src, kVip);  // client only ever sees the virtual address
+  EXPECT_EQ(out.dst, kClient);
+}
+
+TEST(Endpoint, OrderingAndEquality) {
+  EXPECT_EQ(kClient, (Endpoint{100, 5000}));
+  EXPECT_NE(kClient, kClient2);
+  EXPECT_LT(kClient, kClient2);
+  EXPECT_LT(kVip, kClient);
+}
+
+TEST(Endpoint, ToStringFormat) {
+  EXPECT_EQ(to_string(kClient), "h100:5000");
+}
+
+}  // namespace
+}  // namespace sharegrid::l4

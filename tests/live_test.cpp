@@ -1,0 +1,169 @@
+// Tests for the live (real-socket) Layer-7 redirector service: actual HTTP
+// over loopback TCP, driven by the same scheduling stack as the simulator.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "core/agreement_graph.hpp"
+#include "core/flow.hpp"
+#include "http/message.hpp"
+#include "live/l7_service.hpp"
+#include "live/tcp.hpp"
+#include "sched/response_time_scheduler.hpp"
+#include "test_helpers.hpp"
+
+namespace sharegrid::live {
+namespace {
+
+/// One HTTP GET over a fresh loopback connection; returns the raw response.
+std::string http_get(std::uint16_t port, const std::string& target) {
+  Socket conn = Socket::connect_loopback(port);
+  http::Request req;
+  req.target = target;
+  req.headers["host"] = "127.0.0.1";
+  conn.write_all(req.serialize());
+  return conn.read_http_head();
+}
+
+core::AgreementGraph one_org_graph() {
+  core::AgreementGraph g;
+  g.add_principal("S", 1000.0);
+  g.add_principal("acme", 0.0);
+  g.set_agreement(0, 1, 0.5, 1.0);
+  return g;
+}
+
+TEST(Tcp, LoopbackRoundTrip) {
+  Socket listener = Socket::listen_on_loopback();
+  const std::uint16_t port = listener.local_port();
+  ASSERT_GT(port, 0);
+
+  std::thread server([&listener] {
+    Socket conn = listener.accept();
+    const std::string got = conn.read_http_head();
+    EXPECT_NE(got.find("GET /ping"), std::string::npos);
+    conn.write_all("HTTP/1.1 200 OK\r\n\r\n");
+  });
+  Socket client = Socket::connect_loopback(port);
+  client.write_all("GET /ping HTTP/1.1\r\n\r\n");
+  const std::string reply = client.read_http_head();
+  EXPECT_NE(reply.find("200"), std::string::npos);
+  server.join();
+}
+
+TEST(Tcp, ConnectToClosedPortFails) {
+  // Grab an ephemeral port, then close it so nothing listens there.
+  std::uint16_t dead_port = 0;
+  {
+    Socket listener = Socket::listen_on_loopback();
+    dead_port = listener.local_port();
+  }
+  EXPECT_THROW(Socket::connect_loopback(dead_port), ContractViolation);
+}
+
+TEST(L7Service, RedirectsAdmittedRequestsToBackend) {
+  const core::AgreementGraph graph = one_org_graph();
+  test::FixedRateScheduler scheduler({0.0, 10000.0});
+  L7Service::Config config;
+  config.backends = {{"127.0.0.1:9001", 1}};
+  L7Service service(&scheduler, graph, config);
+  service.start();
+
+  const std::string reply = http_get(service.port(), "/org/acme/index.html");
+  const auto parsed = http::parse_response(reply);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->status, 302);
+  EXPECT_EQ(parsed->headers.at("location"),
+            "http://127.0.0.1:9001/org/acme/index.html");
+  EXPECT_EQ(service.admitted(), 1u);
+  service.stop();
+}
+
+TEST(L7Service, OutOfQuotaSelfRedirects) {
+  const core::AgreementGraph graph = one_org_graph();
+  // 10 req/s => one request per 100 ms window; the second immediate request
+  // in the same window must bounce back to the redirector itself.
+  test::FixedRateScheduler scheduler({0.0, 10.0});
+  L7Service::Config config;
+  config.backends = {{"127.0.0.1:9001", 1}};
+  L7Service service(&scheduler, graph, config);
+  service.start();
+
+  const std::string first = http_get(service.port(), "/org/acme/a");
+  const std::string second = http_get(service.port(), "/org/acme/b");
+  const auto r1 = http::parse_response(first);
+  const auto r2 = http::parse_response(second);
+  ASSERT_TRUE(r1 && r2);
+  EXPECT_EQ(r1->headers.at("location"), "http://127.0.0.1:9001/org/acme/a");
+  const std::string self = "http://127.0.0.1:" +
+                           std::to_string(service.port()) + "/org/acme/b";
+  EXPECT_EQ(r2->headers.at("location"), self);
+  EXPECT_EQ(service.admitted(), 1u);
+  EXPECT_EQ(service.self_redirected(), 1u);
+  service.stop();
+}
+
+TEST(L7Service, RejectsMalformedAndUnknown) {
+  const core::AgreementGraph graph = one_org_graph();
+  test::FixedRateScheduler scheduler({0.0, 100.0});
+  L7Service::Config config;
+  config.backends = {{"127.0.0.1:9001", 1}};
+  L7Service service(&scheduler, graph, config);
+  service.start();
+
+  {
+    Socket conn = Socket::connect_loopback(service.port());
+    conn.write_all("NOT-HTTP\r\n\r\n");
+    const auto resp = http::parse_response(conn.read_http_head());
+    ASSERT_TRUE(resp.has_value());
+    EXPECT_EQ(resp->status, 400);
+  }
+  {
+    const auto resp =
+        http::parse_response(http_get(service.port(), "/org/nobody/x"));
+    ASSERT_TRUE(resp.has_value());
+    EXPECT_EQ(resp->status, 404);
+  }
+  EXPECT_EQ(service.bad_requests(), 2u);
+  service.stop();
+}
+
+TEST(L7Service, WorksWithTheRealScheduler) {
+  // End-to-end with the actual response-time LP instead of a test stub.
+  core::AgreementGraph graph = one_org_graph();
+  const sched::ResponseTimeScheduler scheduler(
+      graph, core::compute_access_levels(graph));
+  L7Service::Config config;
+  config.backends = {{"127.0.0.1:9001", 0}};  // S owns the hardware
+  L7Service service(&scheduler, graph, config);
+  service.start();
+
+  int redirected_to_backend = 0;
+  for (int i = 0; i < 20; ++i) {
+    const auto resp =
+        http::parse_response(http_get(service.port(), "/org/acme/page"));
+    ASSERT_TRUE(resp.has_value());
+    EXPECT_EQ(resp->status, 302);
+    if (resp->headers.at("location").find("9001") != std::string::npos)
+      ++redirected_to_backend;
+  }
+  // acme is entitled to half of S's 1000 req/s — 20 quick requests all fit.
+  EXPECT_EQ(redirected_to_backend, 20);
+  service.stop();
+}
+
+TEST(L7Service, StopIsIdempotentAndRestartable) {
+  const core::AgreementGraph graph = one_org_graph();
+  test::FixedRateScheduler scheduler({0.0, 100.0});
+  L7Service::Config config;
+  config.backends = {{"127.0.0.1:9001", 1}};
+  {
+    L7Service service(&scheduler, graph, config);
+    service.start();
+    service.stop();
+    service.stop();  // no-op
+  }                  // destructor also calls stop()
+}
+
+}  // namespace
+}  // namespace sharegrid::live

@@ -1,0 +1,105 @@
+// Tests for the locality-cost extension (§3.1.2): per-server push caps c_k.
+#include <gtest/gtest.h>
+
+#include "experiments/scenario.hpp"
+#include "experiments/scenario_ini.hpp"
+
+namespace sharegrid::experiments {
+namespace {
+
+ScenarioConfig community_with_locality(std::vector<double> caps) {
+  core::AgreementGraph g;
+  g.add_principal("A", 0.0);
+  g.add_principal("B", 0.0);
+  g.set_agreement(1, 0, 0.5, 0.5);
+
+  ScenarioConfig c;
+  c.graph = g;
+  c.layer = Layer::kL4;
+  c.locality_caps = std::move(caps);
+  c.servers = {{"A", 320.0}, {"B", 320.0}};
+  c.clients = {
+      {"A1", "A", 0, 400.0, {{0.0, 60.0}}},
+      {"A2", "A", 0, 400.0, {{0.0, 60.0}}},
+      {"B1", "B", 0, 400.0, {{0.0, 60.0}}},
+  };
+  c.phases = {{"steady", 10.0, 58.0}};
+  c.duration_sec = 60.0;
+  return c;
+}
+
+TEST(Locality, CapLimitsRemoteOverflow) {
+  // Without locality, A overflows 160 req/s onto B's server (fig9 phase 1).
+  const ScenarioResult open = run_scenario(community_with_locality({}));
+  EXPECT_NEAR(open.phase_served(0, 0), 480.0, 25.0);
+
+  // Capping pushes to B's server at 200 req/s: B's own floor of 160 fits,
+  // but A's remote overflow is squeezed to ~40, so A ~360, B unchanged.
+  const ScenarioResult capped =
+      run_scenario(community_with_locality({1e18, 200.0}));
+  EXPECT_NEAR(capped.phase_served(0, 0), 360.0, 25.0);
+  EXPECT_NEAR(capped.phase_served(0, 1), 160.0, 20.0);
+}
+
+TEST(Locality, InfeasibleCapsFallBackToBestEffort) {
+  // Caps tighter than the mandatory floors: the scheduler drops the floors
+  // rather than failing, still serving as much as locality allows.
+  const ScenarioResult result =
+      run_scenario(community_with_locality({100.0, 100.0}));
+  const double total =
+      result.phase_served(0, 0) + result.phase_served(0, 1);
+  EXPECT_LE(total, 210.0);  // both servers capped at 100
+  EXPECT_GE(total, 150.0);  // but capacity under the caps is still used
+}
+
+TEST(Locality, ParsesFromIni) {
+  const std::string text = R"ini(
+layer = l4
+duration = 10
+[principal]
+name = A
+[principal]
+name = B
+locality_cap = 200
+[agreement]
+owner = B
+user = A
+lower = 0.5
+upper = 0.5
+[server]
+owner = A
+capacity = 320
+[server]
+owner = B
+capacity = 320
+[client]
+name = C
+principal = A
+rate = 100
+active = 0-10
+)ini";
+  const ScenarioConfig config = scenario_from_ini(parse_ini(text));
+  ASSERT_EQ(config.locality_caps.size(), 2u);
+  EXPECT_GT(config.locality_caps[0], 1e17);  // unconstrained
+  EXPECT_DOUBLE_EQ(config.locality_caps[1], 200.0);
+
+  // No locality keys at all -> empty (unconstrained) vector.
+  const std::string plain = R"ini(
+layer = l4
+duration = 10
+[principal]
+name = A
+[server]
+owner = A
+capacity = 320
+[client]
+name = C
+principal = A
+rate = 100
+active = 0-10
+)ini";
+  EXPECT_TRUE(scenario_from_ini(parse_ini(plain)).locality_caps.empty());
+}
+
+}  // namespace
+}  // namespace sharegrid::experiments

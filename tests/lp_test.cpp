@@ -1,0 +1,196 @@
+// Unit tests for the two-phase simplex solver.
+#include "lp/simplex.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace sharegrid::lp {
+namespace {
+
+TEST(Simplex, SolvesTextbookMaximization) {
+  // max 3x + 5y st x <= 4, 2y <= 12, 3x + 2y <= 18  => x=2, y=6, z=36.
+  Problem p(2, Sense::kMaximize);
+  p.set_objective(0, 3.0);
+  p.set_objective(1, 5.0);
+  p.add_constraint({{0, 1.0}}, Relation::kLessEq, 4.0);
+  p.add_constraint({{1, 2.0}}, Relation::kLessEq, 12.0);
+  p.add_constraint({{0, 3.0}, {1, 2.0}}, Relation::kLessEq, 18.0);
+
+  const Solution s = solve(p);
+  ASSERT_TRUE(s.optimal());
+  EXPECT_NEAR(s.objective, 36.0, 1e-6);
+  EXPECT_NEAR(s.values[0], 2.0, 1e-6);
+  EXPECT_NEAR(s.values[1], 6.0, 1e-6);
+}
+
+TEST(Simplex, SolvesMinimizationWithGreaterEq) {
+  // min 2x + 3y st x + y >= 10, x >= 2  => x=10 (cheapest), y=0, z=20.
+  Problem p(2, Sense::kMinimize);
+  p.set_objective(0, 2.0);
+  p.set_objective(1, 3.0);
+  p.add_constraint({{0, 1.0}, {1, 1.0}}, Relation::kGreaterEq, 10.0);
+  p.add_constraint({{0, 1.0}}, Relation::kGreaterEq, 2.0);
+
+  const Solution s = solve(p);
+  ASSERT_TRUE(s.optimal());
+  EXPECT_NEAR(s.objective, 20.0, 1e-6);
+  EXPECT_NEAR(s.values[0], 10.0, 1e-6);
+  EXPECT_NEAR(s.values[1], 0.0, 1e-6);
+}
+
+TEST(Simplex, HandlesEqualityConstraints) {
+  // max x + y st x + y = 5, x <= 3  => z = 5 (any split), x <= 3.
+  Problem p(2, Sense::kMaximize);
+  p.set_objective(0, 1.0);
+  p.set_objective(1, 1.0);
+  p.add_constraint({{0, 1.0}, {1, 1.0}}, Relation::kEqual, 5.0);
+  p.add_constraint({{0, 1.0}}, Relation::kLessEq, 3.0);
+
+  const Solution s = solve(p);
+  ASSERT_TRUE(s.optimal());
+  EXPECT_NEAR(s.objective, 5.0, 1e-6);
+  EXPECT_NEAR(s.values[0] + s.values[1], 5.0, 1e-6);
+  EXPECT_LE(s.values[0], 3.0 + 1e-9);
+}
+
+TEST(Simplex, DetectsInfeasibility) {
+  Problem p(1, Sense::kMaximize);
+  p.set_objective(0, 1.0);
+  p.add_constraint({{0, 1.0}}, Relation::kLessEq, 1.0);
+  p.add_constraint({{0, 1.0}}, Relation::kGreaterEq, 2.0);
+
+  EXPECT_EQ(solve(p).status, Status::kInfeasible);
+}
+
+TEST(Simplex, DetectsUnboundedness) {
+  Problem p(1, Sense::kMaximize);
+  p.set_objective(0, 1.0);
+  // x >= 0, no upper bound anywhere.
+  EXPECT_EQ(solve(p).status, Status::kUnbounded);
+}
+
+TEST(Simplex, RespectsVariableBounds) {
+  // max x + y with 1 <= x <= 2, 3 <= y <= 4 and no other constraints.
+  Problem p(2, Sense::kMaximize);
+  p.set_objective(0, 1.0);
+  p.set_objective(1, 1.0);
+  p.set_bounds(0, 1.0, 2.0);
+  p.set_bounds(1, 3.0, 4.0);
+
+  const Solution s = solve(p);
+  ASSERT_TRUE(s.optimal());
+  EXPECT_NEAR(s.values[0], 2.0, 1e-6);
+  EXPECT_NEAR(s.values[1], 4.0, 1e-6);
+}
+
+TEST(Simplex, LowerBoundsShiftFeasibleRegion) {
+  // min x + y st x + y >= 4 with x >= 3: optimum x=3, y=1 or x=4, y=0?
+  // Both cost the same under equal prices; check the objective only.
+  Problem p(2, Sense::kMinimize);
+  p.set_objective(0, 1.0);
+  p.set_objective(1, 1.0);
+  p.set_bounds(0, 3.0, kInfinity);
+  p.add_constraint({{0, 1.0}, {1, 1.0}}, Relation::kGreaterEq, 4.0);
+
+  const Solution s = solve(p);
+  ASSERT_TRUE(s.optimal());
+  EXPECT_NEAR(s.objective, 4.0, 1e-6);
+  EXPECT_GE(s.values[0], 3.0 - 1e-9);
+}
+
+TEST(Simplex, InfeasibleBoundsVsConstraint) {
+  // x <= 1 (bound) but constraint x >= 2.
+  Problem p(1, Sense::kMaximize);
+  p.set_objective(0, 1.0);
+  p.set_bounds(0, 0.0, 1.0);
+  p.add_constraint({{0, 1.0}}, Relation::kGreaterEq, 2.0);
+  EXPECT_EQ(solve(p).status, Status::kInfeasible);
+}
+
+TEST(Simplex, DegenerateProgramTerminates) {
+  // Classic degeneracy: many redundant constraints through the origin.
+  Problem p(3, Sense::kMaximize);
+  p.set_objective(0, 0.75);
+  p.set_objective(1, -150.0);
+  p.set_objective(2, 0.02);
+  p.add_constraint({{0, 0.25}, {1, -60.0}, {2, -0.04}}, Relation::kLessEq,
+                   0.0);
+  p.add_constraint({{0, 0.5}, {1, -90.0}, {2, -0.02}}, Relation::kLessEq, 0.0);
+  p.add_constraint({{2, 1.0}}, Relation::kLessEq, 1.0);
+
+  const Solution s = solve(p);
+  // Beale's cycling example (truncated): must terminate at an optimum.
+  ASSERT_TRUE(s.optimal());
+  EXPECT_GE(s.objective, 0.0);
+}
+
+// Property sweep: random feasible-by-construction LPs must (a) report
+// optimal, (b) satisfy every constraint at the reported point, and (c) beat
+// or match a large random sample of feasible points.
+class SimplexRandomTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SimplexRandomTest, OptimumIsFeasibleAndDominatesSamples) {
+  Rng rng(GetParam());
+  const std::size_t n = 2 + rng.bounded(4);  // 2..5 variables
+  const std::size_t m = 1 + rng.bounded(5);  // 1..5 constraints
+
+  Problem p(n, Sense::kMaximize);
+  std::vector<double> upper(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    upper[j] = rng.uniform(1.0, 10.0);
+    p.set_bounds(j, 0.0, upper[j]);
+    p.set_objective(j, rng.uniform(-2.0, 5.0));
+  }
+  // Constraints sum(a_j x_j) <= b with a_j >= 0 and b sized so x = 0 is
+  // always feasible.
+  std::vector<std::vector<double>> rows(m, std::vector<double>(n));
+  std::vector<double> rhs(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    std::vector<std::pair<std::size_t, double>> terms;
+    for (std::size_t j = 0; j < n; ++j) {
+      rows[i][j] = rng.uniform(0.0, 3.0);
+      terms.emplace_back(j, rows[i][j]);
+    }
+    rhs[i] = rng.uniform(1.0, 20.0);
+    p.add_constraint(std::move(terms), Relation::kLessEq, rhs[i]);
+  }
+
+  const Solution s = solve(p);
+  ASSERT_TRUE(s.optimal());
+
+  // (b) feasibility of the reported optimum.
+  for (std::size_t i = 0; i < m; ++i) {
+    double lhs = 0.0;
+    for (std::size_t j = 0; j < n; ++j) lhs += rows[i][j] * s.values[j];
+    EXPECT_LE(lhs, rhs[i] + 1e-6);
+  }
+  for (std::size_t j = 0; j < n; ++j) {
+    EXPECT_GE(s.values[j], -1e-9);
+    EXPECT_LE(s.values[j], upper[j] + 1e-9);
+  }
+
+  // (c) no random feasible point beats the optimum.
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<double> x(n);
+    for (std::size_t j = 0; j < n; ++j) x[j] = rng.uniform(0.0, upper[j]);
+    bool feasible = true;
+    for (std::size_t i = 0; i < m && feasible; ++i) {
+      double lhs = 0.0;
+      for (std::size_t j = 0; j < n; ++j) lhs += rows[i][j] * x[j];
+      feasible = lhs <= rhs[i];
+    }
+    if (!feasible) continue;
+    double z = 0.0;
+    for (std::size_t j = 0; j < n; ++j) z += p.objective()[j] * x[j];
+    EXPECT_LE(z, s.objective + 1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimplexRandomTest,
+                         ::testing::Range<std::uint64_t>(1, 33));
+
+}  // namespace
+}  // namespace sharegrid::lp

@@ -1,0 +1,111 @@
+// Unit tests for the multi-resource extension (§3.1.1 vector quantities).
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "core/multi_resource.hpp"
+#include "util/assert.hpp"
+
+namespace sharegrid::core {
+namespace {
+
+/// A owns (1000 cpu, 100 net); B owns (1500 cpu, 50 net);
+/// A -> B [0.4, 0.6] as in Figure 3 (restricted to two principals).
+struct Fixture {
+  AgreementGraph graph;
+  MultiResourceLevels levels;
+
+  Fixture() : levels(make()) {}
+
+  MultiResourceLevels make() {
+    const auto a = graph.add_principal("A", 0.0);
+    const auto b = graph.add_principal("B", 0.0);
+    graph.set_agreement(a, b, 0.4, 0.6);
+    Matrix caps(2, 2, 0.0);
+    caps(0, 0) = 1000.0;  // A cpu
+    caps(0, 1) = 100.0;   // A net
+    caps(1, 0) = 1500.0;  // B cpu
+    caps(1, 1) = 50.0;    // B net
+    return MultiResourceLevels::compute(graph, {"cpu", "net"}, caps);
+  }
+};
+
+TEST(MultiResource, PerDimensionLevelsMatchScalarAnalysis) {
+  Fixture f;
+  ASSERT_EQ(f.levels.resource_count(), 2u);
+  EXPECT_EQ(f.levels.resource_name(0), "cpu");
+
+  // cpu: MC_A = 1000 * 0.6 = 600; MC_B = 1500 + 400 = 1900.
+  EXPECT_NEAR(f.levels.resource(0).mandatory_capacity[0], 600.0, 1e-9);
+  EXPECT_NEAR(f.levels.resource(0).mandatory_capacity[1], 1900.0, 1e-9);
+  // net: MC_A = 100 * 0.6 = 60; MC_B = 50 + 40 = 90.
+  EXPECT_NEAR(f.levels.resource(1).mandatory_capacity[0], 60.0, 1e-9);
+  EXPECT_NEAR(f.levels.resource(1).mandatory_capacity[1], 90.0, 1e-9);
+}
+
+TEST(MultiResource, BottleneckRateIsMinAcrossDimensions) {
+  Fixture f;
+  // A request class consuming 1 cpu and 0.2 net per request:
+  // A: min(600 / 1, 60 / 0.2 = 300) = 300 -> net-bound.
+  const std::array<double, 2> demand{1.0, 0.2};
+  EXPECT_NEAR(f.levels.mandatory_rate(0, demand), 300.0, 1e-9);
+  EXPECT_EQ(f.levels.bottleneck(0, demand), 1u);
+
+  // A cpu-heavy class: 4 cpu, 0.01 net: min(150, 6000) -> cpu-bound.
+  const std::array<double, 2> cpu_heavy{4.0, 0.01};
+  EXPECT_NEAR(f.levels.mandatory_rate(0, cpu_heavy), 150.0, 1e-9);
+  EXPECT_EQ(f.levels.bottleneck(0, cpu_heavy), 0u);
+}
+
+TEST(MultiResource, BestEffortUsesOptionalCapacity) {
+  Fixture f;
+  // A's optional: cpu 400 (reclaim), net 40. Best-effort cpu rate at 1 cpu
+  // per request: 600 + 400 = 1000.
+  const std::array<double, 2> cpu_only{1.0, 0.0};
+  EXPECT_NEAR(f.levels.best_effort_rate(0, cpu_only), 1000.0, 1e-9);
+  EXPECT_GE(f.levels.best_effort_rate(0, cpu_only),
+            f.levels.mandatory_rate(0, cpu_only));
+}
+
+TEST(MultiResource, ZeroDemandDimensionsDoNotConstrain) {
+  Fixture f;
+  const std::array<double, 2> net_only{0.0, 1.0};
+  EXPECT_NEAR(f.levels.mandatory_rate(0, net_only), 60.0, 1e-9);
+}
+
+TEST(MultiResource, SingleResourceDegeneratesToScalar) {
+  AgreementGraph g;
+  const auto a = g.add_principal("A", 1000.0);
+  const auto b = g.add_principal("B", 500.0);
+  g.set_agreement(a, b, 0.3, 0.5);
+  Matrix caps(2, 1, 0.0);
+  caps(0, 0) = 1000.0;
+  caps(1, 0) = 500.0;
+  const auto multi = MultiResourceLevels::compute(g, {"only"}, caps);
+  const auto scalar = compute_access_levels(g);
+  for (PrincipalId p = 0; p < 2; ++p) {
+    EXPECT_NEAR(multi.resource(0).mandatory_capacity[p],
+                scalar.mandatory_capacity[p], 1e-12);
+    EXPECT_NEAR(multi.resource(0).optional_capacity[p],
+                scalar.optional_capacity[p], 1e-12);
+  }
+}
+
+TEST(MultiResource, ValidatesInputs) {
+  AgreementGraph g;
+  g.add_principal("A", 0.0);
+  Matrix wrong_rows(2, 1, 1.0);
+  EXPECT_THROW(MultiResourceLevels::compute(g, {"x"}, wrong_rows),
+               ContractViolation);
+  Matrix ok(1, 1, 1.0);
+  EXPECT_THROW(MultiResourceLevels::compute(g, {}, ok), ContractViolation);
+
+  const auto levels = MultiResourceLevels::compute(g, {"x"}, ok);
+  const std::array<double, 1> none{0.0};
+  EXPECT_THROW(levels.mandatory_rate(0, none), ContractViolation);
+  const std::array<double, 2> wrong_size{1.0, 1.0};
+  EXPECT_THROW(levels.mandatory_rate(0, wrong_size), ContractViolation);
+}
+
+}  // namespace
+}  // namespace sharegrid::core

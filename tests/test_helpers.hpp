@@ -1,0 +1,32 @@
+// Shared helpers for sharegrid tests.
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+#include "sched/scheduler.hpp"
+
+namespace sharegrid::test {
+
+/// Deterministic scheduler granting principal i a fixed rate on server i,
+/// capped by demand — lets node tests pin admission behaviour precisely.
+class FixedRateScheduler final : public sched::Scheduler {
+ public:
+  explicit FixedRateScheduler(std::vector<double> rates)
+      : rates_(std::move(rates)) {}
+
+  sched::Plan plan(const std::vector<double>& demand) const override {
+    sched::Plan p;
+    p.demand = demand;
+    p.rate = Matrix(rates_.size(), rates_.size(), 0.0);
+    for (std::size_t i = 0; i < rates_.size(); ++i)
+      p.rate(i, i) = std::min(rates_[i], demand[i]);
+    return p;
+  }
+  std::size_t size() const override { return rates_.size(); }
+
+ private:
+  std::vector<double> rates_;
+};
+
+}  // namespace sharegrid::test

@@ -1,0 +1,110 @@
+// Unit tests for the WebBench-like workload model.
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+#include "workload/activity_plan.hpp"
+#include "workload/reply_size.hpp"
+
+namespace sharegrid::workload {
+namespace {
+
+TEST(BoundedParetoMean, MatchesClosedForm) {
+  // alpha = 2 on [1, 2]: E = (l^a/(1-(l/h)^a)) * a/(a-1) * (1/l - 1/h)
+  //       = (1/(1-1/4)) * 2 * (1 - 1/2) = 4/3.
+  EXPECT_NEAR(bounded_pareto_mean(1.0, 2.0, 2.0), 4.0 / 3.0, 1e-9);
+}
+
+TEST(SolveParetoAlpha, RecoversRequestedMean) {
+  const double alpha = solve_pareto_alpha(200.0, 512000.0, 6144.0);
+  EXPECT_NEAR(bounded_pareto_mean(200.0, 512000.0, alpha), 6144.0, 1.0);
+  EXPECT_GT(alpha, 0.5);
+  EXPECT_LT(alpha, 2.0);  // heavy-tailed, as web traffic should be
+}
+
+TEST(SolveParetoAlpha, RejectsImpossibleMeans) {
+  EXPECT_THROW(solve_pareto_alpha(200.0, 500.0, 100.0), ContractViolation);
+  EXPECT_THROW(solve_pareto_alpha(200.0, 500.0, 600.0), ContractViolation);
+}
+
+TEST(ReplySizeDistribution, EmpiricalMeanApproachesSpec) {
+  const ReplySizeDistribution dist;  // paper defaults: 200 B..500 KB, 6 KB
+  Rng rng(1234);
+  double total = 0.0;
+  const int samples = 200000;
+  for (int i = 0; i < samples; ++i) total += dist.sample(rng).reply_bytes;
+  EXPECT_NEAR(total / samples, 6144.0, 250.0);
+}
+
+TEST(ReplySizeDistribution, SizesStayInRange) {
+  const ReplySizeDistribution dist;
+  Rng rng(7);
+  for (int i = 0; i < 5000; ++i) {
+    const auto s = dist.sample(rng);
+    EXPECT_GE(s.reply_bytes, 200.0 - 1e-9);
+    EXPECT_LE(s.reply_bytes, 500.0 * 1024.0 + 1e-6);
+    EXPECT_GE(s.weight, 0.1);
+  }
+}
+
+TEST(ReplySizeDistribution, DynamicFractionIsRespected) {
+  ReplySizeSpec spec;
+  spec.dynamic_fraction = 0.3;
+  const ReplySizeDistribution dist(spec);
+  Rng rng(9);
+  int dynamic = 0;
+  const int samples = 20000;
+  for (int i = 0; i < samples; ++i)
+    dynamic += dist.sample(rng).request_class == RequestClass::kDynamic;
+  EXPECT_NEAR(static_cast<double>(dynamic) / samples, 0.3, 0.02);
+}
+
+TEST(ReplySizeDistribution, WeightIsSizeRelativeToMean) {
+  const ReplySizeDistribution dist;
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const auto s = dist.sample(rng);
+    if (s.reply_bytes > 614.4) {  // above the 0.1 weight clamp
+      EXPECT_NEAR(s.weight, s.reply_bytes / 6144.0, 1e-9);
+    }
+  }
+}
+
+TEST(ActivityPlan, IntervalsAndQueries) {
+  ActivityPlan plan(2);
+  plan.add_interval(0, seconds(0), seconds(10));
+  plan.add_interval(0, seconds(20), seconds(30));
+  plan.always_active(1, seconds(30));
+
+  EXPECT_TRUE(plan.active_at(0, seconds(5)));
+  EXPECT_FALSE(plan.active_at(0, seconds(15)));
+  EXPECT_TRUE(plan.active_at(0, seconds(25)));
+  EXPECT_FALSE(plan.active_at(0, seconds(30)));  // half-open
+  EXPECT_TRUE(plan.active_at(1, seconds(29)));
+  EXPECT_EQ(plan.horizon(), seconds(30));
+}
+
+TEST(ActivityPlan, RejectsOverlapsAndDisorder) {
+  ActivityPlan plan(1);
+  plan.add_interval(0, seconds(10), seconds(20));
+  EXPECT_THROW(plan.add_interval(0, seconds(15), seconds(25)),
+               ContractViolation);
+  EXPECT_THROW(plan.add_interval(0, seconds(5), seconds(8)),
+               ContractViolation);
+  EXPECT_THROW(plan.add_interval(0, seconds(30), seconds(30)),
+               ContractViolation);
+  EXPECT_THROW(plan.add_interval(5, 0, seconds(1)), ContractViolation);
+}
+
+TEST(ActivityPlan, PhasesTrackHorizon) {
+  ActivityPlan plan(1);
+  plan.add_interval(0, 0, seconds(10));
+  plan.add_phase("warm", 0, seconds(5));
+  plan.add_phase("steady", seconds(5), seconds(15));
+  EXPECT_THROW(plan.add_phase("bad", seconds(10), seconds(12)),
+               ContractViolation);
+  EXPECT_EQ(plan.phases().size(), 2u);
+  EXPECT_EQ(plan.horizon(), seconds(15));
+}
+
+}  // namespace
+}  // namespace sharegrid::workload
