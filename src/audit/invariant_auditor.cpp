@@ -1,0 +1,116 @@
+#include "audit/invariant_auditor.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace sharegrid::audit {
+
+void fail(const std::string& invariant, const std::string& detail) {
+  throw ContractViolation("[audit] " + invariant + ": " + detail);
+}
+
+std::string num(double value) {
+  std::ostringstream os;
+  os.precision(9);
+  os << value;
+  return os.str();
+}
+
+void audit_simplex_basis(const Matrix& a, const std::vector<double>& rhs,
+                         const std::vector<std::size_t>& basis, double tol) {
+  const std::size_t m = rhs.size();
+  require(a.rows() == m && basis.size() == m, "simplex.tableau-shape", [&] {
+    return "tableau has " + std::to_string(a.rows()) + " rows, " +
+           std::to_string(rhs.size()) + " rhs entries, and " +
+           std::to_string(basis.size()) + " basis entries";
+  });
+  // Feasibility tolerance must scale with the data: conservative-mode LPs
+  // carry saturated demands around 1e9, where rounding dwarfs any absolute
+  // epsilon.
+  double scale = 1.0;
+  for (const double r : rhs) scale = std::max(scale, std::abs(r));
+  for (std::size_t i = 0; i < m; ++i) {
+    const std::size_t col = basis[i];
+    require(col < a.cols(), "simplex.basis-column-range", [&] {
+      return "row " + std::to_string(i) + " claims basic column " +
+             std::to_string(col) + " of " + std::to_string(a.cols());
+    });
+    for (std::size_t r = 0; r < m; ++r) {
+      const double expected = r == i ? 1.0 : 0.0;
+      require(std::abs(a(r, col) - expected) <= tol, "simplex.basis-not-unit",
+              [&] {
+                return "basic column " + std::to_string(col) + " has a(" +
+                       std::to_string(r) + ", col) = " + num(a(r, col)) +
+                       " (expected " + num(expected) +
+                       "); a pivot failed to eliminate the column and the "
+                       "basic solution read off the rhs is meaningless";
+              });
+    }
+    require(rhs[i] >= -tol * scale, "simplex.primal-infeasible-rhs", [&] {
+      return "rhs[" + std::to_string(i) + "] = " + num(rhs[i]) +
+             " went negative mid-solve; the ratio test admitted a pivot "
+             "that left the basic solution infeasible";
+    });
+  }
+}
+
+void audit_bland_progress(double objective_before, double objective_after,
+                          double tol) {
+  require(objective_after >=
+              objective_before - tol * (1.0 + std::abs(objective_before)),
+          "simplex.bland-regress", [&] {
+            return "objective fell from " + num(objective_before) + " to " +
+                   num(objective_after) +
+                   " under Bland's rule; anti-cycling pricing admitted a "
+                   "negative-gain pivot, so termination is no longer "
+                   "guaranteed";
+          });
+}
+
+void audit_window_conservation(const Matrix& quota, const Matrix& consumed,
+                               const Matrix& debt, const Matrix& slices,
+                               double tol) {
+  require(quota.rows() == consumed.rows() && quota.rows() == debt.rows() &&
+              quota.rows() == slices.rows() &&
+              quota.cols() == consumed.cols() && quota.cols() == debt.cols() &&
+              quota.cols() == slices.cols(),
+          "window.matrix-shape",
+          [&] { return std::string("quota/consumed/debt/slice shapes disagree"); });
+  for (std::size_t i = 0; i < quota.rows(); ++i) {
+    for (std::size_t k = 0; k < quota.cols(); ++k) {
+      require(consumed(i, k) >= -tol, "window.negative-consumption", [&] {
+        return "cell (" + std::to_string(i) + ", " + std::to_string(k) +
+               ") recorded consumed = " + num(consumed(i, k)) +
+               "; admissions can only add to consumption";
+      });
+      require(debt(i, k) <= tol, "window.positive-debt", [&] {
+        return "cell (" + std::to_string(i) + ", " + std::to_string(k) +
+               ") carried debt = " + num(debt(i, k)) +
+               " into the window; only borrow (<= 0) may carry over — "
+               "positive carry would stack unused quota across windows";
+      });
+      const double lhs = quota(i, k) + consumed(i, k);
+      const double rhs = slices(i, k) + debt(i, k);
+      require(std::abs(lhs - rhs) <=
+                  tol * (1.0 + std::max(std::abs(lhs), std::abs(rhs))),
+              "window.quota-conservation", [&] {
+                return "cell (" + std::to_string(i) + ", " +
+                       std::to_string(k) + "): quota " + num(quota(i, k)) +
+                       " + consumed " + num(consumed(i, k)) + " != slice " +
+                       num(slices(i, k)) + " + debt " + num(debt(i, k)) +
+                       "; admissions are being created or destroyed relative "
+                       "to the LP plan (DESIGN.md D5)";
+              });
+    }
+  }
+}
+
+void audit_quota_carry(double carry) {
+  require(carry >= 0.0 && carry < 1.0, "window.carry-range", [&] {
+    return "integer-quota error carry is " + num(carry) +
+           ", outside [0, 1); the floor/remainder bookkeeping drifted and "
+           "long-run admitted counts will diverge from the plan";
+  });
+}
+
+}  // namespace sharegrid::audit

@@ -1,0 +1,354 @@
+// Runtime invariant auditor (correctness tooling layer).
+//
+// The paper's enforcement guarantees rest on exact numeric invariants: flow
+// conservation through the transitive MI/OI/MT/OT computation (§3.1.1,
+// Formulae 1-4), the entitlement decomposition partitioning server capacity
+// (DESIGN.md D1), LP solutions being primal feasible, and per-window quota +
+// error-carry conservation (§3.1.2, DESIGN.md D5). This module checks them
+// mechanically at runtime.
+//
+// Two layers:
+//  - Non-template checks (implemented in invariant_auditor.cpp) operate on
+//    util-level types only (Matrix, vectors, doubles), so sharegrid_audit
+//    depends on nothing above sharegrid_util and every subsystem may link it
+//    without a dependency cycle.
+//  - Template checks are duck-typed over the calling subsystem's own types
+//    (AgreementGraph/AccessLevels, lp::Problem/Solution, the L4 flow maps)
+//    and instantiate only in translation units where those types are
+//    complete, again keeping this header dependency-free.
+//
+// Call sites wrap invocations in SHAREGRID_AUDIT_HOOK(...), which compiles
+// to nothing unless the build defines SHAREGRID_AUDIT (CMake option
+// SHAREGRID_AUDIT=ON, on by default in the debug-asan/debug-tsan presets).
+// Tests call the audit functions directly; they are always compiled.
+//
+// Every violation throws sharegrid::ContractViolation whose message starts
+// with "[audit] <invariant>:" followed by the offending numbers and a hint
+// about what likely broke — messages are meant to be actionable, not merely
+// true. Messages are built lazily (require() takes a callable): several
+// hooks sit on per-admission/per-pivot hot paths, and a passing check must
+// cost arithmetic only, never string formatting.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <string>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "util/assert.hpp"
+#include "util/matrix.hpp"
+
+namespace sharegrid::audit {
+
+/// Absolute + relative tolerance for floating-point identity checks.
+struct Tolerance {
+  double abs = 1e-7;
+  double rel = 1e-7;
+
+  bool close(double a, double b) const {
+    return std::abs(a - b) <= abs + rel * std::max(std::abs(a), std::abs(b));
+  }
+};
+
+/// Throws ContractViolation with the auditor's message format.
+[[noreturn]] void fail(const std::string& invariant, const std::string& detail);
+
+/// fail() unless @p ok; @p message is invoked only on failure so passing
+/// checks never pay for string formatting.
+template <class MessageFn>
+inline void require(bool ok, const char* invariant, MessageFn&& message) {
+  if (!ok) fail(invariant, std::forward<MessageFn>(message)());
+}
+
+/// Compact numeric formatting for audit messages ("0.300000012" -> "0.3").
+std::string num(double value);
+
+// ---------------------------------------------------------------------------
+// lp/simplex: tableau consistency and anti-cycling progress.
+// ---------------------------------------------------------------------------
+
+/// Checks that the tableau is in proper basic form: every basic column is a
+/// unit column (1 in its own row, 0 elsewhere) and the right-hand side is
+/// non-negative, i.e. the current basic solution stays primal feasible.
+/// Invoked after tableau construction and after every pivot. The rhs check
+/// scales its tolerance by the largest |rhs| entry: conservative-mode LPs
+/// carry saturated demands around 1e9, where rounding dwarfs any absolute
+/// epsilon.
+void audit_simplex_basis(const Matrix& a, const std::vector<double>& rhs,
+                         const std::vector<std::size_t>& basis, double tol);
+
+/// Bland's rule guarantees the objective never regresses even on degenerate
+/// pivots; a decrease means the anti-cycling pricing is broken (or the
+/// tableau lost numerical coherence) and the solver may loop forever.
+void audit_bland_progress(double objective_before, double objective_after,
+                          double tol);
+
+/// Checks that a returned kOptimal solution satisfies the *original* problem:
+/// variable bounds, every constraint in its stated relation, and an objective
+/// value consistent with the returned variable values.
+template <class Problem, class Solution>
+void audit_lp_solution(const Problem& problem, const Solution& solution,
+                       double tol) {
+  if (!solution.optimal()) return;
+  const std::size_t n = problem.num_vars();
+  require(solution.values.size() == n, "lp.solution-shape", [&] {
+    return "solution has " + std::to_string(solution.values.size()) +
+           " values for a problem with " + std::to_string(n) +
+           " variables; the solver dropped or invented variables";
+  });
+
+  const auto& lo = problem.lower_bounds();
+  const auto& hi = problem.upper_bounds();
+  for (std::size_t j = 0; j < n; ++j) {
+    const double x = solution.values[j];
+    const double bound_tol = tol * (1.0 + std::abs(x));
+    require(x >= lo[j] - bound_tol && x <= hi[j] + bound_tol,
+            "lp.variable-bounds", [&] {
+              return "x[" + std::to_string(j) + "] = " + num(x) +
+                     " violates bounds [" + num(lo[j]) + ", " + num(hi[j]) +
+                     "]; the bound rows were lost in the standard-form "
+                     "translation";
+            });
+  }
+
+  std::size_t row = 0;
+  for (const auto& c : problem.constraints()) {
+    double lhs = 0.0;
+    for (const auto& [var, coeff] : c.terms) lhs += coeff * solution.values[var];
+    using Rel = std::decay_t<decltype(c.relation)>;
+    const double row_tol = tol * (1.0 + std::abs(lhs) + std::abs(c.rhs));
+    const bool ok =
+        (c.relation == Rel::kLessEq && lhs <= c.rhs + row_tol) ||
+        (c.relation == Rel::kGreaterEq && lhs >= c.rhs - row_tol) ||
+        (c.relation == Rel::kEqual && std::abs(lhs - c.rhs) <= row_tol);
+    require(ok, "lp.primal-feasibility", [&] {
+      return "constraint #" + std::to_string(row) + " has lhs " + num(lhs) +
+             " vs rhs " + num(c.rhs) +
+             "; the solver returned kOptimal for an infeasible point — "
+             "phase-1 termination or the feasibility test is broken";
+    });
+    ++row;
+  }
+
+  double objective = 0.0;
+  for (std::size_t j = 0; j < n; ++j)
+    objective += problem.objective()[j] * solution.values[j];
+  require(std::abs(objective - solution.objective) <=
+              tol * (1.0 + std::abs(objective)),
+          "lp.objective-consistency", [&] {
+            return "reported objective " + num(solution.objective) +
+                   " but the values imply " + num(objective) +
+                   "; objective bookkeeping diverged from the tableau";
+          });
+}
+
+// ---------------------------------------------------------------------------
+// sched/window_scheduler: quota + error-carry conservation (DESIGN.md D5).
+// ---------------------------------------------------------------------------
+
+/// Per-window conservation: for every (principal, server) cell the window
+/// must satisfy  quota + consumed == slice + debt  exactly (within fp
+/// noise), with consumed >= 0 and debt <= 0. Any drift means admissions are
+/// being created or destroyed relative to the LP plan.
+void audit_window_conservation(const Matrix& quota, const Matrix& consumed,
+                               const Matrix& debt, const Matrix& slices,
+                               double tol);
+
+/// The integer-quota error carry must stay in [0, 1): anything else breaks
+/// the "long-run admitted == planned within 1 request" guarantee.
+void audit_quota_carry(double carry);
+
+// ---------------------------------------------------------------------------
+// core/flow + core/entitlement: Formulae 1-4 and the capacity partition.
+// ---------------------------------------------------------------------------
+
+/// Audits a complete AccessLevels result against its source graph:
+///  - transfer-matrix sanity: MT diagonal 1, OT diagonal 0, all entries
+///    non-negative, and MT(j,i) <= 1 (a substochastic path measure: the lb
+///    issued by any principal sum to at most 1, Formula 1);
+///  - value consistency: M_i / O_i equal the capacity-weighted column sums
+///    of MT / OT (Formulae 3-4);
+///  - the Figure 5(b) split: MC_i = M_i (1 - L_i), OC_i = O_i + M_i L_i,
+///    with L_i in [0, 1], which conserves MC_i + OC_i = M_i + O_i;
+///  - entitlement row sums recover the access levels (DESIGN.md D1);
+///  - when @p expect_exact_partition (acyclic agreement graphs): the
+///    mandatory entitlements of each server column partition its capacity,
+///    sum_i EM(i,k) = V_k.
+template <class Graph, class Levels>
+void audit_access_levels(const Graph& graph, const Levels& levels,
+                         bool expect_exact_partition, Tolerance tol = {}) {
+  const std::size_t n = graph.size();
+  require(levels.size() == n && levels.mandatory_transfer.rows() == n &&
+              levels.mandatory_transfer.cols() == n &&
+              levels.optional_transfer.rows() == n &&
+              levels.optional_transfer.cols() == n &&
+              levels.mandatory_entitlement.rows() == n &&
+              levels.optional_entitlement.rows() == n,
+          "flow.shape", [&] {
+            return "access-level result shapes disagree with a graph of " +
+                   std::to_string(n) + " principals";
+          });
+
+  for (std::size_t j = 0; j < n; ++j) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const double mt = levels.mandatory_transfer(j, i);
+      const double ot = levels.optional_transfer(j, i);
+      if (i == j) {
+        require(tol.close(mt, 1.0) && std::abs(ot) <= tol.abs,
+                "flow.transfer-diagonal", [&] {
+                  return "principal " + graph.name(j) + ": MT(j,j) = " +
+                         num(mt) + ", OT(j,j) = " + num(ot) +
+                         " (must be 1 and 0: a principal fully owns its own "
+                         "capacity and gains no optional value from itself)";
+                });
+        continue;
+      }
+      require(mt >= -tol.abs && ot >= -tol.abs, "flow.transfer-negative",
+              [&] {
+                return "MT(" + graph.name(j) + ", " + graph.name(i) + ") = " +
+                       num(mt) + ", OT = " + num(ot) +
+                       "; negative transfer means a path contributed negative "
+                       "value — check agreement bounds 0 <= lb <= ub";
+              });
+      require(mt <= 1.0 + tol.abs + tol.rel, "flow.mandatory-transfer-bound",
+              [&] {
+                return "MT(" + graph.name(j) + ", " + graph.name(i) + ") = " +
+                       num(mt) +
+                       " exceeds 1; the path walk double-counted a simple "
+                       "path or an owner issued lower bounds summing past 1 "
+                       "(Formula 1)";
+              });
+    }
+  }
+
+  for (std::size_t i = 0; i < n; ++i) {
+    double m = 0.0, o = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      m += graph.capacity(j) * levels.mandatory_transfer(j, i);
+      o += graph.capacity(j) * levels.optional_transfer(j, i);
+    }
+    require(tol.close(m, levels.mandatory_value[i]),
+            "flow.mandatory-value-conservation", [&] {
+              return "principal " + graph.name(i) + ": stored M_i = " +
+                     num(levels.mandatory_value[i]) +
+                     " but capacity-weighted MT column sums to " + num(m) +
+                     " (Formula 3); values were not recomputed after a "
+                     "transfer or capacity change";
+            });
+    require(tol.close(o, levels.optional_value[i]),
+            "flow.optional-value-conservation", [&] {
+              return "principal " + graph.name(i) + ": stored O_i = " +
+                     num(levels.optional_value[i]) +
+                     " but capacity-weighted OT column sums to " + num(o) +
+                     " (Formula 4); values were not recomputed after a "
+                     "transfer or capacity change";
+            });
+
+    const double ceded = graph.issued_lower_bound(i);
+    require(ceded >= -tol.abs && ceded <= 1.0 + tol.abs, "flow.ceded-range",
+            [&] {
+              return "principal " + graph.name(i) +
+                     " issues lower bounds summing to " + num(ceded) +
+                     "; outside [0, 1] the Figure 5(b) split is meaningless";
+            });
+    const double mc = levels.mandatory_value[i] * (1.0 - ceded);
+    const double oc =
+        levels.optional_value[i] + levels.mandatory_value[i] * ceded;
+    require(tol.close(mc, levels.mandatory_capacity[i]) &&
+                tol.close(oc, levels.optional_capacity[i]),
+            "flow.access-level-split", [&] {
+              return "principal " + graph.name(i) + ": stored (MC, OC) = (" +
+                     num(levels.mandatory_capacity[i]) + ", " +
+                     num(levels.optional_capacity[i]) +
+                     ") but the L_i = " + num(ceded) + " split of (M, O) "
+                     "gives (" + num(mc) + ", " + num(oc) +
+                     "); the mandatory/optional conversion lost value";
+            });
+
+    double em_row = 0.0, eo_row = 0.0;
+    for (std::size_t k = 0; k < n; ++k) {
+      em_row += levels.mandatory_entitlement(i, k);
+      eo_row += levels.optional_entitlement(i, k);
+    }
+    require(tol.close(em_row, levels.mandatory_capacity[i]),
+            "flow.entitlement-row-sum", [&] {
+              return "principal " + graph.name(i) + ": EM row sums to " +
+                     num(em_row) + " but MC_i = " +
+                     num(levels.mandatory_capacity[i]) +
+                     "; the per-server decomposition no longer adds up to "
+                     "the access level the schedulers promise (DESIGN.md D1)";
+            });
+    require(tol.close(eo_row, levels.optional_capacity[i]),
+            "flow.entitlement-row-sum", [&] {
+              return "principal " + graph.name(i) + ": EO row sums to " +
+                     num(eo_row) + " but OC_i = " +
+                     num(levels.optional_capacity[i]) +
+                     "; the per-server decomposition no longer adds up to "
+                     "the access level the schedulers promise (DESIGN.md D1)";
+            });
+  }
+
+  if (expect_exact_partition) {
+    for (std::size_t k = 0; k < n; ++k) {
+      double em_col = 0.0;
+      for (std::size_t i = 0; i < n; ++i)
+        em_col += levels.mandatory_entitlement(i, k);
+      require(tol.close(em_col, graph.capacity(k)),
+              "flow.entitlement-partition", [&] {
+                return "server column " + graph.name(k) + ": EM sums to " +
+                       num(em_col) + " but capacity is " +
+                       num(graph.capacity(k)) +
+                       "; on an acyclic agreement graph the mandatory "
+                       "entitlements must exactly partition each server's "
+                       "capacity or the schedulers' lower bounds are "
+                       "infeasible";
+              });
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// l4/connection_table: no orphaned NAT entries.
+// ---------------------------------------------------------------------------
+
+/// Every active NAT flow must carry a matching affinity hint for the same
+/// server: establish() writes both, so a table entry whose hint is missing
+/// or points elsewhere is orphaned state — reply packets would be rewritten
+/// toward a server the affinity logic no longer remembers. (A hint without
+/// a live flow is fine: hints deliberately outlive connections.)
+template <class FlowMap>
+void audit_connection_table(const FlowMap& table, const FlowMap& affinity) {
+  std::size_t index = 0;
+  for (const auto& [key, server] : table) {
+    const auto hint = affinity.find(key);
+    require(hint != affinity.end(), "l4.orphaned-nat-entry", [&] {
+      return "active flow #" + std::to_string(index) +
+             " has no affinity hint; establish() must record both the NAT "
+             "mapping and the hint atomically";
+    });
+    require(hint->second == server, "l4.affinity-mismatch", [&] {
+      return "active flow #" + std::to_string(index) + " is NATed to host " +
+             std::to_string(server.host) +
+             " but its affinity hint names host " +
+             std::to_string(hint->second.host) +
+             "; a re-establish updated one map but not the other";
+    });
+    ++index;
+  }
+}
+
+}  // namespace sharegrid::audit
+
+// Expands audit calls only in SHAREGRID_AUDIT builds; in normal builds the
+// hook (and everything computed inside its parentheses) vanishes entirely.
+#if defined(SHAREGRID_AUDIT)
+#define SHAREGRID_AUDIT_HOOK(call) \
+  do {                             \
+    call;                          \
+  } while (false)
+#else
+#define SHAREGRID_AUDIT_HOOK(call) ((void)0)
+#endif

@@ -1,0 +1,91 @@
+#include "core/entitlement.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace sharegrid::core {
+
+bool has_agreement_cycle(const AgreementGraph& graph) {
+  const std::size_t n = graph.size();
+  // Iterative DFS with colors: 0 = unvisited, 1 = on stack, 2 = done.
+  std::vector<int> color(n, 0);
+  std::vector<std::pair<PrincipalId, PrincipalId>> stack;  // (node, next edge)
+  for (PrincipalId root = 0; root < n; ++root) {
+    if (color[root] != 0) continue;
+    color[root] = 1;
+    stack.push_back({root, 0});
+    while (!stack.empty()) {
+      auto& [node, next] = stack.back();
+      bool descended = false;
+      for (; next < n; ++next) {
+        if (graph.upper_bound(node, next) <= 0.0) continue;
+        if (color[next] == 1) return true;  // back edge
+        if (color[next] == 0) {
+          color[next] = 1;
+          const PrincipalId child = next;
+          ++next;  // resume past this edge when we pop back
+          stack.push_back({child, 0});
+          descended = true;
+          break;
+        }
+      }
+      if (!descended) {
+        color[node] = 2;
+        stack.pop_back();
+      }
+    }
+  }
+  return false;
+}
+
+void compute_entitlements(const AgreementGraph& graph, AccessLevels& levels) {
+  const std::size_t n = graph.size();
+  SHAREGRID_EXPECTS(levels.mandatory_transfer.rows() == n &&
+                    levels.mandatory_transfer.cols() == n);
+  SHAREGRID_EXPECTS(levels.optional_transfer.rows() == n &&
+                    levels.optional_transfer.cols() == n);
+
+  levels.mandatory_value.assign(n, 0.0);
+  levels.optional_value.assign(n, 0.0);
+  for (PrincipalId i = 0; i < n; ++i) {
+    for (PrincipalId j = 0; j < n; ++j) {
+      levels.mandatory_value[i] +=
+          graph.capacity(j) * levels.mandatory_transfer(j, i);
+      levels.optional_value[i] +=
+          graph.capacity(j) * levels.optional_transfer(j, i);
+    }
+  }
+
+  levels.mandatory_capacity.assign(n, 0.0);
+  levels.optional_capacity.assign(n, 0.0);
+  levels.mandatory_entitlement = Matrix(n, n, 0.0);
+  levels.optional_entitlement = Matrix(n, n, 0.0);
+  for (PrincipalId i = 0; i < n; ++i) {
+    const double ceded = graph.issued_lower_bound(i);  // L_i
+    levels.mandatory_capacity[i] = levels.mandatory_value[i] * (1.0 - ceded);
+    levels.optional_capacity[i] =
+        levels.optional_value[i] + levels.mandatory_value[i] * ceded;
+    for (PrincipalId k = 0; k < n; ++k) {
+      const double vk = graph.capacity(k);
+      levels.mandatory_entitlement(i, k) =
+          vk * levels.mandatory_transfer(k, i) * (1.0 - ceded);
+      levels.optional_entitlement(i, k) =
+          vk * (levels.optional_transfer(k, i) +
+                levels.mandatory_transfer(k, i) * ceded);
+    }
+  }
+
+  // Postconditions tying the decomposition back to the access levels.
+  for (PrincipalId i = 0; i < n; ++i) {
+    SHAREGRID_ENSURES(levels.mandatory_capacity[i] >= -1e-9);
+    double em_row = 0.0;
+    for (PrincipalId k = 0; k < n; ++k)
+      em_row += levels.mandatory_entitlement(i, k);
+    SHAREGRID_ENSURES(std::abs(em_row - levels.mandatory_capacity[i]) <
+                      1e-6 * (1.0 + levels.mandatory_capacity[i]));
+  }
+}
+
+}  // namespace sharegrid::core

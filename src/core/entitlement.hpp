@@ -1,0 +1,31 @@
+// Entitlement decomposition: from transfer matrices to access levels and
+// per-server entitlements (Figure 5(b) + DESIGN.md D1).
+//
+// Split out of flow.cpp so the value/capacity bookkeeping — the part the
+// invariant auditor checks for exact capacity partition — has its own
+// seam: compute_access_levels() runs the path walk, then delegates here to
+// turn MT/OT into M/O, MC/OC, and EM/EO.
+#pragma once
+
+#include "core/agreement_graph.hpp"
+#include "core/flow.hpp"
+
+namespace sharegrid::core {
+
+/// True when the agreement digraph (edges with ub > 0) contains a directed
+/// cycle. On acyclic graphs the mandatory entitlement decomposition exactly
+/// partitions every server's capacity (sum_i EM(i,k) = V_k); on cyclic
+/// graphs value re-enters its source and the partition is only a bound, so
+/// the auditor relaxes that check.
+bool has_agreement_cycle(const AgreementGraph& graph);
+
+/// Fills the value, access-level, and entitlement fields of @p levels from
+/// its already-computed transfer matrices:
+///   M_i = sum_j V_j MT(j,i),            O_i = sum_j V_j OT(j,i)
+///   MC_i = M_i (1 - L_i),               OC_i = O_i + M_i L_i
+///   EM(i,k) = V_k MT(k,i) (1 - L_i),    EO(i,k) = V_k (OT(k,i) + MT(k,i) L_i)
+/// Postcondition: each EM row sums to MC_i (the schedulers' mandatory lower
+/// bounds stay simultaneously feasible).
+void compute_entitlements(const AgreementGraph& graph, AccessLevels& levels);
+
+}  // namespace sharegrid::core

@@ -1,10 +1,11 @@
 #include "core/flow.hpp"
 
 #include <algorithm>
-#include <cmath>
 #include <thread>
 #include <vector>
 
+#include "audit/invariant_auditor.hpp"
+#include "core/entitlement.hpp"
 #include "util/assert.hpp"
 
 namespace sharegrid::core {
@@ -99,44 +100,18 @@ AccessLevels compute_access_levels(const AgreementGraph& graph,
     for (std::thread& t : threads) t.join();
   }
 
-  out.mandatory_value.assign(n, 0.0);
-  out.optional_value.assign(n, 0.0);
-  for (PrincipalId i = 0; i < n; ++i) {
-    for (PrincipalId j = 0; j < n; ++j) {
-      out.mandatory_value[i] +=
-          graph.capacity(j) * out.mandatory_transfer(j, i);
-      out.optional_value[i] += graph.capacity(j) * out.optional_transfer(j, i);
-    }
-  }
+  compute_entitlements(graph, out);
 
-  out.mandatory_capacity.assign(n, 0.0);
-  out.optional_capacity.assign(n, 0.0);
-  out.mandatory_entitlement = Matrix(n, n, 0.0);
-  out.optional_entitlement = Matrix(n, n, 0.0);
-  for (PrincipalId i = 0; i < n; ++i) {
-    const double ceded = graph.issued_lower_bound(i);  // L_i
-    out.mandatory_capacity[i] = out.mandatory_value[i] * (1.0 - ceded);
-    out.optional_capacity[i] =
-        out.optional_value[i] + out.mandatory_value[i] * ceded;
-    for (PrincipalId k = 0; k < n; ++k) {
-      const double vk = graph.capacity(k);
-      out.mandatory_entitlement(i, k) =
-          vk * out.mandatory_transfer(k, i) * (1.0 - ceded);
-      out.optional_entitlement(i, k) =
-          vk * (out.optional_transfer(k, i) +
-                out.mandatory_transfer(k, i) * ceded);
-    }
-  }
-
-  // Postconditions tying the decomposition back to the access levels.
-  for (PrincipalId i = 0; i < n; ++i) {
-    SHAREGRID_ENSURES(out.mandatory_capacity[i] >= -1e-9);
-    double em_row = 0.0;
-    for (PrincipalId k = 0; k < n; ++k)
-      em_row += out.mandatory_entitlement(i, k);
-    SHAREGRID_ENSURES(std::abs(em_row - out.mandatory_capacity[i]) <
-                      1e-6 * (1.0 + out.mandatory_capacity[i]));
-  }
+  // Full-path bound tolerances: transfer entries are sums over up to n!
+  // simple paths, so allow proportionally more accumulated rounding than the
+  // auditor's default. The exact capacity partition additionally requires
+  // every simple path to be enumerated: truncation (max_path_length < n-1)
+  // legitimately drops long-path contributions from the EM columns.
+  SHAREGRID_AUDIT_HOOK(audit::audit_access_levels(
+      graph, out,
+      /*expect_exact_partition=*/!has_agreement_cycle(graph) &&
+          (n == 0 || options.max_path_length >= n - 1),
+      audit::Tolerance{1e-6, 1e-6}));
   return out;
 }
 

@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "audit/invariant_auditor.hpp"
+
 namespace sharegrid::l4 {
 
 std::string to_string(const Endpoint& ep) {
@@ -14,6 +16,7 @@ void ConnectionTable::establish(const Endpoint& client, const Endpoint& vip,
                                 const Endpoint& server) {
   table_[{client, vip}] = server;
   affinity_[{client, vip}] = server;
+  SHAREGRID_AUDIT_HOOK(audit::audit_connection_table(table_, affinity_));
 }
 
 std::optional<Endpoint> ConnectionTable::lookup(const Endpoint& client,
@@ -25,6 +28,7 @@ std::optional<Endpoint> ConnectionTable::lookup(const Endpoint& client,
 
 void ConnectionTable::release(const Endpoint& client, const Endpoint& vip) {
   table_.erase({client, vip});
+  SHAREGRID_AUDIT_HOOK(audit::audit_connection_table(table_, affinity_));
 }
 
 Packet ConnectionTable::rewrite_to_server(Packet packet,

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "audit/invariant_auditor.hpp"
 #include "util/assert.hpp"
 #include "util/matrix.hpp"
 
@@ -93,23 +94,50 @@ PhaseResult run_simplex(Tableau& t, const std::vector<double>& costs,
     }
     if (enter == kNone) return PhaseResult::kOptimal;
 
-    // Leaving row: minimum ratio; ties broken by smallest basis index
-    // (lexicographic safeguard that pairs with Bland's rule).
+    // Leaving row: exact minimum ratio; exact ties broken by smallest basis
+    // index (the lexicographic safeguard that pairs with Bland's rule).
+    // The comparisons are deliberately tolerance-free: pivoting on any row
+    // whose ratio exceeds the true minimum drives the minimum row's rhs
+    // negative by (difference * a(i, enter)), so an absolute tie window is
+    // an infeasibility budget that scales with the column magnitude — and a
+    // window that follows the accepted ratio can ratchet upward across rows.
+    // The ties that matter for anti-cycling (degenerate rows) are exact:
+    // rhs 0 divided by any pivot element is exactly 0.
+    // A pivot candidate counts as zero only relative to the entering
+    // column's largest magnitude. An absolute guard misclassifies genuinely
+    // tiny data (1e-8-scale coefficients whose min-ratio row it skips, so
+    // the pivot drives that row's rhs negative and the "optimal" point
+    // violates the original constraint); cancellation noise, by contrast,
+    // is always small relative to the column that produced it.
+    double col_max = 0.0;
+    for (std::size_t i = 0; i < t.rows(); ++i)
+      col_max = std::max(col_max, std::abs(t.a(i, enter)));
+    const double drop = opt.tolerance * col_max;
+
     std::size_t leave = kNone;
     double best_ratio = std::numeric_limits<double>::infinity();
     for (std::size_t i = 0; i < t.rows(); ++i) {
       const double aij = t.a(i, enter);
-      if (aij <= opt.tolerance) continue;
+      if (aij <= drop) continue;
       const double ratio = t.rhs[i] / aij;
-      if (ratio < best_ratio - opt.tolerance ||
-          (ratio < best_ratio + opt.tolerance &&
-           (leave == kNone || t.basis[i] < t.basis[leave]))) {
+      if (leave == kNone || ratio < best_ratio ||
+          (ratio == best_ratio && t.basis[i] < t.basis[leave])) {
         best_ratio = ratio;
         leave = i;
       }
     }
     if (leave == kNone) return PhaseResult::kUnbounded;
+#if defined(SHAREGRID_AUDIT)
+    const double objective_before = bland ? objective_value(t, costs) : 0.0;
+#endif
     pivot(t, leave, enter);
+    // Tableau coherence after every pivot, plus the Bland anti-cycling
+    // guarantee (objective never regresses once Bland pricing is active).
+    SHAREGRID_AUDIT_HOOK(audit::audit_simplex_basis(t.a, t.rhs, t.basis,
+                                                    /*tol=*/1e-6));
+    SHAREGRID_AUDIT_HOOK(if (bland) audit::audit_bland_progress(
+                             objective_before, objective_value(t, costs),
+                             /*tol=*/1e-6));
   }
   return PhaseResult::kIterationLimit;
 }
@@ -193,6 +221,8 @@ Solution solve(const Problem& problem, const SolverOptions& options) {
   }
 
   Solution out;
+  SHAREGRID_AUDIT_HOOK(audit::audit_simplex_basis(t.a, t.rhs, t.basis,
+                                                  /*tol=*/1e-6));
 
   // Phase 1: drive artificials to zero (maximize -sum of artificials).
   if (num_art > 0) {
@@ -209,14 +239,26 @@ Solution solve(const Problem& problem, const SolverOptions& options) {
     // cannot re-enter through rounding noise in phase 2.
     for (std::size_t i = 0; i < m; ++i) {
       if (t.basis[i] < t.first_artificial) continue;
+      bool pivoted = false;
       for (std::size_t j = 0; j < t.first_artificial; ++j) {
         if (std::abs(t.a(i, j)) > 1e-7) {
           pivot(t, i, j);
+          pivoted = true;
           break;
         }
       }
-      // If no pivot column exists the row is redundant; the artificial stays
-      // basic at level zero and is locked out of phase 2 pricing.
+      if (!pivoted) {
+        // No pivot column: every non-artificial entry is below threshold, so
+        // the row reads 0*y ~= 0 — redundant within tolerance. The artificial
+        // stays basic at level zero and is locked out of phase 2 pricing, but
+        // the sub-threshold residue must be cleared: phase-2 pivots would
+        // multiply it by rhs magnitudes (factor * rhs[row] with rhs up to the
+        // saturated-demand scale) and silently leak value into the basic
+        // artificial, i.e. return kOptimal for a point that violates the
+        // original constraint.
+        for (std::size_t j = 0; j < t.first_artificial; ++j) t.a(i, j) = 0.0;
+        t.rhs[i] = 0.0;
+      }
     }
   }
 
@@ -243,6 +285,10 @@ Solution solve(const Problem& problem, const SolverOptions& options) {
     objective += problem.objective()[j] * out.values[j];
   }
   out.objective = objective;
+  // The solution handed back must satisfy the *original* problem, not just
+  // the internal shifted/standard-form tableau.
+  SHAREGRID_AUDIT_HOOK(audit::audit_lp_solution(problem, out,
+                                                /*tol=*/1e-5));
   return out;
 }
 

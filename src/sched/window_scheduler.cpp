@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "audit/invariant_auditor.hpp"
 #include "util/assert.hpp"
 
 namespace sharegrid::sched {
@@ -13,6 +14,7 @@ std::uint64_t QuotaCarry::take(double amount) {
   const double whole = std::floor(carry_ + 1e-9);
   carry_ -= whole;
   if (carry_ < 0.0) carry_ = 0.0;
+  SHAREGRID_AUDIT_HOOK(audit::audit_quota_carry(carry_));
   return static_cast<std::uint64_t>(whole);
 }
 
@@ -46,6 +48,7 @@ WindowScheduler::WindowScheduler(const Scheduler* scheduler, SimDuration window,
   quota_ = Matrix(n, n, 0.0);
   debt_ = Matrix(n, n, 0.0);
   consumed_ = Matrix(n, n, 0.0);
+  slices_ = Matrix(n, n, 0.0);
 }
 
 Matrix WindowScheduler::compute_slices(const std::vector<double>& local_demand,
@@ -105,7 +108,7 @@ Matrix WindowScheduler::compute_slices(const std::vector<double>& local_demand,
 
 void WindowScheduler::begin_window(const std::vector<double>& local_demand,
                                    const GlobalDemand& global) {
-  const Matrix slices = compute_slices(local_demand, global);
+  slices_ = compute_slices(local_demand, global);
   const std::size_t n = scheduler_->size();
   for (std::size_t i = 0; i < n; ++i) {
     for (std::size_t k = 0; k < n; ++k) {
@@ -113,20 +116,24 @@ void WindowScheduler::begin_window(const std::vector<double>& local_demand,
       // unused positive quota does NOT accumulate (window semantics).
       debt_(i, k) = std::min(0.0, quota_(i, k));
       consumed_(i, k) = 0.0;
-      quota_(i, k) = slices(i, k) + debt_(i, k);
+      quota_(i, k) = slices_(i, k) + debt_(i, k);
     }
   }
+  SHAREGRID_AUDIT_HOOK(audit::audit_window_conservation(
+      quota_, consumed_, debt_, slices_, /*tol=*/1e-9));
 }
 
 void WindowScheduler::replan(const std::vector<double>& local_demand,
                              const GlobalDemand& global) {
-  const Matrix slices = compute_slices(local_demand, global);
+  slices_ = compute_slices(local_demand, global);
   const std::size_t n = scheduler_->size();
   // Fresh slices against the same window's debt and consumption: quota can
   // only grow if the *plan* grew, never because consumption was forgotten.
   for (std::size_t i = 0; i < n; ++i)
     for (std::size_t k = 0; k < n; ++k)
-      quota_(i, k) = slices(i, k) + debt_(i, k) - consumed_(i, k);
+      quota_(i, k) = slices_(i, k) + debt_(i, k) - consumed_(i, k);
+  SHAREGRID_AUDIT_HOOK(audit::audit_window_conservation(
+      quota_, consumed_, debt_, slices_, /*tol=*/1e-9));
 }
 
 std::optional<core::PrincipalId> WindowScheduler::try_admit(
@@ -148,6 +155,8 @@ std::optional<core::PrincipalId> WindowScheduler::try_admit(
   if (best == quota_.cols()) return std::nullopt;
   quota_(i, best) -= weight;
   consumed_(i, best) += weight;
+  SHAREGRID_AUDIT_HOOK(audit::audit_window_conservation(
+      quota_, consumed_, debt_, slices_, /*tol=*/1e-9));
   return best;
 }
 

@@ -133,6 +133,8 @@ class WindowScheduler {
   Matrix quota_;     // (i, k) units remaining this window
   Matrix debt_;      // (i, k) borrow carried into this window (<= 0)
   Matrix consumed_;  // (i, k) units admitted since the window began
+  Matrix slices_;    // (i, k) this window's plan slice (audit reference:
+                     // quota + consumed == slices + debt at all times)
   Plan plan_;
 };
 

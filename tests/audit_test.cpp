@@ -1,0 +1,362 @@
+// Tests for the runtime invariant auditor: each check must (a) pass on
+// honestly-computed state and (b) fire with an actionable message when that
+// state is deliberately corrupted. The corruption tests are what make
+// SHAREGRID_AUDIT builds trustworthy — a check that can never fire verifies
+// nothing.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <utility>
+
+#include "audit/invariant_auditor.hpp"
+#include "core/agreement_graph.hpp"
+#include "core/entitlement.hpp"
+#include "core/flow.hpp"
+#include "experiments/paper_figures.hpp"
+#include "l4/packet.hpp"
+#include "lp/problem.hpp"
+#include "lp/simplex.hpp"
+#include "util/assert.hpp"
+
+namespace sharegrid {
+namespace {
+
+/// Runs @p fn, which must throw ContractViolation, and returns its message.
+template <class Fn>
+std::string violation_message(Fn&& fn) {
+  try {
+    fn();
+  } catch (const ContractViolation& e) {
+    return e.what();
+  }
+  ADD_FAILURE() << "expected a ContractViolation, but no audit check fired";
+  return {};
+}
+
+core::AgreementGraph two_principal_graph() {
+  core::AgreementGraph g;
+  g.add_principal("A", 100.0);
+  g.add_principal("B", 200.0);
+  g.set_agreement(/*owner=*/1, /*user=*/0, 0.2, 0.5);  // B shares with A
+  return g;
+}
+
+// ---------------------------------------------------------------------------
+// core/flow + core/entitlement
+// ---------------------------------------------------------------------------
+
+TEST(AuditFlow, HonestAccessLevelsPass) {
+  const core::AgreementGraph g = two_principal_graph();
+  const core::AccessLevels levels = core::compute_access_levels(g);
+  EXPECT_FALSE(core::has_agreement_cycle(g));
+  EXPECT_NO_THROW(audit::audit_access_levels(g, levels,
+                                             /*expect_exact_partition=*/true));
+}
+
+TEST(AuditFlow, AllPaperFigureGraphsPass) {
+  for (const auto& figure : experiments::all_figures()) {
+    const core::AgreementGraph& g = figure.config.graph;
+    const core::AccessLevels levels = core::compute_access_levels(g);
+    EXPECT_NO_THROW(audit::audit_access_levels(
+        g, levels, !core::has_agreement_cycle(g)))
+        << "figure " << figure.id;
+  }
+}
+
+TEST(AuditFlow, CorruptedDiagonalFires) {
+  const core::AgreementGraph g = two_principal_graph();
+  core::AccessLevels levels = core::compute_access_levels(g);
+  levels.mandatory_transfer(0, 0) = 0.9;  // a principal must own itself fully
+  const std::string msg = violation_message(
+      [&] { audit::audit_access_levels(g, levels, true); });
+  EXPECT_NE(msg.find("[audit] flow.transfer-diagonal"), std::string::npos);
+  EXPECT_NE(msg.find("A"), std::string::npos) << "names the principal: " << msg;
+}
+
+TEST(AuditFlow, NegativeTransferFires) {
+  const core::AgreementGraph g = two_principal_graph();
+  core::AccessLevels levels = core::compute_access_levels(g);
+  levels.optional_transfer(1, 0) = -0.25;
+  const std::string msg = violation_message(
+      [&] { audit::audit_access_levels(g, levels, true); });
+  EXPECT_NE(msg.find("flow.transfer-negative"), std::string::npos);
+}
+
+TEST(AuditFlow, MandatoryTransferAboveOneFires) {
+  const core::AgreementGraph g = two_principal_graph();
+  core::AccessLevels levels = core::compute_access_levels(g);
+  levels.mandatory_transfer(1, 0) = 1.5;  // no lb path measure can exceed 1
+  const std::string msg = violation_message(
+      [&] { audit::audit_access_levels(g, levels, true); });
+  EXPECT_NE(msg.find("flow.mandatory-transfer-bound"), std::string::npos);
+  EXPECT_NE(msg.find("Formula 1"), std::string::npos);
+}
+
+TEST(AuditFlow, StaleValueVectorFires) {
+  const core::AgreementGraph g = two_principal_graph();
+  core::AccessLevels levels = core::compute_access_levels(g);
+  levels.mandatory_value[0] += 7.0;  // as if capacities changed underneath
+  const std::string msg = violation_message(
+      [&] { audit::audit_access_levels(g, levels, true); });
+  EXPECT_NE(msg.find("flow.mandatory-value-conservation"), std::string::npos);
+  EXPECT_NE(msg.find("recomputed"), std::string::npos)
+      << "hints at the likely cause: " << msg;
+}
+
+TEST(AuditFlow, BrokenAccessLevelSplitFires) {
+  const core::AgreementGraph g = two_principal_graph();
+  core::AccessLevels levels = core::compute_access_levels(g);
+  levels.mandatory_capacity[1] += 3.0;  // MC no longer M (1 - L)
+  const std::string msg = violation_message(
+      [&] { audit::audit_access_levels(g, levels, true); });
+  EXPECT_NE(msg.find("flow.access-level-split"), std::string::npos);
+}
+
+TEST(AuditFlow, EntitlementRowDriftFires) {
+  const core::AgreementGraph g = two_principal_graph();
+  core::AccessLevels levels = core::compute_access_levels(g);
+  levels.mandatory_entitlement(0, 1) += 2.0;  // row sum != MC_0
+  const std::string msg = violation_message(
+      [&] { audit::audit_access_levels(g, levels, true); });
+  EXPECT_NE(msg.find("flow.entitlement-row-sum"), std::string::npos);
+  EXPECT_NE(msg.find("DESIGN.md D1"), std::string::npos);
+}
+
+TEST(AuditFlow, BrokenCapacityPartitionFires) {
+  const core::AgreementGraph g = two_principal_graph();
+  core::AccessLevels levels = core::compute_access_levels(g);
+  // Shift entitlement between servers within a row: row sums (and therefore
+  // MC) stay intact, but server B's column no longer partitions V_B.
+  levels.mandatory_entitlement(0, 0) += 5.0;
+  levels.mandatory_entitlement(0, 1) -= 5.0;
+  const std::string msg = violation_message(
+      [&] { audit::audit_access_levels(g, levels, true); });
+  EXPECT_NE(msg.find("flow.entitlement-partition"), std::string::npos);
+  EXPECT_NE(msg.find("capacity"), std::string::npos);
+}
+
+TEST(AuditFlow, CyclicGraphSkipsPartitionCheckOnly) {
+  core::AgreementGraph g;
+  g.add_principal("A", 100.0);
+  g.add_principal("B", 100.0);
+  g.set_agreement(0, 1, 0.3, 0.6);
+  g.set_agreement(1, 0, 0.3, 0.6);  // A <-> B: a cycle
+  EXPECT_TRUE(core::has_agreement_cycle(g));
+  const core::AccessLevels levels = core::compute_access_levels(g);
+  EXPECT_NO_THROW(audit::audit_access_levels(
+      g, levels, /*expect_exact_partition=*/false));
+}
+
+TEST(AuditFlow, CycleDetectionOnChainsAndBranches) {
+  core::AgreementGraph chain;
+  chain.add_principal("A", 1.0);
+  chain.add_principal("B", 1.0);
+  chain.add_principal("C", 1.0);
+  chain.set_agreement(0, 1, 0.1, 0.5);
+  chain.set_agreement(1, 2, 0.1, 0.5);
+  EXPECT_FALSE(core::has_agreement_cycle(chain));
+  chain.set_agreement(2, 0, 0.1, 0.5);  // close the loop
+  EXPECT_TRUE(core::has_agreement_cycle(chain));
+}
+
+// ---------------------------------------------------------------------------
+// lp/simplex
+// ---------------------------------------------------------------------------
+
+lp::Problem small_lp() {
+  lp::Problem p(2, lp::Sense::kMaximize);
+  p.set_objective(0, 1.0);
+  p.set_objective(1, 1.0);
+  p.add_constraint({{0, 1.0}, {1, 1.0}}, lp::Relation::kLessEq, 5.0);
+  p.add_constraint({{0, 1.0}}, lp::Relation::kGreaterEq, 1.0);
+  return p;
+}
+
+TEST(AuditLp, HonestSolutionPasses) {
+  const lp::Problem p = small_lp();
+  const lp::Solution s = lp::solve(p);
+  ASSERT_TRUE(s.optimal());
+  EXPECT_NO_THROW(audit::audit_lp_solution(p, s, 1e-6));
+}
+
+TEST(AuditLp, InfeasiblePointReportedOptimalFires) {
+  const lp::Problem p = small_lp();
+  lp::Solution s = lp::solve(p);
+  ASSERT_TRUE(s.optimal());
+  s.values[1] += 10.0;  // blows through the <= 5 row
+  const std::string msg =
+      violation_message([&] { audit::audit_lp_solution(p, s, 1e-6); });
+  EXPECT_NE(msg.find("[audit] lp.primal-feasibility"), std::string::npos);
+  EXPECT_NE(msg.find("constraint #0"), std::string::npos);
+}
+
+TEST(AuditLp, BoundViolationFires) {
+  const lp::Problem p = small_lp();
+  lp::Solution s = lp::solve(p);
+  ASSERT_TRUE(s.optimal());
+  s.values[1] = -2.0;
+  const std::string msg =
+      violation_message([&] { audit::audit_lp_solution(p, s, 1e-6); });
+  EXPECT_NE(msg.find("lp.variable-bounds"), std::string::npos);
+}
+
+TEST(AuditLp, ObjectiveBookkeepingDriftFires) {
+  const lp::Problem p = small_lp();
+  lp::Solution s = lp::solve(p);
+  ASSERT_TRUE(s.optimal());
+  s.objective += 1.0;
+  const std::string msg =
+      violation_message([&] { audit::audit_lp_solution(p, s, 1e-6); });
+  EXPECT_NE(msg.find("lp.objective-consistency"), std::string::npos);
+}
+
+TEST(AuditLp, NonOptimalSolutionsAreNotAudited) {
+  lp::Problem p(1, lp::Sense::kMaximize);
+  p.set_objective(0, 1.0);  // unbounded above
+  const lp::Solution s = lp::solve(p);
+  ASSERT_EQ(s.status, lp::Status::kUnbounded);
+  EXPECT_NO_THROW(audit::audit_lp_solution(p, s, 1e-6));
+}
+
+TEST(AuditSimplex, ProperBasisPasses) {
+  Matrix a(2, 3, 0.0);
+  a(0, 0) = 1.0;
+  a(1, 1) = 1.0;
+  a(0, 2) = 4.0;
+  a(1, 2) = 2.0;
+  EXPECT_NO_THROW(
+      audit::audit_simplex_basis(a, {3.0, 1.0}, {0, 1}, /*tol=*/1e-9));
+}
+
+TEST(AuditSimplex, NonUnitBasisColumnFires) {
+  Matrix a(2, 3, 0.0);
+  a(0, 0) = 1.0;
+  a(1, 1) = 1.0;
+  a(0, 1) = 0.5;  // column 1 is basic in row 1 but not eliminated in row 0
+  const std::string msg = violation_message(
+      [&] { audit::audit_simplex_basis(a, {3.0, 1.0}, {0, 1}, 1e-9); });
+  EXPECT_NE(msg.find("simplex.basis-not-unit"), std::string::npos);
+  EXPECT_NE(msg.find("pivot"), std::string::npos);
+}
+
+TEST(AuditSimplex, NegativeRhsFires) {
+  Matrix a(2, 2, 0.0);
+  a(0, 0) = 1.0;
+  a(1, 1) = 1.0;
+  const std::string msg = violation_message(
+      [&] { audit::audit_simplex_basis(a, {-1.0, 2.0}, {0, 1}, 1e-9); });
+  EXPECT_NE(msg.find("simplex.primal-infeasible-rhs"), std::string::npos);
+}
+
+TEST(AuditSimplex, BlandRegressionFires) {
+  EXPECT_NO_THROW(audit::audit_bland_progress(10.0, 10.0, 1e-9));
+  EXPECT_NO_THROW(audit::audit_bland_progress(10.0, 10.5, 1e-9));
+  const std::string msg =
+      violation_message([&] { audit::audit_bland_progress(10.0, 9.0, 1e-9); });
+  EXPECT_NE(msg.find("simplex.bland-regress"), std::string::npos);
+  EXPECT_NE(msg.find("termination"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// sched/window_scheduler
+// ---------------------------------------------------------------------------
+
+TEST(AuditWindow, ConservedStatePasses) {
+  const Matrix quota(1, 1, 2.0);
+  const Matrix consumed(1, 1, 1.0);
+  const Matrix debt(1, 1, 0.0);
+  const Matrix slices(1, 1, 3.0);
+  EXPECT_NO_THROW(
+      audit::audit_window_conservation(quota, consumed, debt, slices, 1e-9));
+}
+
+TEST(AuditWindow, LeakedQuotaFires) {
+  const Matrix quota(1, 1, 2.5);  // 2.5 + 1.0 != 3.0 + 0.0
+  const Matrix consumed(1, 1, 1.0);
+  const Matrix debt(1, 1, 0.0);
+  const Matrix slices(1, 1, 3.0);
+  const std::string msg = violation_message([&] {
+    audit::audit_window_conservation(quota, consumed, debt, slices, 1e-9);
+  });
+  EXPECT_NE(msg.find("window.quota-conservation"), std::string::npos);
+  EXPECT_NE(msg.find("DESIGN.md D5"), std::string::npos);
+}
+
+TEST(AuditWindow, NegativeConsumptionFires) {
+  const Matrix quota(1, 1, 3.5);
+  const Matrix consumed(1, 1, -0.5);
+  const Matrix debt(1, 1, 0.0);
+  const Matrix slices(1, 1, 3.0);
+  const std::string msg = violation_message([&] {
+    audit::audit_window_conservation(quota, consumed, debt, slices, 1e-9);
+  });
+  EXPECT_NE(msg.find("window.negative-consumption"), std::string::npos);
+}
+
+TEST(AuditWindow, PositiveDebtCarryFires) {
+  const Matrix quota(1, 1, 3.5);
+  const Matrix consumed(1, 1, 0.0);
+  const Matrix debt(1, 1, 0.5);  // stacking unused quota across windows
+  const Matrix slices(1, 1, 3.0);
+  const std::string msg = violation_message([&] {
+    audit::audit_window_conservation(quota, consumed, debt, slices, 1e-9);
+  });
+  EXPECT_NE(msg.find("window.positive-debt"), std::string::npos);
+}
+
+TEST(AuditWindow, CarryRange) {
+  EXPECT_NO_THROW(audit::audit_quota_carry(0.0));
+  EXPECT_NO_THROW(audit::audit_quota_carry(0.999));
+  EXPECT_NE(violation_message([] { audit::audit_quota_carry(1.5); })
+                .find("window.carry-range"),
+            std::string::npos);
+  EXPECT_NE(violation_message([] { audit::audit_quota_carry(-0.1); })
+                .find("window.carry-range"),
+            std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// l4/connection_table
+// ---------------------------------------------------------------------------
+
+using FlowMap = std::map<std::pair<l4::Endpoint, l4::Endpoint>, l4::Endpoint>;
+
+TEST(AuditL4, ConsistentTablePasses) {
+  const l4::Endpoint client{1, 4000}, vip{9, 80}, server{2, 8080};
+  FlowMap table{{{client, vip}, server}};
+  FlowMap affinity = table;
+  EXPECT_NO_THROW(audit::audit_connection_table(table, affinity));
+}
+
+TEST(AuditL4, OrphanedNatEntryFires) {
+  const l4::Endpoint client{1, 4000}, vip{9, 80}, server{2, 8080};
+  FlowMap table{{{client, vip}, server}};
+  const FlowMap affinity;  // hint lost
+  const std::string msg = violation_message(
+      [&] { audit::audit_connection_table(table, affinity); });
+  EXPECT_NE(msg.find("l4.orphaned-nat-entry"), std::string::npos);
+  EXPECT_NE(msg.find("establish()"), std::string::npos);
+}
+
+TEST(AuditL4, AffinityMismatchFires) {
+  const l4::Endpoint client{1, 4000}, vip{9, 80};
+  const l4::Endpoint server_a{2, 8080}, server_b{3, 8080};
+  FlowMap table{{{client, vip}, server_a}};
+  FlowMap affinity{{{client, vip}, server_b}};
+  const std::string msg = violation_message(
+      [&] { audit::audit_connection_table(table, affinity); });
+  EXPECT_NE(msg.find("l4.affinity-mismatch"), std::string::npos);
+}
+
+// An affinity hint with no live flow is fine: hints deliberately outlive
+// connections so new connections from the same client prefer the old server.
+TEST(AuditL4, DanglingHintWithoutFlowIsAllowed) {
+  const l4::Endpoint client{1, 4000}, vip{9, 80}, server{2, 8080};
+  const FlowMap table;
+  FlowMap affinity{{{client, vip}, server}};
+  EXPECT_NO_THROW(audit::audit_connection_table(table, affinity));
+}
+
+}  // namespace
+}  // namespace sharegrid

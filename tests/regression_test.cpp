@@ -3,10 +3,17 @@
 // return.
 #include <gtest/gtest.h>
 
+#include <utility>
+#include <vector>
+
+#include "audit/invariant_auditor.hpp"
 #include "core/flow.hpp"
 #include "experiments/scenario.hpp"
+#include "lp/problem.hpp"
+#include "lp/simplex.hpp"
 #include "sched/response_time_scheduler.hpp"
 #include "sched/window_scheduler.hpp"
+#include "util/rng.hpp"
 
 namespace sharegrid {
 namespace {
@@ -99,6 +106,65 @@ TEST(Regression, RetryStormsDoNotStarveQuota) {
   // The server's 100 req/s must be consumed nearly fully despite ~170
   // req/s of perpetual retries.
   EXPECT_GE(result.phase_served(0, 1), 92.0);
+}
+
+// Bug 5 (found by the SHAREGRID_AUDIT build of the integration suite): the
+// simplex ratio test accepted "ties" within an absolute tolerance window and
+// let the accepted ratio ratchet upward across rows. Pivoting on a row whose
+// ratio exceeds the true minimum drives the minimum row's rhs negative by
+// (difference * pivot-column entry) — with scheduler-sized coefficients that
+// is request-sized infeasibility, and the returned "optimal" point overshot
+// the binding constraint. Fixed by making the minimum-ratio comparison exact
+// (degenerate ties that matter for Bland's rule are exactly 0).
+TEST(Regression, RatioTestTieWindowDoesNotOvershootBindingConstraint) {
+  // Two near-tied rows, large coefficients, the larger-ratio row first. The
+  // old tie window (|delta ratio| < 1e-9 * 1e6-scale) picked row 0 by basis
+  // order and left rhs[1] at -0.05; the reported x0 then violated row 1.
+  lp::Problem p(1, lp::Sense::kMaximize);
+  p.set_objective(0, 1.0);
+  p.add_constraint({{0, 1e6}}, lp::Relation::kLessEq, 1000000.0005);
+  p.add_constraint({{0, 1e6}}, lp::Relation::kLessEq, 1000000.0);
+  const lp::Solution s = lp::solve(p);
+  ASSERT_TRUE(s.optimal());
+  EXPECT_LE(s.values[0], 1.0 + 1e-12);
+  EXPECT_NO_THROW(audit::audit_lp_solution(p, s, 1e-10));
+}
+
+// Bug 6 (found by the SHAREGRID_AUDIT build of the robustness suite): after
+// phase 1, an artificial variable that cannot be pivoted out stays basic in
+// a redundant row — but the row kept sub-threshold (< 1e-7) residue in its
+// structural columns. Phase-2 pivots multiplied that residue by
+// saturated-demand-scale rhs values and leaked ~1e6 into the basic
+// artificial, so solve() returned kOptimal for a point violating an original
+// constraint by six orders of magnitude beyond tolerance. Fixed by zeroing
+// the residue of rows whose artificial stays basic. The pinned check: every
+// kOptimal result of the degenerate-coefficient sweep must satisfy the
+// original problem (audit_lp_solution throws if not).
+TEST(Regression, DegenerateCoefficientOptimaSatisfyOriginalProblem) {
+  Rng rng(77);  // same seed as Robustness.SimplexSurvivesDegenerateCoefficients
+  for (int trial = 0; trial < 50; ++trial) {
+    lp::Problem p(3, lp::Sense::kMaximize);
+    for (std::size_t j = 0; j < 3; ++j) {
+      p.set_objective(j, rng.uniform(-1.0, 1.0));
+      p.set_bounds(j, 0.0, rng.chance(0.5) ? lp::kInfinity : 1e9);
+    }
+    for (int c = 0; c < 4; ++c) {
+      std::vector<std::pair<std::size_t, double>> terms;
+      for (std::size_t j = 0; j < 3; ++j) {
+        const double magnitude =
+            rng.chance(0.3) ? 0.0
+                            : (rng.chance(0.5) ? 1e-8 : rng.uniform(0.0, 1e6));
+        terms.emplace_back(j, magnitude);
+      }
+      p.add_constraint(std::move(terms),
+                       rng.chance(0.5) ? lp::Relation::kLessEq
+                                       : lp::Relation::kGreaterEq,
+                       rng.uniform(0.0, 1e6));
+    }
+    const lp::Solution s = lp::solve(p);
+    if (!s.optimal()) continue;
+    EXPECT_NO_THROW(audit::audit_lp_solution(p, s, 1e-5)) << "trial " << trial;
+  }
 }
 
 }  // namespace

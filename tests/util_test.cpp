@@ -15,6 +15,64 @@
 namespace sharegrid {
 namespace {
 
+// The contract macros must produce messages a developer can act on without
+// a debugger: the kind of contract, the exact failed expression, and the
+// file:line of the call site.
+TEST(Contracts, ExpectsMessageHasKindExpressionFileAndLine) {
+  const int line = __LINE__ + 2;  // the SHAREGRID_EXPECTS line below
+  try {
+    SHAREGRID_EXPECTS(1 + 1 == 3);
+    FAIL() << "SHAREGRID_EXPECTS(false) must throw";
+  } catch (const ContractViolation& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("precondition"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("1 + 1 == 3"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("util_test.cpp"), std::string::npos) << msg;
+    EXPECT_NE(msg.find(":" + std::to_string(line)), std::string::npos) << msg;
+  }
+}
+
+TEST(Contracts, EnsuresMessageSaysPostcondition) {
+  try {
+    SHAREGRID_ENSURES(false && "result in range");
+    FAIL() << "SHAREGRID_ENSURES(false) must throw";
+  } catch (const ContractViolation& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("postcondition"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("false && \"result in range\""), std::string::npos)
+        << msg;
+    EXPECT_NE(msg.find("util_test.cpp"), std::string::npos) << msg;
+  }
+}
+
+TEST(Contracts, AssertMessageSaysInvariant) {
+  try {
+    SHAREGRID_ASSERT(2 < 1);
+    FAIL() << "SHAREGRID_ASSERT(false) must throw";
+  } catch (const ContractViolation& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("invariant"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("2 < 1"), std::string::npos) << msg;
+  }
+}
+
+TEST(Contracts, PassingContractsDoNotThrowOrEvaluateTwice) {
+  int evaluations = 0;
+  const auto bump = [&] {
+    ++evaluations;
+    return true;
+  };
+  EXPECT_NO_THROW(SHAREGRID_EXPECTS(bump()));
+  EXPECT_NO_THROW(SHAREGRID_ENSURES(bump()));
+  EXPECT_NO_THROW(SHAREGRID_ASSERT(bump()));
+  EXPECT_EQ(evaluations, 3);
+}
+
+TEST(Contracts, ViolationIsALogicError) {
+  // Catch sites that filter on std::logic_error must see contract failures.
+  EXPECT_THROW(SHAREGRID_EXPECTS(false), std::logic_error);
+}
+
 TEST(Rng, SameSeedSameStream) {
   Rng a(123);
   Rng b(123);

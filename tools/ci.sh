@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Pre-PR gate: warnings-as-errors build + tests, then the same suite under
+# ASan/UBSan and TSan with the runtime invariant auditor compiled in.
+# See docs/static-analysis.md. Usage:
+#
+#   tools/ci.sh                      # all three stages
+#   SHAREGRID_CI_SKIP_TSAN=1 tools/ci.sh   # skip the (slow) TSan stage
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+JOBS="${SHAREGRID_CI_JOBS:-$(nproc)}"
+
+run_stage() {
+  local preset="$1"
+  echo
+  echo "=== [${preset}] configure + build + ctest ==="
+  cmake --preset "${preset}"
+  cmake --build --preset "${preset}" -j "${JOBS}"
+  ctest --preset "${preset}"
+}
+
+run_stage relwithdebinfo   # -Werror + lint + figure shapes
+run_stage debug-asan       # ASan+UBSan, SHAREGRID_AUDIT=ON
+
+if [[ "${SHAREGRID_CI_SKIP_TSAN:-0}" == "1" ]]; then
+  echo "=== [debug-tsan] skipped (SHAREGRID_CI_SKIP_TSAN=1) ==="
+else
+  run_stage debug-tsan     # TSan, SHAREGRID_AUDIT=ON
+fi
+
+echo
+echo "ci.sh: all stages passed"

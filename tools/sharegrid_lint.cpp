@@ -1,0 +1,304 @@
+// sharegrid_lint: fast file-level lint for project conventions.
+//
+// Usage: sharegrid_lint <root>... (roots are files or directories; the ctest
+// registration passes the repo's src/). Exit status 0 = clean, 1 =
+// violations (printed one per line as path:line: [rule] message), 2 = usage
+// or I/O error.
+//
+// Rules (see docs/static-analysis.md for rationale):
+//   no-raw-assert     assert()/abort() calls — contracts must throw
+//                     ContractViolation via SHAREGRID_EXPECTS/ENSURES/ASSERT
+//                     so tests can assert on misuse and long simulations
+//                     fail loudly but cleanly (static_assert is fine).
+//   no-stdout         std::cout / printf / puts in library code — libraries
+//                     report through return values and exceptions; printing
+//                     belongs to the bench/example/tool binaries.
+//   no-raw-rng        rand()/srand()/random_device — determinism is
+//                     load-bearing (DESIGN.md D4); all randomness must flow
+//                     through the seeded sharegrid::Rng.
+//   pragma-once       every header starts its include guard with
+//                     #pragma once.
+//   warnings-linked   every CMakeLists.txt that defines a non-INTERFACE
+//                     target links sharegrid_warnings, so no target escapes
+//                     -Werror or the sanitizer wiring.
+//
+// Matching is token-aware, not grep: comments and string/char literals are
+// stripped first, and banned names must start at an identifier boundary.
+// A line can opt out with a trailing  // sharegrid-lint: allow(<rule>).
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+struct Violation {
+  fs::path file;
+  std::size_t line = 0;
+  std::string rule;
+  std::string message;
+};
+
+/// Per-line source text with comments and literal contents blanked out
+/// (replaced by spaces), so token scans cannot match inside them.
+std::vector<std::string> strip_comments_and_literals(const std::string& text) {
+  enum class State { kCode, kLineComment, kBlockComment, kString, kChar };
+  std::vector<std::string> lines(1);
+  State state = State::kCode;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    const char next = i + 1 < text.size() ? text[i + 1] : '\0';
+    if (c == '\n') {
+      if (state == State::kLineComment) state = State::kCode;
+      lines.emplace_back();
+      continue;
+    }
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLineComment;
+          lines.back() += "  ";
+          ++i;
+        } else if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          lines.back() += "  ";
+          ++i;
+        } else if (c == '"') {
+          state = State::kString;
+          lines.back() += '"';
+        } else if (c == '\'') {
+          state = State::kChar;
+          lines.back() += '\'';
+        } else {
+          lines.back() += c;
+        }
+        break;
+      case State::kLineComment:
+        lines.back() += ' ';
+        break;
+      case State::kBlockComment:
+        if (c == '*' && next == '/') {
+          state = State::kCode;
+          lines.back() += "  ";
+          ++i;
+        } else {
+          lines.back() += ' ';
+        }
+        break;
+      case State::kString:
+      case State::kChar: {
+        const char quote = state == State::kString ? '"' : '\'';
+        if (c == '\\') {
+          lines.back() += "  ";
+          if (next != '\n') ++i;
+        } else if (c == quote) {
+          state = State::kCode;
+          lines.back() += quote;
+        } else {
+          lines.back() += ' ';
+        }
+        break;
+      }
+    }
+  }
+  return lines;
+}
+
+bool is_identifier_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/// True when @p name occurs in @p line starting at an identifier boundary
+/// and followed (after optional spaces) by @p follow ('\0' = any).
+bool has_token(const std::string& line, const std::string& name, char follow) {
+  std::size_t pos = 0;
+  while ((pos = line.find(name, pos)) != std::string::npos) {
+    const bool boundary = pos == 0 || !is_identifier_char(line[pos - 1]);
+    std::size_t after = pos + name.size();
+    if (boundary) {
+      if (follow == '\0') return true;
+      while (after < line.size() && line[after] == ' ') ++after;
+      if (after < line.size() && line[after] == follow) return true;
+    }
+    pos += name.size();
+  }
+  return false;
+}
+
+/// The raw (unstripped) line may carry a lint suppression for @p rule.
+bool allows(const std::string& raw_line, const std::string& rule) {
+  const std::size_t pos = raw_line.find("sharegrid-lint: allow(");
+  if (pos == std::string::npos) return false;
+  const std::size_t open = raw_line.find('(', pos);
+  const std::size_t close = raw_line.find(')', open);
+  if (close == std::string::npos) return false;
+  return raw_line.substr(open + 1, close - open - 1) == rule;
+}
+
+struct TokenRule {
+  std::string rule;
+  std::string name;
+  char follow;  // '\0' = no requirement
+  std::string message;
+};
+
+const std::vector<TokenRule>& token_rules() {
+  static const std::vector<TokenRule> rules = {
+      {"no-raw-assert", "assert", '(',
+       "raw assert(); use SHAREGRID_EXPECTS/ENSURES/ASSERT so the violation "
+       "throws ContractViolation instead of aborting"},
+      {"no-raw-assert", "abort", '(',
+       "abort() call; throw ContractViolation (util/assert.hpp) so tests and "
+       "long simulations can observe the failure"},
+      {"no-stdout", "std::cout", '\0',
+       "std::cout in library code; return data or throw — printing belongs "
+       "in bench/, examples/, and tools/"},
+      {"no-stdout", "printf", '(',
+       "printf in library code; return data or throw — printing belongs in "
+       "bench/, examples/, and tools/"},
+      {"no-stdout", "puts", '(',
+       "puts in library code; return data or throw — printing belongs in "
+       "bench/, examples/, and tools/"},
+      {"no-raw-rng", "rand", '(',
+       "rand(); determinism is load-bearing (DESIGN.md D4) — draw from a "
+       "seeded sharegrid::Rng"},
+      {"no-raw-rng", "srand", '(',
+       "srand(); determinism is load-bearing (DESIGN.md D4) — seed a "
+       "sharegrid::Rng instead of the global C stream"},
+      {"no-raw-rng", "random_device", '\0',
+       "std::random_device is unseeded, non-deterministic entropy; thread a "
+       "seeded sharegrid::Rng through instead"},
+  };
+  return rules;
+}
+
+void lint_source(const fs::path& path, std::vector<Violation>* out) {
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+
+  std::vector<std::string> raw_lines(1);
+  for (const char c : text) {
+    if (c == '\n')
+      raw_lines.emplace_back();
+    else
+      raw_lines.back() += c;
+  }
+  const std::vector<std::string> code = strip_comments_and_literals(text);
+
+  if (path.extension() == ".hpp" &&
+      text.find("#pragma once") == std::string::npos) {
+    out->push_back({path, 1, "pragma-once",
+                    "header is missing #pragma once; every sharegrid header "
+                    "guards with it"});
+  }
+
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    for (const TokenRule& rule : token_rules()) {
+      if (!has_token(code[i], rule.name, rule.follow)) continue;
+      if (i < raw_lines.size() && allows(raw_lines[i], rule.rule)) continue;
+      out->push_back({path, i + 1, rule.rule, rule.message});
+    }
+  }
+}
+
+/// A CMakeLists.txt that defines a compiled target must link
+/// sharegrid_warnings (which also carries the sanitizer flags).
+void lint_cmake(const fs::path& path, std::vector<Violation>* out) {
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+
+  bool compiled_target = false;
+  std::size_t target_line = 0;
+  for (const std::string& command : {std::string("add_library"),
+                                     std::string("add_executable")}) {
+    std::size_t pos = 0;
+    while ((pos = text.find(command, pos)) != std::string::npos) {
+      const std::size_t open = text.find('(', pos + command.size());
+      if (open == std::string::npos) break;
+      const std::size_t close = text.find(')', open);
+      const std::string args =
+          text.substr(open + 1, close == std::string::npos
+                                    ? std::string::npos
+                                    : close - open - 1);
+      if (args.find("INTERFACE") == std::string::npos &&
+          args.find("ALIAS") == std::string::npos &&
+          args.find("IMPORTED") == std::string::npos) {
+        compiled_target = true;
+        target_line =
+            1 + static_cast<std::size_t>(
+                    std::count(text.begin(), text.begin() + static_cast<std::ptrdiff_t>(pos), '\n'));
+      }
+      pos = open;
+    }
+  }
+  if (compiled_target && text.find("sharegrid_warnings") == std::string::npos) {
+    out->push_back({path, target_line, "warnings-linked",
+                    "defines a compiled target but never links "
+                    "sharegrid_warnings; the target escapes -Werror and the "
+                    "SHAREGRID_SANITIZE wiring"});
+  }
+}
+
+void lint_path(const fs::path& path, std::vector<Violation>* out,
+               std::size_t* files_scanned) {
+  const std::string ext = path.extension().string();
+  const std::string name = path.filename().string();
+  if (ext == ".hpp" || ext == ".cpp") {
+    lint_source(path, out);
+    ++*files_scanned;
+  } else if (name == "CMakeLists.txt") {
+    lint_cmake(path, out);
+    ++*files_scanned;
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<fs::path> roots;
+  for (int i = 1; i < argc; ++i) roots.emplace_back(argv[i]);
+  if (roots.empty()) roots.emplace_back("src");
+
+  std::vector<Violation> violations;
+  std::size_t files_scanned = 0;
+  for (const fs::path& root : roots) {
+    std::error_code ec;
+    if (fs::is_directory(root, ec)) {
+      for (const auto& entry : fs::recursive_directory_iterator(root)) {
+        if (entry.is_regular_file())
+          lint_path(entry.path(), &violations, &files_scanned);
+      }
+    } else if (fs::is_regular_file(root, ec)) {
+      lint_path(root, &violations, &files_scanned);
+    } else {
+      std::cerr << "sharegrid_lint: cannot read " << root << "\n";
+      return 2;
+    }
+  }
+
+  std::sort(violations.begin(), violations.end(),
+            [](const Violation& a, const Violation& b) {
+              return std::tie(a.file, a.line) < std::tie(b.file, b.line);
+            });
+  for (const Violation& v : violations) {
+    std::cout << v.file.string() << ":" << v.line << ": [" << v.rule << "] "
+              << v.message << "\n";
+  }
+  if (!violations.empty()) {
+    std::cout << violations.size() << " violation(s) in " << files_scanned
+              << " file(s)\n";
+    return 1;
+  }
+  std::cout << "sharegrid_lint: OK (" << files_scanned << " files)\n";
+  return 0;
+}
