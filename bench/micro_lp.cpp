@@ -4,10 +4,12 @@
 // these numbers quantify what "small" buys.
 #include <benchmark/benchmark.h>
 
+#include <utility>
 #include <vector>
 
 #include "core/agreement_graph.hpp"
 #include "core/flow.hpp"
+#include "lp/solve_context.hpp"
 #include "sched/income_scheduler.hpp"
 #include "sched/response_time_scheduler.hpp"
 #include "util/rng.hpp"
@@ -64,5 +66,50 @@ void BM_IncomePlan(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_IncomePlan)->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
+
+// -- M2: per-window plan re-solve, cold vs warm-started ----------------------
+//
+// The redirector's real per-window cost: ResponseTimeScheduler::plan over a
+// sequence of windows whose demand estimates drift ±15% (right-hand sides and
+// the theta column move; the agreement structure and objective stay fixed).
+// "Cold" disables the warm-start pipeline through the solver options, which
+// is exactly what every window cost before SolveContext; "Warm" is the
+// default configuration, where the previous window's optimal basis re-enters
+// phase 2 (falling back to dual-simplex recovery or a cold solve as needed).
+
+std::vector<std::vector<double>> make_demand_sequence(std::size_t n, Rng& rng) {
+  const std::vector<double> base = make_demand(n, rng);
+  std::vector<std::vector<double>> windows(32, base);
+  for (auto& demand : windows)
+    for (std::size_t i = 1; i < n; ++i) demand[i] *= rng.uniform(0.85, 1.15);
+  return windows;
+}
+
+void resolve_bench(benchmark::State& state, std::size_t warm_refresh_interval) {
+  Rng rng(42);
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const core::AgreementGraph g = make_provider_graph(n, rng);
+  sched::ResponseTimeScheduler scheduler(g, core::compute_access_levels(g));
+  lp::SolverOptions options;
+  options.warm_refresh_interval = warm_refresh_interval;
+  scheduler.set_solver_options(options);
+  const auto windows = make_demand_sequence(n, rng);
+  std::size_t w = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scheduler.plan(windows[w]));
+    w = (w + 1) % windows.size();
+  }
+  const lp::SolveStats stats = scheduler.solver_stats();
+  state.SetLabel(std::to_string(stats.warm_solves) + "/" +
+                 std::to_string(stats.solves) + " warm solves");
+}
+
+void BM_LpResolveCold(benchmark::State& state) { resolve_bench(state, 0); }
+BENCHMARK(BM_LpResolveCold)->Arg(4)->Arg(8)->Arg(16)->Unit(benchmark::kMicrosecond);
+
+void BM_LpResolveWarm(benchmark::State& state) {
+  resolve_bench(state, lp::SolverOptions{}.warm_refresh_interval);
+}
+BENCHMARK(BM_LpResolveWarm)->Arg(4)->Arg(8)->Arg(16)->Unit(benchmark::kMicrosecond);
 
 }  // namespace

@@ -67,6 +67,55 @@ void audit_bland_progress(double objective_before, double objective_after,
           });
 }
 
+void audit_reduced_costs(const Matrix& a, const std::vector<std::size_t>& basis,
+                         const std::vector<double>& costs,
+                         const std::vector<double>& incremental, double tol) {
+  require(incremental.size() == costs.size() && costs.size() == a.cols(),
+          "simplex.reduced-cost-shape", [&] {
+            return "maintained reduced costs have " +
+                   std::to_string(incremental.size()) + " entries, costs " +
+                   std::to_string(costs.size()) + ", tableau " +
+                   std::to_string(a.cols()) + " columns";
+          });
+  // Scale the comparison by the magnitudes involved: income LPs price
+  // columns in currency units that can dwarf the rate-scale tolerances, and
+  // degenerate-coefficient problems produce reduced costs around 1e12 whose
+  // from-scratch recomputation itself carries relative rounding error.
+  double scale = 1.0;
+  for (const double c : costs) scale = std::max(scale, std::abs(c));
+  for (std::size_t j = 0; j < costs.size(); ++j) {
+    double exact = costs[j];
+    double column_scale = scale;
+    for (std::size_t i = 0; i < a.rows(); ++i) {
+      const double term = costs[basis[i]] * a(i, j);
+      exact -= term;
+      column_scale = std::max(column_scale, std::abs(term));
+    }
+    require(std::abs(exact - incremental[j]) <= tol * column_scale,
+            "simplex.reduced-cost-drift", [&] {
+              return "column " + std::to_string(j) +
+                     ": maintained reduced cost " + num(incremental[j]) +
+                     " but recomputation gives " + num(exact) +
+                     "; the per-pivot eta update diverged from the tableau "
+                     "and pricing decisions are no longer trustworthy";
+            });
+  }
+}
+
+void audit_warm_start_entry(const Matrix& a, const std::vector<double>& rhs,
+                            const std::vector<std::size_t>& basis,
+                            std::size_t first_artificial, double tol) {
+  for (std::size_t i = 0; i < basis.size(); ++i) {
+    require(basis[i] < first_artificial, "simplex.warm-artificial-basic", [&] {
+      return "row " + std::to_string(i) + " enters a warm start with basic "
+             "column " + std::to_string(basis[i]) + " >= first artificial " +
+             std::to_string(first_artificial) +
+             "; the cached basis was not clean and must not be reused";
+    });
+  }
+  audit_simplex_basis(a, rhs, basis, tol);
+}
+
 void audit_window_conservation(const Matrix& quota, const Matrix& consumed,
                                const Matrix& debt, const Matrix& slices,
                                double tol) {

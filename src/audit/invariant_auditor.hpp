@@ -86,6 +86,25 @@ void audit_simplex_basis(const Matrix& a, const std::vector<double>& rhs,
 void audit_bland_progress(double objective_before, double objective_after,
                           double tol);
 
+/// Checks the incrementally-maintained reduced costs against a from-scratch
+/// recomputation d_j = c_j - sum_i c_basis[i] * a(i, j). The solver applies
+/// an O(cols) eta update per pivot instead of the full O(rows * cols)
+/// recompute; drift here silently mis-prices entering columns, which can
+/// stall the solve or terminate it at a non-optimal vertex.
+void audit_reduced_costs(const Matrix& a, const std::vector<std::size_t>& basis,
+                         const std::vector<double>& costs,
+                         const std::vector<double>& incremental, double tol);
+
+/// Warm-start entry: the cached basis re-applied to a new window's data must
+/// form a proper primal-feasible basic tableau (delegates to
+/// audit_simplex_basis) and must not keep any artificial column basic —
+/// artificials are meaningless outside phase 1, and a basic artificial means
+/// the solver is about to optimize a point that never satisfied the original
+/// constraints.
+void audit_warm_start_entry(const Matrix& a, const std::vector<double>& rhs,
+                            const std::vector<std::size_t>& basis,
+                            std::size_t first_artificial, double tol);
+
 /// Checks that a returned kOptimal solution satisfies the *original* problem:
 /// variable bounds, every constraint in its stated relation, and an objective
 /// value consistent with the returned variable values.

@@ -1,295 +1,16 @@
+// Cold-solve entry point. The actual two-phase simplex machinery —
+// standard-form preparation, tableau pivoting, incremental pricing, and the
+// warm-start pipeline — lives in lp/solve_context.cpp; a one-shot solve is
+// just a SolveContext used once and thrown away.
 #include "lp/simplex.hpp"
 
-#include <algorithm>
-#include <cmath>
-#include <limits>
-
-#include "audit/invariant_auditor.hpp"
-#include "util/assert.hpp"
-#include "util/matrix.hpp"
+#include "lp/solve_context.hpp"
 
 namespace sharegrid::lp {
-namespace {
-
-constexpr std::size_t kNone = static_cast<std::size_t>(-1);
-
-/// Dense standard-form tableau: maximize c.y subject to Ay = b, y >= 0,
-/// with A kept in terms of the current basis (A := B^-1 A, b := B^-1 b).
-struct Tableau {
-  Matrix a;                       // m x cols
-  std::vector<double> rhs;        // m
-  std::vector<std::size_t> basis; // m, column index basic in each row
-  std::size_t num_structural = 0; // original (shifted) variables
-  std::size_t first_artificial = 0;
-
-  std::size_t rows() const { return rhs.size(); }
-  std::size_t cols() const { return a.cols(); }
-};
-
-/// One simplex pivot: make @p col basic in @p row.
-void pivot(Tableau& t, std::size_t row, std::size_t col) {
-  const double p = t.a(row, col);
-  SHAREGRID_ASSERT(std::abs(p) > 0.0);
-  const double inv = 1.0 / p;
-  for (std::size_t j = 0; j < t.cols(); ++j) t.a(row, j) *= inv;
-  t.rhs[row] *= inv;
-  t.a(row, col) = 1.0;  // cancel rounding
-  for (std::size_t i = 0; i < t.rows(); ++i) {
-    if (i == row) continue;
-    const double factor = t.a(i, col);
-    if (factor == 0.0) continue;
-    for (std::size_t j = 0; j < t.cols(); ++j)
-      t.a(i, j) -= factor * t.a(row, j);
-    t.rhs[i] -= factor * t.rhs[row];
-    t.a(i, col) = 0.0;
-  }
-  t.basis[row] = col;
-}
-
-/// Reduced costs d_j = c_j - sum_i c_basis[i] * a[i][j] for all columns.
-std::vector<double> reduced_costs(const Tableau& t,
-                                  const std::vector<double>& costs) {
-  std::vector<double> d = costs;
-  for (std::size_t i = 0; i < t.rows(); ++i) {
-    const double cb = costs[t.basis[i]];
-    if (cb == 0.0) continue;
-    const double* row = t.a.row(i);
-    for (std::size_t j = 0; j < t.cols(); ++j) d[j] -= cb * row[j];
-  }
-  return d;
-}
-
-double objective_value(const Tableau& t, const std::vector<double>& costs) {
-  double z = 0.0;
-  for (std::size_t i = 0; i < t.rows(); ++i)
-    z += costs[t.basis[i]] * t.rhs[i];
-  return z;
-}
-
-enum class PhaseResult { kOptimal, kUnbounded, kIterationLimit };
-
-/// Runs primal simplex to optimality for the given cost vector (maximize).
-/// Columns at or beyond @p col_limit never enter the basis (used to lock out
-/// artificials in phase 2).
-PhaseResult run_simplex(Tableau& t, const std::vector<double>& costs,
-                        std::size_t col_limit, const SolverOptions& opt) {
-  for (std::size_t iter = 0; iter < opt.max_iterations; ++iter) {
-    const bool bland = iter >= opt.bland_after;
-    const std::vector<double> d = reduced_costs(t, costs);
-
-    // Entering column: Dantzig (steepest reduced cost) or Bland (lowest
-    // index) once the iteration budget suggests degeneracy cycling.
-    std::size_t enter = kNone;
-    double best = opt.tolerance;
-    for (std::size_t j = 0; j < col_limit; ++j) {
-      if (d[j] <= opt.tolerance) continue;
-      if (bland) {
-        enter = j;
-        break;
-      }
-      if (d[j] > best) {
-        best = d[j];
-        enter = j;
-      }
-    }
-    if (enter == kNone) return PhaseResult::kOptimal;
-
-    // Leaving row: exact minimum ratio; exact ties broken by smallest basis
-    // index (the lexicographic safeguard that pairs with Bland's rule).
-    // The comparisons are deliberately tolerance-free: pivoting on any row
-    // whose ratio exceeds the true minimum drives the minimum row's rhs
-    // negative by (difference * a(i, enter)), so an absolute tie window is
-    // an infeasibility budget that scales with the column magnitude — and a
-    // window that follows the accepted ratio can ratchet upward across rows.
-    // The ties that matter for anti-cycling (degenerate rows) are exact:
-    // rhs 0 divided by any pivot element is exactly 0.
-    // A pivot candidate counts as zero only relative to the entering
-    // column's largest magnitude. An absolute guard misclassifies genuinely
-    // tiny data (1e-8-scale coefficients whose min-ratio row it skips, so
-    // the pivot drives that row's rhs negative and the "optimal" point
-    // violates the original constraint); cancellation noise, by contrast,
-    // is always small relative to the column that produced it.
-    double col_max = 0.0;
-    for (std::size_t i = 0; i < t.rows(); ++i)
-      col_max = std::max(col_max, std::abs(t.a(i, enter)));
-    const double drop = opt.tolerance * col_max;
-
-    std::size_t leave = kNone;
-    double best_ratio = std::numeric_limits<double>::infinity();
-    for (std::size_t i = 0; i < t.rows(); ++i) {
-      const double aij = t.a(i, enter);
-      if (aij <= drop) continue;
-      const double ratio = t.rhs[i] / aij;
-      if (leave == kNone || ratio < best_ratio ||
-          (ratio == best_ratio && t.basis[i] < t.basis[leave])) {
-        best_ratio = ratio;
-        leave = i;
-      }
-    }
-    if (leave == kNone) return PhaseResult::kUnbounded;
-#if defined(SHAREGRID_AUDIT)
-    const double objective_before = bland ? objective_value(t, costs) : 0.0;
-#endif
-    pivot(t, leave, enter);
-    // Tableau coherence after every pivot, plus the Bland anti-cycling
-    // guarantee (objective never regresses once Bland pricing is active).
-    SHAREGRID_AUDIT_HOOK(audit::audit_simplex_basis(t.a, t.rhs, t.basis,
-                                                    /*tol=*/1e-6));
-    SHAREGRID_AUDIT_HOOK(if (bland) audit::audit_bland_progress(
-                             objective_before, objective_value(t, costs),
-                             /*tol=*/1e-6));
-  }
-  return PhaseResult::kIterationLimit;
-}
-
-}  // namespace
 
 Solution solve(const Problem& problem, const SolverOptions& options) {
-  const std::size_t n = problem.num_vars();
-  const auto& lo = problem.lower_bounds();
-  const auto& hi = problem.upper_bounds();
-  for (std::size_t j = 0; j < n; ++j)
-    SHAREGRID_EXPECTS(std::isfinite(lo[j]));
-
-  // Work in shifted variables y_j = x_j - lo_j >= 0. Finite upper bounds
-  // become explicit rows y_j <= hi_j - lo_j.
-  std::vector<Constraint> rows = problem.constraints();
-  for (std::size_t j = 0; j < n; ++j) {
-    if (std::isfinite(hi[j]))
-      rows.push_back({{{j, 1.0}}, Relation::kLessEq, hi[j]});
-  }
-
-  const std::size_t m = rows.size();
-
-  // Shift RHS by the lower bounds and flip rows to make all RHS >= 0.
-  std::vector<double> rhs(m);
-  std::vector<Relation> rel(m);
-  Matrix dense(m, n, 0.0);
-  for (std::size_t i = 0; i < m; ++i) {
-    double shift = 0.0;
-    for (const auto& [var, coeff] : rows[i].terms) {
-      dense(i, var) += coeff;
-      shift += coeff * lo[var];
-    }
-    rhs[i] = rows[i].rhs - shift;
-    rel[i] = rows[i].relation;
-    if (rhs[i] < 0.0) {
-      rhs[i] = -rhs[i];
-      for (std::size_t j = 0; j < n; ++j) dense(i, j) = -dense(i, j);
-      if (rel[i] == Relation::kLessEq)
-        rel[i] = Relation::kGreaterEq;
-      else if (rel[i] == Relation::kGreaterEq)
-        rel[i] = Relation::kLessEq;
-    }
-  }
-
-  // Column layout: [structural | slack/surplus | artificial].
-  std::size_t num_slack = 0;
-  for (std::size_t i = 0; i < m; ++i)
-    if (rel[i] != Relation::kEqual) ++num_slack;
-  std::size_t num_art = 0;
-  for (std::size_t i = 0; i < m; ++i)
-    if (rel[i] != Relation::kLessEq) ++num_art;
-
-  Tableau t;
-  t.num_structural = n;
-  t.first_artificial = n + num_slack;
-  t.a = Matrix(m, n + num_slack + num_art, 0.0);
-  t.rhs = rhs;
-  t.basis.assign(m, kNone);
-
-  std::size_t next_slack = n;
-  std::size_t next_art = t.first_artificial;
-  for (std::size_t i = 0; i < m; ++i) {
-    for (std::size_t j = 0; j < n; ++j) t.a(i, j) = dense(i, j);
-    switch (rel[i]) {
-      case Relation::kLessEq:
-        t.a(i, next_slack) = 1.0;
-        t.basis[i] = next_slack++;
-        break;
-      case Relation::kGreaterEq:
-        t.a(i, next_slack) = -1.0;
-        ++next_slack;
-        t.a(i, next_art) = 1.0;
-        t.basis[i] = next_art++;
-        break;
-      case Relation::kEqual:
-        t.a(i, next_art) = 1.0;
-        t.basis[i] = next_art++;
-        break;
-    }
-  }
-
-  Solution out;
-  SHAREGRID_AUDIT_HOOK(audit::audit_simplex_basis(t.a, t.rhs, t.basis,
-                                                  /*tol=*/1e-6));
-
-  // Phase 1: drive artificials to zero (maximize -sum of artificials).
-  if (num_art > 0) {
-    std::vector<double> phase1(t.cols(), 0.0);
-    for (std::size_t j = t.first_artificial; j < t.cols(); ++j)
-      phase1[j] = -1.0;
-    const PhaseResult r = run_simplex(t, phase1, t.cols(), options);
-    SHAREGRID_ENSURES(r != PhaseResult::kIterationLimit);
-    if (objective_value(t, phase1) < -1e-7) {
-      out.status = Status::kInfeasible;
-      return out;
-    }
-    // Pivot zero-level artificials out of the basis where possible so they
-    // cannot re-enter through rounding noise in phase 2.
-    for (std::size_t i = 0; i < m; ++i) {
-      if (t.basis[i] < t.first_artificial) continue;
-      bool pivoted = false;
-      for (std::size_t j = 0; j < t.first_artificial; ++j) {
-        if (std::abs(t.a(i, j)) > 1e-7) {
-          pivot(t, i, j);
-          pivoted = true;
-          break;
-        }
-      }
-      if (!pivoted) {
-        // No pivot column: every non-artificial entry is below threshold, so
-        // the row reads 0*y ~= 0 — redundant within tolerance. The artificial
-        // stays basic at level zero and is locked out of phase 2 pricing, but
-        // the sub-threshold residue must be cleared: phase-2 pivots would
-        // multiply it by rhs magnitudes (factor * rhs[row] with rhs up to the
-        // saturated-demand scale) and silently leak value into the basic
-        // artificial, i.e. return kOptimal for a point that violates the
-        // original constraint.
-        for (std::size_t j = 0; j < t.first_artificial; ++j) t.a(i, j) = 0.0;
-        t.rhs[i] = 0.0;
-      }
-    }
-  }
-
-  // Phase 2: the real objective over structural columns only.
-  const double sign = problem.sense() == Sense::kMaximize ? 1.0 : -1.0;
-  std::vector<double> phase2(t.cols(), 0.0);
-  for (std::size_t j = 0; j < n; ++j)
-    phase2[j] = sign * problem.objective()[j];
-  const PhaseResult r = run_simplex(t, phase2, t.first_artificial, options);
-  SHAREGRID_ENSURES(r != PhaseResult::kIterationLimit);
-  if (r == PhaseResult::kUnbounded) {
-    out.status = Status::kUnbounded;
-    return out;
-  }
-
-  out.status = Status::kOptimal;
-  out.values.assign(n, 0.0);
-  for (std::size_t i = 0; i < m; ++i) {
-    if (t.basis[i] < n) out.values[t.basis[i]] = std::max(0.0, t.rhs[i]);
-  }
-  double objective = 0.0;
-  for (std::size_t j = 0; j < n; ++j) {
-    out.values[j] += lo[j];
-    objective += problem.objective()[j] * out.values[j];
-  }
-  out.objective = objective;
-  // The solution handed back must satisfy the *original* problem, not just
-  // the internal shifted/standard-form tableau.
-  SHAREGRID_AUDIT_HOOK(audit::audit_lp_solution(problem, out,
-                                                /*tol=*/1e-5));
-  return out;
+  SolveContext context;
+  return context.solve(problem, options);
 }
 
 }  // namespace sharegrid::lp

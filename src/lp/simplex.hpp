@@ -14,8 +14,10 @@
 
 namespace sharegrid::lp {
 
-/// Solver outcome.
-enum class Status { kOptimal, kInfeasible, kUnbounded };
+/// Solver outcome. kIterationLimit means the pivot budget ran out before a
+/// verdict; callers on a per-window hot path should treat it as "no fresh
+/// plan this window" (keep the previous one), never as a crash.
+enum class Status { kOptimal, kInfeasible, kUnbounded, kIterationLimit };
 
 /// Result of solving a Problem.
 struct Solution {
@@ -24,6 +26,14 @@ struct Solution {
   double objective = 0.0;
   /// Value per variable (valid when kOptimal).
   std::vector<double> values;
+  /// Optimal basis: the standard-form column basic in each tableau row
+  /// (valid when kOptimal). Carried so the next window's solve can re-enter
+  /// phase 2 from here instead of rebuilding from scratch; column indices
+  /// are internal (structural < n, then slack/surplus, then artificial).
+  std::vector<std::size_t> basis;
+  /// True when this solve re-entered phase 2 from a cached basis instead of
+  /// running the full two-phase method (see lp::SolveContext).
+  bool warm_started = false;
 
   bool optimal() const { return status == Status::kOptimal; }
 };
@@ -36,10 +46,17 @@ struct SolverOptions {
   std::size_t bland_after = 200;
   /// Hard cap on pivots (guards against pathological inputs).
   std::size_t max_iterations = 100000;
+  /// Warm solves allowed between full (cold) refactorizations in a
+  /// SolveContext. Bounds floating-point drift in the reused tableau;
+  /// 0 disables warm starting entirely.
+  std::size_t warm_refresh_interval = 64;
 };
 
-/// Solves @p problem; never throws on infeasible/unbounded inputs (reported
-/// via Solution::status). Throws ContractViolation on malformed input only.
+/// Solves @p problem from scratch (cold); never throws on infeasible /
+/// unbounded / iteration-limited inputs (reported via Solution::status).
+/// Throws ContractViolation on malformed input only. Per-window callers that
+/// re-solve structurally identical programs should hold a lp::SolveContext
+/// (lp/solve_context.hpp) instead and let it warm-start.
 Solution solve(const Problem& problem, const SolverOptions& options = {});
 
 }  // namespace sharegrid::lp

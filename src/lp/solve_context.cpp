@@ -1,0 +1,737 @@
+// Implementation of the warm-started LP pipeline (lp/solve_context.hpp).
+//
+// Cold solves run the project's two-phase primal simplex, now with
+// incremental reduced-cost maintenance (the eta update d' = d - d_enter *
+// pivot_row after each pivot, refreshed from scratch periodically to bound
+// drift) and allocation-free raw-pointer inner loops. Warm solves skip
+// construction and phase 1 entirely.
+//
+// The warm path rests on one invariant: the tableau is always B^-1 * A_std,
+// where A_std is the standard-form matrix and B the current basis. The
+// columns that start as the identity (one slack or artificial per row)
+// therefore always hold B^-1 itself, so for a new window the solver can
+//   * form B^-1 * b_new in O(m^2) without storing any factorization,
+//   * replace a changed structural column c with B^-1 * a_new_c, and when c
+//     is basic restore its unit form with a single repair pivot.
+// If the result is primal feasible the solve re-enters phase 2 from the old
+// optimum; otherwise it falls back to the full two-phase method. Phase-1
+// residue clearing (redundant rows) wipes part of the B^-1 image, so such
+// tableaus are never reused (basis_clean below).
+#include "lp/solve_context.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <utility>
+#include <vector>
+
+#include "audit/invariant_auditor.hpp"
+#include "util/assert.hpp"
+#include "util/matrix.hpp"
+
+namespace sharegrid::lp {
+namespace {
+
+constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+/// Incremental reduced costs are recomputed from scratch this often.
+constexpr std::size_t kReducedCostRefresh = 64;
+/// Warm repair is abandoned when more basic columns than this changed
+/// (each repair costs a full pivot; past this a cold solve is cheaper).
+std::size_t max_repairs(std::size_t rows) {
+  return std::max<std::size_t>(8, rows / 4);
+}
+
+/// Dense standard-form tableau: maximize c.y subject to Ay = b, y >= 0,
+/// with A kept in terms of the current basis (A := B^-1 A, b := B^-1 b).
+struct Tableau {
+  Matrix a;                        // m x cols
+  std::vector<double> rhs;         // m
+  std::vector<std::size_t> basis;  // m, column index basic in each row
+  std::size_t num_structural = 0;  // original (shifted) variables
+  std::size_t first_artificial = 0;
+
+  std::size_t rows() const { return rhs.size(); }
+  std::size_t cols() const { return a.cols(); }
+};
+
+/// One simplex pivot: make @p col basic in @p row. The loops run on raw
+/// row pointers: this is the innermost hot path and the bounds-checked
+/// operator() costs two comparisons per element.
+void pivot(Tableau& t, std::size_t row, std::size_t col) {
+  const std::size_t cols = t.cols();
+  double* pr = t.a.row(row);
+  const double p = pr[col];
+  SHAREGRID_ASSERT(std::abs(p) > 0.0);
+  const double inv = 1.0 / p;
+  for (std::size_t j = 0; j < cols; ++j) pr[j] *= inv;
+  t.rhs[row] *= inv;
+  pr[col] = 1.0;  // cancel rounding
+  const double pivot_rhs = t.rhs[row];
+  for (std::size_t i = 0; i < t.rows(); ++i) {
+    if (i == row) continue;
+    double* ri = t.a.row(i);
+    const double factor = ri[col];
+    if (factor == 0.0) continue;
+    for (std::size_t j = 0; j < cols; ++j) ri[j] -= factor * pr[j];
+    t.rhs[i] -= factor * pivot_rhs;
+    ri[col] = 0.0;
+  }
+  t.basis[row] = col;
+}
+
+/// Reduced costs d_j = c_j - sum_i c_basis[i] * a[i][j], from scratch.
+void recompute_reduced_costs(const Tableau& t, const std::vector<double>& costs,
+                             std::vector<double>& d) {
+  d.assign(costs.begin(), costs.end());
+  for (std::size_t i = 0; i < t.rows(); ++i) {
+    const double cb = costs[t.basis[i]];
+    if (cb == 0.0) continue;
+    const double* row = t.a.row(i);
+    for (std::size_t j = 0; j < d.size(); ++j) d[j] -= cb * row[j];
+  }
+}
+
+double objective_value(const Tableau& t, const std::vector<double>& costs) {
+  double z = 0.0;
+  for (std::size_t i = 0; i < t.rows(); ++i)
+    z += costs[t.basis[i]] * t.rhs[i];
+  return z;
+}
+
+enum class PhaseResult { kOptimal, kUnbounded, kIterationLimit };
+
+/// Runs primal simplex to optimality for the given cost vector (maximize).
+/// Columns at or beyond @p col_limit never enter the basis (used to lock out
+/// artificials in phase 2). Reduced costs are maintained incrementally in
+/// @p d instead of being recomputed over every column each iteration, and
+/// @p col is the entering-column gather buffer; both are caller-owned
+/// scratch so iterations never allocate.
+PhaseResult run_simplex(Tableau& t, const std::vector<double>& costs,
+                        std::size_t col_limit, const SolverOptions& opt,
+                        std::vector<double>& d, std::vector<double>& col,
+                        std::uint64_t& pivots) {
+  recompute_reduced_costs(t, costs, d);
+  col.resize(t.rows());
+  std::size_t since_refresh = 0;
+  for (std::size_t iter = 0; iter < opt.max_iterations; ++iter) {
+    const bool bland = iter >= opt.bland_after;
+
+    // Entering column: Dantzig (steepest reduced cost) or Bland (lowest
+    // index) once the iteration budget suggests degeneracy cycling.
+    std::size_t enter = kNone;
+    double best = opt.tolerance;
+    for (std::size_t j = 0; j < col_limit; ++j) {
+      if (d[j] <= opt.tolerance) continue;
+      if (bland) {
+        enter = j;
+        break;
+      }
+      if (d[j] > best) {
+        best = d[j];
+        enter = j;
+      }
+    }
+    if (enter == kNone) return PhaseResult::kOptimal;
+
+    // Gather the entering column once: the ratio test and the column-scale
+    // pivot guard both need every entry, and column access in the row-major
+    // tableau is strided.
+    double col_max = 0.0;
+    for (std::size_t i = 0; i < t.rows(); ++i) {
+      col[i] = t.a.row(i)[enter];
+      col_max = std::max(col_max, std::abs(col[i]));
+    }
+
+    // Leaving row: exact minimum ratio; exact ties broken by smallest basis
+    // index (the lexicographic safeguard that pairs with Bland's rule).
+    // The comparisons are deliberately tolerance-free: pivoting on any row
+    // whose ratio exceeds the true minimum drives the minimum row's rhs
+    // negative by (difference * a(i, enter)), so an absolute tie window is
+    // an infeasibility budget that scales with the column magnitude — and a
+    // window that follows the accepted ratio can ratchet upward across rows.
+    // The ties that matter for anti-cycling (degenerate rows) are exact:
+    // rhs 0 divided by any pivot element is exactly 0.
+    // A pivot candidate counts as zero only relative to the entering
+    // column's largest magnitude. An absolute guard misclassifies genuinely
+    // tiny data (1e-8-scale coefficients whose min-ratio row it skips, so
+    // the pivot drives that row's rhs negative and the "optimal" point
+    // violates the original constraint); cancellation noise, by contrast,
+    // is always small relative to the column that produced it.
+    const double drop = opt.tolerance * col_max;
+    std::size_t leave = kNone;
+    double best_ratio = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < t.rows(); ++i) {
+      const double aij = col[i];
+      if (aij <= drop) continue;
+      const double ratio = t.rhs[i] / aij;
+      if (leave == kNone || ratio < best_ratio ||
+          (ratio == best_ratio && t.basis[i] < t.basis[leave])) {
+        best_ratio = ratio;
+        leave = i;
+      }
+    }
+    if (leave == kNone) return PhaseResult::kUnbounded;
+#if defined(SHAREGRID_AUDIT)
+    const double objective_before = bland ? objective_value(t, costs) : 0.0;
+#endif
+    pivot(t, leave, enter);
+    ++pivots;
+
+    // Incremental pricing: after the pivot, d'_j = d_j - d_enter * r_j with
+    // r the normalized pivot row — an O(cols) eta update replacing the
+    // O(rows * cols) from-scratch recompute per iteration. Exactness is
+    // restored periodically (and checked every pivot in audit builds).
+    const double dq = d[enter];
+    if (dq != 0.0) {
+      const double* pr = t.a.row(leave);
+      for (std::size_t j = 0; j < d.size(); ++j) d[j] -= dq * pr[j];
+    }
+    d[enter] = 0.0;
+    if (++since_refresh >= kReducedCostRefresh) {
+      recompute_reduced_costs(t, costs, d);
+      since_refresh = 0;
+    }
+
+    // Tableau coherence after every pivot, the incremental-pricing identity,
+    // plus the Bland anti-cycling guarantee (objective never regresses once
+    // Bland pricing is active).
+    SHAREGRID_AUDIT_HOOK(audit::audit_simplex_basis(t.a, t.rhs, t.basis,
+                                                    /*tol=*/1e-6));
+    SHAREGRID_AUDIT_HOOK(audit::audit_reduced_costs(t.a, t.basis, costs, d,
+                                                    /*tol=*/1e-6));
+    SHAREGRID_AUDIT_HOOK(if (bland) audit::audit_bland_progress(
+                             objective_before, objective_value(t, costs),
+                             /*tol=*/1e-6));
+  }
+  return PhaseResult::kIterationLimit;
+}
+
+}  // namespace
+
+bool PreparedProblem::layout_matches(const PreparedProblem& other) const {
+  return num_vars == other.num_vars && num_rows == other.num_rows &&
+         num_constraint_rows == other.num_constraint_rows &&
+         relation == other.relation && flipped == other.flipped &&
+         term_var == other.term_var && row_begin == other.row_begin &&
+         ub_var == other.ub_var;
+}
+
+void prepare(const Problem& problem, PreparedProblem& out) {
+  const std::size_t n = problem.num_vars();
+  const auto& lo = problem.lower_bounds();
+  const auto& hi = problem.upper_bounds();
+  for (std::size_t j = 0; j < n; ++j)
+    SHAREGRID_EXPECTS(std::isfinite(lo[j]));
+
+  out.num_vars = n;
+  out.relation.clear();
+  out.flipped.clear();
+  out.effective.clear();
+  out.term_var.clear();
+  out.coeffs.clear();
+  out.row_begin.clear();
+  out.ub_var.clear();
+  out.rhs.clear();
+  out.row_begin.push_back(0);
+
+  // Work in shifted variables y_j = x_j - lo_j >= 0; rows with negative
+  // shifted RHS are negated so every RHS is >= 0 (the flip is part of the
+  // layout signature: a sign change forces a cold solve).
+  const auto& cons = problem.constraints();
+  out.num_constraint_rows = cons.size();
+  for (const Constraint& c : cons) {
+    double shift = 0.0;
+    const std::size_t first = out.coeffs.size();
+    for (const auto& [var, coeff] : c.terms) {
+      out.term_var.push_back(static_cast<std::uint32_t>(var));
+      out.coeffs.push_back(coeff);
+      shift += coeff * lo[var];
+    }
+    out.row_begin.push_back(static_cast<std::uint32_t>(out.term_var.size()));
+    double rhs = c.rhs - shift;
+    Relation effective = c.relation;
+    const bool flip = rhs < 0.0;
+    if (flip) {
+      rhs = -rhs;
+      for (std::size_t k = first; k < out.coeffs.size(); ++k)
+        out.coeffs[k] = -out.coeffs[k];
+      if (effective == Relation::kLessEq)
+        effective = Relation::kGreaterEq;
+      else if (effective == Relation::kGreaterEq)
+        effective = Relation::kLessEq;
+    }
+    out.relation.push_back(c.relation);
+    out.flipped.push_back(flip ? 1 : 0);
+    out.effective.push_back(effective);
+    out.rhs.push_back(rhs);
+  }
+  // Finite upper bounds become explicit rows y_j <= hi_j - lo_j (never
+  // negative, so never flipped).
+  for (std::size_t j = 0; j < n; ++j) {
+    if (!std::isfinite(hi[j])) continue;
+    out.ub_var.push_back(static_cast<std::uint32_t>(j));
+    out.rhs.push_back(hi[j] - lo[j]);
+  }
+  out.num_rows = out.rhs.size();
+
+  // Column layout: [structural | slack/surplus | artificial], assigned in
+  // row order (constraint rows, then bound rows).
+  out.slack_col.clear();
+  out.art_col.clear();
+  out.unit_col.clear();
+  out.slack_sign.clear();
+  std::size_t num_slack = 0;
+  std::size_t num_art = 0;
+  for (std::size_t i = 0; i < out.num_constraint_rows; ++i) {
+    if (out.effective[i] != Relation::kEqual) ++num_slack;
+    if (out.effective[i] != Relation::kLessEq) ++num_art;
+  }
+  num_slack += out.ub_var.size();
+  out.num_slack = num_slack;
+  out.num_artificial = num_art;
+  out.first_artificial = n + num_slack;
+  out.cols = n + num_slack + num_art;
+  std::uint32_t next_slack = static_cast<std::uint32_t>(n);
+  std::uint32_t next_art = static_cast<std::uint32_t>(out.first_artificial);
+  for (std::size_t i = 0; i < out.num_rows; ++i) {
+    const Relation effective =
+        i < out.num_constraint_rows ? out.effective[i] : Relation::kLessEq;
+    std::uint32_t slack = kNoColumn;
+    std::uint32_t art = kNoColumn;
+    double sign = 0.0;
+    switch (effective) {
+      case Relation::kLessEq:
+        slack = next_slack++;
+        sign = 1.0;
+        break;
+      case Relation::kGreaterEq:
+        slack = next_slack++;
+        sign = -1.0;
+        art = next_art++;
+        break;
+      case Relation::kEqual:
+        art = next_art++;
+        break;
+    }
+    out.slack_col.push_back(slack);
+    out.art_col.push_back(art);
+    out.slack_sign.push_back(sign);
+    out.unit_col.push_back(effective == Relation::kLessEq ? slack : art);
+  }
+
+  const double sense_sign = problem.sense() == Sense::kMaximize ? 1.0 : -1.0;
+  out.costs.assign(out.cols, 0.0);
+  for (std::size_t j = 0; j < n; ++j)
+    out.costs[j] = sense_sign * problem.objective()[j];
+}
+
+struct SolveContext::Impl {
+  bool valid = false;        // cached tableau/basis reusable for warm start
+  bool basis_clean = false;  // no artificial basic, no redundancy clearing
+  std::size_t warm_streak = 0;
+  PreparedProblem prep;      // structure the cached tableau was built from
+  PreparedProblem incoming;  // scratch: structure of the problem being solved
+  Tableau t;
+  SolveStats stats;
+
+  // Scratch hoisted out of the solve loops (never reallocated when the
+  // problem shape is stable).
+  std::vector<double> d;             // reduced costs
+  std::vector<double> col;           // entering-column gather
+  std::vector<double> phase1_costs;  // -1 on artificials
+  std::vector<double> new_rhs;       // B^-1 * b for the warm path
+  std::vector<double> repaired;      // B^-1 * a_c for a changed column
+  std::vector<std::size_t> row_of;   // column -> basic row (kNone if nonbasic)
+  std::vector<std::uint32_t> changed;      // changed structural columns
+  std::vector<char> changed_mark;          // dedup for `changed`
+  std::vector<std::uint32_t> ub_row;       // var -> bound row (kNoColumn)
+  std::vector<std::pair<std::uint32_t, double>> column_entries;
+
+  Solution run(const Problem& problem, const SolverOptions& opt);
+  bool try_warm(const Problem& problem, const SolverOptions& opt,
+                Solution& out);
+  bool dual_recover(const SolverOptions& opt);
+  void cold(const Problem& problem, const SolverOptions& opt, Solution& out);
+  void extract(const Problem& problem, Solution& out);
+  void gather_column(std::uint32_t c);
+  void binv_column(std::vector<double>& result) const;
+};
+
+/// Collects standard-form column @p c of the incoming problem as sparse
+/// (row, value) entries: constraint terms plus the variable's bound row.
+/// Duplicate terms for one variable in one row stay separate entries (they
+/// accumulate, matching the dense scatter in cold()).
+void SolveContext::Impl::gather_column(std::uint32_t c) {
+  column_entries.clear();
+  for (std::size_t i = 0; i < incoming.num_constraint_rows; ++i) {
+    for (std::uint32_t k = incoming.row_begin[i]; k < incoming.row_begin[i + 1];
+         ++k) {
+      if (incoming.term_var[k] == c)
+        column_entries.emplace_back(static_cast<std::uint32_t>(i),
+                                    incoming.coeffs[k]);
+    }
+  }
+  if (ub_row[c] != kNoColumn) column_entries.emplace_back(ub_row[c], 1.0);
+}
+
+/// result = B^-1 * (gathered column), reading B^-1 off the tableau columns
+/// that started as the per-row identity (unit_col).
+void SolveContext::Impl::binv_column(std::vector<double>& result) const {
+  const std::size_t m = prep.num_rows;
+  result.assign(m, 0.0);
+  for (std::size_t r = 0; r < m; ++r) {
+    const double* row = t.a.row(r);
+    double acc = 0.0;
+    for (const auto& [i, value] : column_entries)
+      acc += row[prep.unit_col[i]] * value;
+    result[r] = acc;
+  }
+}
+
+/// Dual simplex: restores primal feasibility of the cached basis after an
+/// RHS change, preserving dual feasibility (all reduced costs <= 0) so the
+/// follow-up primal phase 2 terminates in few — typically zero — pivots.
+/// Returns false when the basis is not dual feasible for the new costs (the
+/// objective moved), when a leaving row has no admissible entering column
+/// (the new program may be genuinely infeasible — let the cold solve
+/// decide), or when the pivot budget runs out; callers then fall back to
+/// the full two-phase method. Precondition: t reflects the *new* problem's
+/// columns and raw (possibly negative) B^-1 * b_new right-hand side.
+bool SolveContext::Impl::dual_recover(const SolverOptions& opt) {
+  const std::size_t m = prep.num_rows;
+  const std::size_t limit = prep.first_artificial;
+  recompute_reduced_costs(t, prep.costs, d);
+  for (std::size_t j = 0; j < limit; ++j)
+    if (d[j] > opt.tolerance) return false;
+
+  const std::size_t budget = std::max<std::size_t>(32, 4 * m);
+  for (std::size_t iter = 0; iter < budget; ++iter) {
+    // Leaving row: most negative rhs (tolerance scaled to the data).
+    double scale = 1.0;
+    for (std::size_t i = 0; i < m; ++i)
+      scale = std::max(scale, std::abs(t.rhs[i]));
+    const double feas_tol = opt.tolerance * scale;
+    std::size_t leave = kNone;
+    double most_negative = -feas_tol;
+    for (std::size_t i = 0; i < m; ++i) {
+      if (t.rhs[i] < most_negative) {
+        most_negative = t.rhs[i];
+        leave = i;
+      }
+    }
+    if (leave == kNone) return true;  // primal feasible again
+
+    // Entering column: dual ratio test over a(leave, j) < 0, minimizing
+    // d_j / a(leave, j) (both non-positive, so the ratio is >= 0); the
+    // minimum keeps every reduced cost <= 0 after the pivot. The pivot-size
+    // guard mirrors the primal ratio test: candidates are measured against
+    // the row's largest magnitude so cancellation noise cannot be chosen.
+    const double* pr = t.a.row(leave);
+    double row_max = 0.0;
+    for (std::size_t j = 0; j < limit; ++j)
+      row_max = std::max(row_max, std::abs(pr[j]));
+    const double drop = opt.tolerance * row_max;
+    std::size_t enter = kNone;
+    double best_ratio = std::numeric_limits<double>::infinity();
+    for (std::size_t j = 0; j < limit; ++j) {
+      const double a = pr[j];
+      if (a >= -drop) continue;
+      const double ratio = d[j] / a;
+      // Strict < keeps the lowest-index column on exact ties (Bland-style),
+      // and the budget bounds any residual degenerate cycling.
+      if (ratio < best_ratio) {
+        best_ratio = ratio;
+        enter = j;
+      }
+    }
+    if (enter == kNone) return false;
+
+    pivot(t, leave, enter);
+    ++stats.pivots;
+    const double dq = d[enter];
+    if (dq != 0.0) {
+      const double* prow = t.a.row(leave);
+      for (std::size_t j = 0; j < d.size(); ++j) d[j] -= dq * prow[j];
+    }
+    d[enter] = 0.0;
+    // The basis stays coherent throughout (unit columns, maintained d);
+    // the rhs is allowed to be negative until recovery completes, so the
+    // full warm-entry audit runs only after this loop returns.
+    SHAREGRID_AUDIT_HOOK(audit::audit_reduced_costs(t.a, t.basis, prep.costs,
+                                                    d, /*tol=*/1e-6));
+  }
+  return false;
+}
+
+bool SolveContext::Impl::try_warm(const Problem& problem,
+                                  const SolverOptions& opt, Solution& out) {
+  const std::size_t m = prep.num_rows;
+
+  // Changed structural columns (exact coefficient compare; bound rows have
+  // constant coefficient 1 and never change). For the schedulers this is
+  // empty or just the theta column, whose coefficients carry the demand.
+  changed.clear();
+  changed_mark.assign(prep.num_vars, 0);
+  for (std::size_t k = 0; k < prep.coeffs.size(); ++k) {
+    if (incoming.coeffs[k] == prep.coeffs[k]) continue;
+    const std::uint32_t c = prep.term_var[k];
+    if (changed_mark[c] == 0) {
+      changed_mark[c] = 1;
+      changed.push_back(c);
+    }
+  }
+
+  row_of.assign(prep.cols, kNone);
+  for (std::size_t r = 0; r < m; ++r) row_of[t.basis[r]] = r;
+  std::size_t changed_basic = 0;
+  for (const std::uint32_t c : changed)
+    if (row_of[c] != kNone) ++changed_basic;
+  if (changed_basic > max_repairs(m)) {
+    ++stats.structure_misses;
+    return false;
+  }
+
+  ub_row.assign(prep.num_vars, kNoColumn);
+  for (std::size_t idx = 0; idx < incoming.ub_var.size(); ++idx)
+    ub_row[incoming.ub_var[idx]] =
+        static_cast<std::uint32_t>(incoming.num_constraint_rows + idx);
+
+  // Repair changed basic columns sequentially: each repair pivot updates
+  // the B^-1 image that the next repair reads. A repair replaces column c
+  // with B^-1 * a_new_c and re-pivots on its own basic row to restore the
+  // unit form — exactly the basis-change rank-1 update, at one pivot each.
+  for (const std::uint32_t c : changed) {
+    const std::size_t r = row_of[c];
+    if (r == kNone) continue;
+    gather_column(c);
+    binv_column(repaired);
+    double col_scale = 0.0;
+    for (const double v : repaired) col_scale = std::max(col_scale, std::abs(v));
+    if (!(std::abs(repaired[r]) > opt.tolerance * col_scale) ||
+        col_scale == 0.0) {
+      // Unrepairable within the pivot-size guard; the tableau may already be
+      // partially rewritten, so the cache is dead either way.
+      ++stats.repair_rejections;
+      valid = false;
+      return false;
+    }
+    for (std::size_t rr = 0; rr < m; ++rr) t.a.row(rr)[c] = repaired[rr];
+    pivot(t, r, c);
+    ++stats.pivots;
+  }
+  // Changed nonbasic columns just get rewritten against the final basis.
+  for (const std::uint32_t c : changed) {
+    if (row_of[c] != kNone) continue;
+    gather_column(c);
+    binv_column(repaired);
+    for (std::size_t rr = 0; rr < m; ++rr) t.a.row(rr)[c] = repaired[rr];
+  }
+
+  // New right-hand side: rhs = B^-1 * b_new.
+  new_rhs.assign(m, 0.0);
+  double scale = 0.0;
+  for (std::size_t r = 0; r < m; ++r) {
+    const double* row = t.a.row(r);
+    double acc = 0.0;
+    for (std::size_t i = 0; i < m; ++i)
+      acc += row[prep.unit_col[i]] * incoming.rhs[i];
+    new_rhs[r] = acc;
+    scale = std::max(scale, std::abs(acc));
+  }
+  const double feas_tol = opt.tolerance * (1.0 + scale);
+  bool primal_infeasible = false;
+  for (std::size_t r = 0; r < m; ++r)
+    primal_infeasible = primal_infeasible || new_rhs[r] < -feas_tol;
+  t.rhs = new_rhs;
+
+  // Commit: the tableau now reflects the incoming problem's data.
+  std::swap(prep, incoming);
+
+  if (primal_infeasible) {
+    // The cached basis is primal infeasible for this window's right-hand
+    // side. The previous optimum is still *dual* feasible whenever the
+    // objective did not move (true for every scheduler stage: the costs are
+    // structural), so a few dual simplex pivots usually restore primal
+    // feasibility far cheaper than a cold phase 1+2. Only when that also
+    // fails does the solve fall back to phase 1.
+    if (!dual_recover(opt)) {
+      ++stats.rhs_rejections;
+      valid = false;
+      std::swap(prep, incoming);  // cold() expects the new data in incoming
+      return false;
+    }
+    ++stats.dual_recoveries;
+  }
+  for (std::size_t r = 0; r < m; ++r) t.rhs[r] = std::max(0.0, t.rhs[r]);
+  SHAREGRID_AUDIT_HOOK(audit::audit_warm_start_entry(
+      t.a, t.rhs, t.basis, prep.first_artificial, /*tol=*/1e-6));
+
+  ++stats.warm_solves;
+  ++warm_streak;
+  const PhaseResult r = run_simplex(t, prep.costs, prep.first_artificial, opt,
+                                    d, col, stats.pivots);
+  if (r == PhaseResult::kIterationLimit) {
+    out.status = Status::kIterationLimit;
+    valid = false;
+    return true;
+  }
+  if (r == PhaseResult::kUnbounded) {
+    out.status = Status::kUnbounded;
+    valid = false;
+    return true;
+  }
+  extract(problem, out);
+  out.warm_started = true;
+  return true;
+}
+
+void SolveContext::Impl::cold(const Problem& problem, const SolverOptions& opt,
+                              Solution& out) {
+  ++stats.cold_solves;
+  std::swap(prep, incoming);
+  valid = false;
+  basis_clean = false;
+  warm_streak = 0;
+
+  const std::size_t n = prep.num_vars;
+  const std::size_t m = prep.num_rows;
+  t.num_structural = n;
+  t.first_artificial = prep.first_artificial;
+  t.a.assign(m, prep.cols, 0.0);
+  t.rhs = prep.rhs;
+  t.basis.assign(m, kNone);
+  for (std::size_t i = 0; i < prep.num_constraint_rows; ++i) {
+    double* row = t.a.row(i);
+    for (std::uint32_t k = prep.row_begin[i]; k < prep.row_begin[i + 1]; ++k)
+      row[prep.term_var[k]] += prep.coeffs[k];
+  }
+  for (std::size_t idx = 0; idx < prep.ub_var.size(); ++idx)
+    t.a.row(prep.num_constraint_rows + idx)[prep.ub_var[idx]] = 1.0;
+  for (std::size_t i = 0; i < m; ++i) {
+    double* row = t.a.row(i);
+    if (prep.slack_col[i] != kNoColumn)
+      row[prep.slack_col[i]] = prep.slack_sign[i];
+    if (prep.art_col[i] != kNoColumn) row[prep.art_col[i]] = 1.0;
+    t.basis[i] = prep.unit_col[i];
+  }
+  SHAREGRID_AUDIT_HOOK(audit::audit_simplex_basis(t.a, t.rhs, t.basis,
+                                                  /*tol=*/1e-6));
+
+  // Phase 1: drive artificials to zero (maximize -sum of artificials).
+  bool clean = true;
+  if (prep.num_artificial > 0) {
+    phase1_costs.assign(prep.cols, 0.0);
+    for (std::size_t j = prep.first_artificial; j < prep.cols; ++j)
+      phase1_costs[j] = -1.0;
+    const PhaseResult r =
+        run_simplex(t, phase1_costs, prep.cols, opt, d, col, stats.pivots);
+    if (r == PhaseResult::kIterationLimit) {
+      out.status = Status::kIterationLimit;
+      return;
+    }
+    if (objective_value(t, phase1_costs) < -1e-7) {
+      out.status = Status::kInfeasible;
+      return;
+    }
+    // Pivot zero-level artificials out of the basis where possible so they
+    // cannot re-enter through rounding noise in phase 2.
+    for (std::size_t i = 0; i < m; ++i) {
+      if (t.basis[i] < prep.first_artificial) continue;
+      bool pivoted = false;
+      for (std::size_t j = 0; j < prep.first_artificial; ++j) {
+        if (std::abs(t.a.row(i)[j]) > 1e-7) {
+          pivot(t, i, j);
+          ++stats.pivots;
+          pivoted = true;
+          break;
+        }
+      }
+      if (!pivoted) {
+        // No pivot column: every non-artificial entry is below threshold, so
+        // the row reads 0*y ~= 0 — redundant within tolerance. The artificial
+        // stays basic at level zero and is locked out of phase 2 pricing, but
+        // the sub-threshold residue must be cleared: phase-2 pivots would
+        // multiply it by rhs magnitudes (factor * rhs[row] with rhs up to the
+        // saturated-demand scale) and silently leak value into the basic
+        // artificial, i.e. return kOptimal for a point that violates the
+        // original constraint. Clearing also wipes this row's B^-1 image, so
+        // the tableau is not reusable for warm starts (clean = false).
+        double* row = t.a.row(i);
+        for (std::size_t j = 0; j < prep.first_artificial; ++j) row[j] = 0.0;
+        t.rhs[i] = 0.0;
+        clean = false;
+      }
+    }
+  }
+
+  // Phase 2: the real objective over structural columns only.
+  const PhaseResult r = run_simplex(t, prep.costs, prep.first_artificial, opt,
+                                    d, col, stats.pivots);
+  if (r == PhaseResult::kIterationLimit) {
+    out.status = Status::kIterationLimit;
+    return;
+  }
+  if (r == PhaseResult::kUnbounded) {
+    out.status = Status::kUnbounded;
+    return;
+  }
+  extract(problem, out);
+  valid = true;
+  basis_clean = clean;
+}
+
+void SolveContext::Impl::extract(const Problem& problem, Solution& out) {
+  const std::size_t n = prep.num_vars;
+  out.status = Status::kOptimal;
+  out.values.assign(n, 0.0);
+  for (std::size_t i = 0; i < prep.num_rows; ++i) {
+    if (t.basis[i] < n) out.values[t.basis[i]] = std::max(0.0, t.rhs[i]);
+  }
+  const auto& lo = problem.lower_bounds();
+  double objective = 0.0;
+  for (std::size_t j = 0; j < n; ++j) {
+    out.values[j] += lo[j];
+    objective += problem.objective()[j] * out.values[j];
+  }
+  out.objective = objective;
+  out.basis = t.basis;
+  // The solution handed back must satisfy the *original* problem — warm or
+  // cold — not just the internal shifted/standard-form tableau.
+  SHAREGRID_AUDIT_HOOK(audit::audit_lp_solution(problem, out,
+                                                /*tol=*/1e-5));
+}
+
+Solution SolveContext::Impl::run(const Problem& problem,
+                                 const SolverOptions& opt) {
+  ++stats.solves;
+  prepare(problem, incoming);
+  Solution out;
+  bool warm_done = false;
+  if (valid && basis_clean && opt.warm_refresh_interval > 0) {
+    if (!prep.layout_matches(incoming)) {
+      ++stats.structure_misses;
+    } else if (warm_streak >= opt.warm_refresh_interval) {
+      ++stats.refreshes;
+    } else {
+      warm_done = try_warm(problem, opt, out);
+    }
+  }
+  if (!warm_done) cold(problem, opt, out);
+  return out;
+}
+
+SolveContext::SolveContext() : impl_(std::make_unique<Impl>()) {}
+SolveContext::~SolveContext() = default;
+SolveContext::SolveContext(SolveContext&&) noexcept = default;
+SolveContext& SolveContext::operator=(SolveContext&&) noexcept = default;
+
+Solution SolveContext::solve(const Problem& problem,
+                             const SolverOptions& options) {
+  return impl_->run(problem, options);
+}
+
+void SolveContext::invalidate() { impl_->valid = false; }
+
+const SolveStats& SolveContext::stats() const { return impl_->stats; }
+
+}  // namespace sharegrid::lp

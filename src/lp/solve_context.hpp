@@ -1,0 +1,150 @@
+// Warm-started, incrementally-priced LP solve pipeline.
+//
+// The paper re-solves an LP every 100 ms scheduling window (§3.1.2) and
+// argues the cost is negligible because principal counts are small. On a
+// redirector hot path with n² routing variables that stops being true, but
+// successive windows differ only in demand-driven data: right-hand sides,
+// bounds, objective coefficients, and (for the max-min theta rows) one
+// structural column. A SolveContext exploits that structure:
+//
+//  * PreparedProblem factors standard-form construction — lower-bound
+//    shifting, sign flips, slack/artificial column layout, phase-2 costs —
+//    out of the solve, so a re-solve only rewrites the numbers that moved.
+//  * The optimal basis and final tableau of the previous solve are kept.
+//    When the next problem has the same layout, the solver recomputes
+//    B⁻¹·b for the new right-hand side (B⁻¹ is read off the tableau's
+//    initial-identity columns), repairs changed structural columns with at
+//    most one pivot each, and re-enters phase 2 directly. When the new
+//    right-hand side leaves the basis primal infeasible, dual simplex
+//    pivots restore feasibility as long as the basis is still dual feasible
+//    (true whenever the objective is stable across windows, as in every
+//    scheduler stage); only when that also fails does the solve fall back
+//    to the full two-phase method.
+//  * Scratch buffers (reduced costs, entering column, rhs) live in the
+//    context, so the pivot inner loops never allocate.
+//
+// See docs/lp-performance.md for the design discussion and measurements.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include "lp/simplex.hpp"
+
+namespace sharegrid::lp {
+
+/// "No column" marker in PreparedProblem layout arrays.
+inline constexpr std::uint32_t kNoColumn =
+    std::numeric_limits<std::uint32_t>::max();
+
+/// Standard-form image of a Problem, split into the *layout* (dimensions,
+/// term sparsity, relations, sign-flip pattern, slack/artificial column
+/// assignment — everything that decides tableau structure) and the *data*
+/// (coefficients, right-hand sides, phase-2 costs). Two windows whose
+/// layouts match can reuse one tableau; only the data is rewritten.
+struct PreparedProblem {
+  // -- dimensions --
+  std::size_t num_vars = 0;             ///< structural variables n
+  std::size_t num_constraint_rows = 0;  ///< user constraints
+  std::size_t num_rows = 0;             ///< constraints + finite-bound rows
+  std::size_t num_slack = 0;
+  std::size_t num_artificial = 0;
+  std::size_t cols = 0;  ///< n + slacks + artificials
+  std::size_t first_artificial = 0;
+
+  // -- layout (compared by layout_matches) --
+  std::vector<Relation> relation;        ///< original relation per constraint
+  std::vector<std::uint8_t> flipped;     ///< 1 when the row was negated
+  std::vector<Relation> effective;       ///< relation after the flip
+  std::vector<std::uint32_t> term_var;   ///< CSR term variable indices
+  std::vector<std::uint32_t> row_begin;  ///< CSR offsets, size rows+1
+  std::vector<std::uint32_t> ub_var;     ///< vars with finite upper bound
+  std::vector<std::uint32_t> slack_col;  ///< per row, kNoColumn if none
+  std::vector<std::uint32_t> art_col;    ///< per row, kNoColumn if none
+  std::vector<std::uint32_t> unit_col;   ///< per row: its initial unit column
+  std::vector<double> slack_sign;        ///< +1 slack, -1 surplus, 0 none
+
+  // -- data (free to differ between warm-compatible windows) --
+  std::vector<double> coeffs;  ///< CSR coefficients, flip-adjusted
+  std::vector<double> rhs;     ///< shifted + flip-adjusted, size num_rows
+  std::vector<double> costs;   ///< phase-2 maximize costs over all columns
+
+  /// True when @p other has the same structural layout (coefficients, rhs
+  /// and costs may differ). Warm starts require a match.
+  bool layout_matches(const PreparedProblem& other) const;
+};
+
+/// Builds the standard form of @p problem into @p out, reusing its storage.
+/// Throws ContractViolation if any lower bound is non-finite.
+void prepare(const Problem& problem, PreparedProblem& out);
+
+/// Cumulative counters describing how a SolveContext's solves resolved.
+struct SolveStats {
+  std::uint64_t solves = 0;        ///< total solve() calls
+  std::uint64_t warm_solves = 0;   ///< re-entered phase 2 from a cached basis
+  std::uint64_t cold_solves = 0;   ///< full two-phase solves
+  /// Warm start skipped: constraint/bound layout (or a sign flip) changed.
+  std::uint64_t structure_misses = 0;
+  /// Warm start attempted, the cached basis was primal infeasible for the
+  /// new right-hand side, and dual simplex could not recover (the basis was
+  /// not dual feasible either, or the pivot budget ran out) — the "fall
+  /// back to phase 1" case.
+  std::uint64_t rhs_rejections = 0;
+  /// Primal-infeasible warm starts recovered by dual simplex pivots instead
+  /// of a cold phase 1+2 (possible whenever the objective is stable across
+  /// windows, which holds for every scheduler stage).
+  std::uint64_t dual_recoveries = 0;
+  /// Warm start attempted but a changed basic column could not be repaired
+  /// with a numerically safe pivot.
+  std::uint64_t repair_rejections = 0;
+  /// Periodic anti-drift cold refreshes (SolverOptions::warm_refresh_interval).
+  std::uint64_t refreshes = 0;
+  std::uint64_t pivots = 0;  ///< simplex pivots across all solves
+
+  SolveStats& operator+=(const SolveStats& o) {
+    solves += o.solves;
+    warm_solves += o.warm_solves;
+    cold_solves += o.cold_solves;
+    structure_misses += o.structure_misses;
+    rhs_rejections += o.rhs_rejections;
+    dual_recoveries += o.dual_recoveries;
+    repair_rejections += o.repair_rejections;
+    refreshes += o.refreshes;
+    pivots += o.pivots;
+    return *this;
+  }
+};
+
+/// Reusable solve pipeline: owns the prepared standard form, the cached
+/// optimal basis/tableau, and all pivot scratch space. One context per
+/// logically-recurring program (e.g. one per scheduler stage); contexts are
+/// not thread-safe — callers serialize access.
+class SolveContext {
+ public:
+  SolveContext();
+  ~SolveContext();
+  SolveContext(SolveContext&&) noexcept;
+  SolveContext& operator=(SolveContext&&) noexcept;
+  SolveContext(const SolveContext&) = delete;
+  SolveContext& operator=(const SolveContext&) = delete;
+
+  /// Solves @p problem, warm-starting from the previous call's basis when
+  /// the problem layout matches. Results are status/objective-equivalent to
+  /// a cold lp::solve of the same problem (alternate optima may place the
+  /// optimum at a different vertex).
+  Solution solve(const Problem& problem, const SolverOptions& options = {});
+
+  /// Drops the cached basis; the next solve runs cold.
+  void invalidate();
+
+  const SolveStats& stats() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace sharegrid::lp

@@ -41,6 +41,7 @@ void L7Redirector::begin_window() {
 
   const std::vector<double> demand = local_demand();
   window_.begin_window(demand, global_);
+  if (window_.last_plan().lp_fallback) metrics_->on_plan_fallback();
   if (config_.trace != nullptr) {
     WindowTrace::Row row;
     row.window_start = sim_->now();

@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "core/principal.hpp"
@@ -29,6 +30,11 @@ class Metrics {
   void on_rejected(core::PrincipalId p, SimTime t);
   void on_latency(core::PrincipalId p, double seconds);
   void on_reply_bytes(core::PrincipalId p, SimTime t, double bytes);
+  /// A window began on a stale plan because the LP solver hit its iteration
+  /// budget (Plan::lp_fallback). Rare by construction; a nonzero rate in a
+  /// steady experiment means the solver budget is undersized for the
+  /// principal count.
+  void on_plan_fallback() { ++plan_fallbacks_; }
 
   const RateSeries& offered(core::PrincipalId p) const;
   const RateSeries& served(core::PrincipalId p) const;
@@ -36,6 +42,8 @@ class Metrics {
   const RunningStats& latency(core::PrincipalId p) const;
   /// Reply bytes/sec series (events weighted by size).
   const RateSeries& reply_bytes(core::PrincipalId p) const;
+  /// Windows that started on a stale plan (LP iteration-limit fallbacks).
+  std::uint64_t plan_fallbacks() const { return plan_fallbacks_; }
 
  private:
   void check(core::PrincipalId p) const { SHAREGRID_EXPECTS(p < served_.size()); }
@@ -45,6 +53,7 @@ class Metrics {
   std::vector<RateSeries> rejected_;
   std::vector<RunningStats> latency_;
   std::vector<RateSeries> bytes_;
+  std::uint64_t plan_fallbacks_ = 0;
 };
 
 }  // namespace sharegrid::nodes

@@ -30,10 +30,37 @@ IncomeScheduler::IncomeScheduler(const core::AgreementGraph& graph,
   SHAREGRID_EXPECTS(provider_capacity_ > 0.0);
 }
 
+void IncomeScheduler::set_solver_options(const lp::SolverOptions& options) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  solver_options_ = options;
+}
+
+lp::SolveStats IncomeScheduler::solver_stats() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  lp::SolveStats total = stage1_context_.stats();
+  total += stage2_context_.stats();
+  return total;
+}
+
+/// No fresh plan this window: reuse the previous window's allocation (an
+/// empty one if no window ever succeeded) against the current demand.
+Plan IncomeScheduler::fallback_plan(std::vector<double> demand) const {
+  Plan out;
+  if (has_last_plan_) {
+    out = last_plan_;
+  } else {
+    out.rate = Matrix(prices_.size(), prices_.size(), 0.0);
+  }
+  out.demand = std::move(demand);
+  out.lp_fallback = true;
+  return out;
+}
+
 Plan IncomeScheduler::plan(const std::vector<double>& demand) const {
   const std::size_t n = prices_.size();
   SHAREGRID_EXPECTS(demand.size() == n);
   for (double d : demand) SHAREGRID_EXPECTS(d >= 0.0);
+  const std::lock_guard<std::mutex> lock(mutex_);
 
   // One variable per principal: the rate admitted to the provider's pool.
   auto build = [&] {
@@ -57,16 +84,27 @@ Plan IncomeScheduler::plan(const std::vector<double>& demand) const {
   // -p_i*MC_i terms are constant and do not affect the argmax.
   Problem p1 = build();
   for (std::size_t i = 0; i < n; ++i) p1.set_objective(i, prices_[i]);
-  const lp::Solution s1 = lp::solve(p1);
+  const lp::Solution s1 = stage1_context_.solve(p1, solver_options_);
+  if (s1.status == lp::Status::kIterationLimit) return fallback_plan(demand);
   SHAREGRID_ENSURES(s1.optimal());
+
+  Plan out;
+  out.demand = demand;
+  out.rate = Matrix(n, n, 0.0);
 
   const lp::Solution* final_solution = &s1;
   lp::Solution s2;
   if (work_conserving_) {
     // Stage 2: at the optimal income, maximize total admitted rate so
     // zero-price demand can use capacity the paying customers leave idle.
+    // The tiny index-graded bonus breaks ties among equal-price principals:
+    // without it the vertex depends on the pivot path, so warm-started and
+    // cold solves can disagree on who gets the idle capacity even though
+    // both are optimal.
     Problem p2 = build();
-    for (std::size_t i = 0; i < n; ++i) p2.set_objective(i, 1.0);
+    for (std::size_t i = 0; i < n; ++i)
+      p2.set_objective(
+          i, 1.0 + 1e-6 * static_cast<double>(n - i) / static_cast<double>(n));
     std::vector<std::pair<std::size_t, double>> income_terms;
     for (std::size_t i = 0; i < n; ++i)
       if (prices_[i] > 0.0) income_terms.emplace_back(i, prices_[i]);
@@ -77,16 +115,22 @@ Plan IncomeScheduler::plan(const std::vector<double>& demand) const {
       p2.add_constraint(std::move(income_terms), Relation::kGreaterEq,
                         income_star * (1.0 - 1e-9) - 1e-9);
     }
-    s2 = lp::solve(p2);
-    SHAREGRID_ENSURES(s2.optimal());
-    final_solution = &s2;
+    s2 = stage2_context_.solve(p2, solver_options_);
+    if (s2.status == lp::Status::kIterationLimit) {
+      // Stage 1 already maximized income; degrade to its solution (giving
+      // up only work conservation) but still flag the window.
+      out.lp_fallback = true;
+    } else {
+      SHAREGRID_ENSURES(s2.optimal());
+      final_solution = &s2;
+    }
   }
 
-  Plan out;
-  out.demand = demand;
-  out.rate = Matrix(n, n, 0.0);
   for (std::size_t i = 0; i < n; ++i)
     out.rate(i, provider_) = std::max(0.0, final_solution->values[i]);
+  last_plan_ = out;
+  last_plan_.lp_fallback = false;
+  has_last_plan_ = true;
   return out;
 }
 

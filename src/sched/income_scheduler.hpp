@@ -9,10 +9,12 @@
 // admitted rate across the provider's servers in proportion to capacity.
 #pragma once
 
+#include <mutex>
 #include <vector>
 
 #include "core/agreement_graph.hpp"
 #include "core/flow.hpp"
+#include "lp/solve_context.hpp"
 #include "sched/scheduler.hpp"
 
 namespace sharegrid::sched {
@@ -43,13 +45,32 @@ class IncomeScheduler final : public Scheduler {
   /// Income implied by a plan: sum of p_i * max(0, admitted_i - MC_i).
   double income(const Plan& plan) const;
 
+  /// Overrides the LP solver tuning for every stage solve (tests use this to
+  /// force Status::kIterationLimit and exercise the fallback path).
+  void set_solver_options(const lp::SolverOptions& options);
+
+  /// Cumulative warm/cold solver statistics across both LP stages.
+  lp::SolveStats solver_stats() const;
+
  private:
+  Plan fallback_plan(std::vector<double> demand) const;
+
   core::PrincipalId provider_;
   std::vector<double> prices_;
   bool work_conserving_;
   std::vector<double> mandatory_;  // MC_i
   std::vector<double> optional_;   // OC_i
   double provider_capacity_ = 0.0;
+  lp::SolverOptions solver_options_;
+
+  // Warm-start solver caches (see Scheduler doc): per-stage contexts plus
+  // the previous plan for iteration-limit fallback, guarded for concurrent
+  // plan() callers.
+  mutable std::mutex mutex_;
+  mutable lp::SolveContext stage1_context_;
+  mutable lp::SolveContext stage2_context_;
+  mutable Plan last_plan_;
+  mutable bool has_last_plan_ = false;
 };
 
 }  // namespace sharegrid::sched

@@ -23,6 +23,10 @@ struct Plan {
   std::vector<double> demand;
   /// Community metric: the max-min fraction theta (1.0 when not applicable).
   double theta = 1.0;
+  /// True when the scheduler could not produce a fresh plan this window
+  /// (the LP solver hit its iteration budget) and fell back to the previous
+  /// window's allocation — or an empty one when no window succeeded yet.
+  bool lp_fallback = false;
 
   std::size_t size() const { return demand.size(); }
 

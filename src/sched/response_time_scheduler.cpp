@@ -24,9 +24,39 @@ ResponseTimeScheduler::ResponseTimeScheduler(const core::AgreementGraph& graph,
     capacities_.push_back(graph.capacity(k));
 }
 
+void ResponseTimeScheduler::set_solver_options(
+    const lp::SolverOptions& options) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  solver_options_ = options;
+}
+
+lp::SolveStats ResponseTimeScheduler::solver_stats() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  lp::SolveStats total = stage1_context_.stats();
+  total += retry_context_.stats();
+  total += stage2_context_.stats();
+  return total;
+}
+
+/// No fresh plan this window: reuse the previous window's allocation (an
+/// empty one if no window ever succeeded) against the current demand.
+Plan ResponseTimeScheduler::fallback_plan(std::vector<double> demand) const {
+  Plan out;
+  if (has_last_plan_) {
+    out = last_plan_;
+  } else {
+    out.rate = Matrix(capacities_.size(), capacities_.size(), 0.0);
+    out.theta = 0.0;
+  }
+  out.demand = std::move(demand);
+  out.lp_fallback = true;
+  return out;
+}
+
 Plan ResponseTimeScheduler::plan(const std::vector<double>& raw_demand) const {
   const std::size_t n = capacities_.size();
   SHAREGRID_EXPECTS(raw_demand.size() == n);
+  const std::lock_guard<std::mutex> lock(mutex_);
 
   // Clamp demands to 100x the total capacity: far above anything real
   // backlogs reach (so demand *ratios*, which drive the max-min split,
@@ -116,15 +146,23 @@ Plan ResponseTimeScheduler::plan(const std::vector<double>& raw_demand) const {
 
   // Stage 1: maximize theta. Mandatory floors can conflict with locality
   // caps; when they do, fall back to a floorless program (best effort).
+  // Each stage solves through its own warm-start context: successive
+  // windows share the program layout, so the previous optimal basis usually
+  // re-enters phase 2 directly. An iteration-limited solve means no fresh
+  // plan this window — reuse the previous one rather than crash mid-window.
   bool floors = true;
   Problem p1 = build(floors);
   p1.set_objective(theta_var, 1.0);
-  lp::Solution s1 = lp::solve(p1);
+  lp::Solution s1 = stage1_context_.solve(p1, solver_options_);
+  if (s1.status == lp::Status::kIterationLimit)
+    return fallback_plan(std::move(demand));
   if (!s1.optimal() && !options_.locality_caps.empty()) {
     floors = false;
     Problem retry = build(floors);
     retry.set_objective(theta_var, 1.0);
-    s1 = lp::solve(retry);
+    s1 = retry_context_.solve(retry, solver_options_);
+    if (s1.status == lp::Status::kIterationLimit)
+      return fallback_plan(std::move(demand));
   }
   SHAREGRID_ENSURES(s1.optimal());
   const double theta = s1.values[theta_var];
@@ -134,20 +172,36 @@ Plan ResponseTimeScheduler::plan(const std::vector<double>& raw_demand) const {
   lp::Solution s2;
   if (options_.work_conserving) {
     // Stage 2: at fixed theta, maximize the total admitted rate so spare
-    // capacity flows to whoever can still use it.
+    // capacity flows to whoever can still use it. The tiny bonus on local
+    // placement (x_ii) breaks ties among the many total-rate-equal routings:
+    // without it the chosen vertex depends on the pivot path, so a
+    // warm-started solve can land on a different alternate optimum than a
+    // cold one and closed-loop simulations stop being reproducible. 1e-6 is
+    // far above the solver tolerance and costs at most 1e-6 of a request of
+    // total admitted rate.
     Problem p2 = build(floors);
     for (std::size_t i = 0; i < n; ++i)
-      for (std::size_t k = 0; k < n; ++k) p2.set_objective(var(i, k), 1.0);
+      for (std::size_t k = 0; k < n; ++k)
+        p2.set_objective(var(i, k), k == i ? 1.0 + 1e-6 : 1.0);
     // Tiny slack below theta guards against round-off infeasibility.
     p2.set_bounds(theta_var, std::max(0.0, theta - 1e-9), 1.0);
-    s2 = lp::solve(p2);
-    SHAREGRID_ENSURES(s2.optimal());
-    final_solution = &s2;
+    s2 = stage2_context_.solve(p2, solver_options_);
+    if (s2.status == lp::Status::kIterationLimit) {
+      // Stage 1 already produced a feasible max-min plan; degrade to it
+      // (giving up only work conservation) but still flag the window.
+      out.lp_fallback = true;
+    } else {
+      SHAREGRID_ENSURES(s2.optimal());
+      final_solution = &s2;
+    }
   }
 
   for (std::size_t i = 0; i < n; ++i)
     for (std::size_t k = 0; k < n; ++k)
       out.rate(i, k) = std::max(0.0, final_solution->values[var(i, k)]);
+  last_plan_ = out;
+  last_plan_.lp_fallback = false;
+  has_last_plan_ = true;
   return out;
 }
 

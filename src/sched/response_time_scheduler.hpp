@@ -8,11 +8,13 @@
 // idle merely because theta is already pinned by the worst-off principal).
 #pragma once
 
+#include <mutex>
 #include <optional>
 #include <vector>
 
 #include "core/agreement_graph.hpp"
 #include "core/flow.hpp"
+#include "lp/solve_context.hpp"
 #include "sched/scheduler.hpp"
 
 namespace sharegrid::sched {
@@ -40,10 +42,31 @@ class ResponseTimeScheduler final : public Scheduler {
 
   const core::AccessLevels& levels() const { return levels_; }
 
+  /// Overrides the LP solver tuning for every stage solve (tests use this to
+  /// force Status::kIterationLimit and exercise the fallback path).
+  void set_solver_options(const lp::SolverOptions& options);
+
+  /// Cumulative warm/cold solver statistics across all LP stages.
+  lp::SolveStats solver_stats() const;
+
  private:
+  Plan fallback_plan(std::vector<double> demand) const;
+
   std::vector<double> capacities_;
   core::AccessLevels levels_;
   ResponseTimeOptions options_;
+  lp::SolverOptions solver_options_;
+
+  // Warm-start solver caches, one per LP stage so each stage re-enters from
+  // its own previous basis (the stage programs have different layouts).
+  // plan() stays const — these only affect solve speed and the
+  // iteration-limit fallback — and the mutex serializes concurrent callers.
+  mutable std::mutex mutex_;
+  mutable lp::SolveContext stage1_context_;
+  mutable lp::SolveContext retry_context_;
+  mutable lp::SolveContext stage2_context_;
+  mutable Plan last_plan_;
+  mutable bool has_last_plan_ = false;
 };
 
 }  // namespace sharegrid::sched

@@ -97,6 +97,7 @@ Matrix WindowScheduler::compute_slices(const std::vector<double>& local_demand,
   }
 
   plan_ = scheduler_->plan(demand);
+  if (plan_.lp_fallback) ++plan_fallbacks_;
 
   Matrix slices(n, n, 0.0);
   const double window_sec = to_seconds(window_);

@@ -120,6 +120,10 @@ class WindowScheduler {
   SimDuration window() const { return window_; }
   const Plan& last_plan() const { return plan_; }
 
+  /// Windows (including re-plans) whose plan was a stale fallback because
+  /// the LP solver hit its iteration budget (Plan::lp_fallback).
+  std::uint64_t plan_fallbacks() const { return plan_fallbacks_; }
+
  private:
   const Scheduler* scheduler_;
   SimDuration window_;
@@ -136,6 +140,7 @@ class WindowScheduler {
   Matrix slices_;    // (i, k) this window's plan slice (audit reference:
                      // quota + consumed == slices + debt at all times)
   Plan plan_;
+  std::uint64_t plan_fallbacks_ = 0;
 };
 
 }  // namespace sharegrid::sched

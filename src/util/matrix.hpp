@@ -22,6 +22,15 @@ class Matrix {
   std::size_t cols() const { return cols_; }
   bool empty() const { return data_.empty(); }
 
+  /// Resizes to rows x cols with every element set to @p fill, reusing the
+  /// existing storage when capacity allows (hot-path reuse: per-window
+  /// tableau rebuilds must not reallocate).
+  void assign(std::size_t rows, std::size_t cols, double fill) {
+    rows_ = rows;
+    cols_ = cols;
+    data_.assign(rows * cols, fill);
+  }
+
   double& operator()(std::size_t r, std::size_t c) {
     SHAREGRID_EXPECTS(r < rows_ && c < cols_);
     return data_[r * cols_ + c];

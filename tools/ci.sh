@@ -5,6 +5,7 @@
 #
 #   tools/ci.sh                      # all three stages
 #   SHAREGRID_CI_SKIP_TSAN=1 tools/ci.sh   # skip the (slow) TSan stage
+#   SHAREGRID_CI_QUICK_BENCH=1 tools/ci.sh # also refresh BENCH_lp.json
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -27,6 +28,17 @@ if [[ "${SHAREGRID_CI_SKIP_TSAN:-0}" == "1" ]]; then
   echo "=== [debug-tsan] skipped (SHAREGRID_CI_SKIP_TSAN=1) ==="
 else
   run_stage debug-tsan     # TSan, SHAREGRID_AUDIT=ON
+fi
+
+# Opt-in: refresh the checked-in warm-vs-cold LP re-solve numbers (see
+# docs/lp-performance.md). Off by default — benchmark timings on loaded CI
+# machines are noise, so the stage only runs when explicitly requested.
+if [[ "${SHAREGRID_CI_QUICK_BENCH:-0}" == "1" ]]; then
+  echo
+  echo "=== [quick-bench] micro_lp warm-vs-cold re-solve ==="
+  ./build-relwithdebinfo/bench/micro_lp \
+    --benchmark_filter='BM_LpResolve' \
+    --benchmark_out=BENCH_lp.json --benchmark_out_format=json
 fi
 
 echo
