@@ -5,7 +5,19 @@
 // redirector in terms of its impact on request latency and bandwidth"
 // (§5.2): the L7 path doubles the network round trips. In the simulator the
 // same asymmetry appears as more events (hops) per request, measured here.
+//
+// The engine workloads cover the timing wheel's regimes (see
+// docs/sim-performance.md): dense near-future chains (level 0), mixed
+// horizons that force cascades across levels, far-future one-shots that
+// land in the overflow list, and cancellation churn where most wheel
+// traffic is inert tombstone events from dead PeriodicTasks.
 #include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <vector>
 
 #include "experiments/scenario.hpp"
 #include "sim/simulator.hpp"
@@ -16,17 +28,21 @@ using namespace sharegrid::experiments;
 namespace {
 
 void BM_SimulatorEventThroughput(benchmark::State& state) {
-  // Self-rescheduling event chains: the engine's core cost.
+  // Self-rescheduling event chains: the engine's core cost. The chain
+  // closures live in a vector so the self-reference stays valid for the
+  // whole run; the scheduled hop captures only one pointer, so the engine's
+  // per-event storage cost is measured, not std::function copying.
   const auto chains = static_cast<std::size_t>(state.range(0));
   for (auto _ : state) {
     sim::Simulator sim;
     std::uint64_t fired = 0;
-    std::function<void()> hop;
+    std::vector<std::function<void()>> hop(chains);
     for (std::size_t c = 0; c < chains; ++c) {
-      std::function<void()> self = [&sim, &fired, &self] {
-        if (++fired % 1000 != 0) sim.schedule_after(10, self);
+      std::function<void()>& self = hop[c];
+      self = [&sim, &fired, &self] {
+        if (++fired % 1000 != 0) sim.schedule_after(10, [&self] { self(); });
       };
-      sim.schedule_at(static_cast<SimTime>(c), self);
+      sim.schedule_at(static_cast<SimTime>(c), [&self] { self(); });
     }
     sim.run_all();
     benchmark::DoNotOptimize(fired);
@@ -35,6 +51,95 @@ void BM_SimulatorEventThroughput(benchmark::State& state) {
                           static_cast<std::int64_t>(chains) * 1000);
 }
 BENCHMARK(BM_SimulatorEventThroughput)->Arg(1)->Arg(8)->Arg(64);
+
+void BM_SimulatorMixedHorizon(benchmark::State& state) {
+  // Chains that hop across wildly different horizons: 10 us, ~8 ms, ~0.5 s,
+  // ~34 s. Far hops park events in high wheel levels and every firing drags
+  // them down through cascades — the wheel's worst case relative to a heap,
+  // which pays the same O(log n) regardless of horizon.
+  static constexpr SimDuration kDeltas[] = {10, SimDuration{1} << 13,
+                                            SimDuration{1} << 19,
+                                            SimDuration{1} << 25};
+  const auto chains = static_cast<std::size_t>(state.range(0));
+  constexpr std::uint64_t kFiresPerChain = 200;
+  for (auto _ : state) {
+    sim::Simulator sim;
+    std::uint64_t fired = 0;
+    std::vector<std::function<void()>> hop(chains);
+    for (std::size_t c = 0; c < chains; ++c) {
+      std::function<void()>& self = hop[c];
+      std::uint64_t step = c;  // stagger which horizon each chain starts on
+      self = [&sim, &fired, &self, step]() mutable {
+        ++fired;
+        if (++step % kFiresPerChain != 0)
+          sim.schedule_after(kDeltas[step % 4], [&self] { self(); });
+      };
+      sim.schedule_at(static_cast<SimTime>(c), [&self] { self(); });
+    }
+    sim.run_all();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(chains * kFiresPerChain));
+}
+BENCHMARK(BM_SimulatorMixedHorizon)->Arg(64);
+
+void BM_SimulatorFarFuture(benchmark::State& state) {
+  // One-shot events scattered up to ~2^42 us (= 52 days) ahead, plus a few
+  // past the wheel horizon entirely: exercises deep-level insertion, the
+  // multi-level cascade path, and the overflow list.
+  constexpr std::size_t kEvents = 4096;
+  for (auto _ : state) {
+    sim::Simulator sim;
+    std::uint64_t fired = 0;
+    std::uint64_t rng = 0x9e3779b97f4a7c15ull;  // deterministic xorshift
+    for (std::size_t i = 0; i < kEvents; ++i) {
+      rng ^= rng << 13;
+      rng ^= rng >> 7;
+      rng ^= rng << 17;
+      const auto t = static_cast<SimTime>(rng & ((std::uint64_t{1} << 42) - 1));
+      sim.schedule_at(t, [&fired] { ++fired; });
+    }
+    for (int i = 0; i < 8; ++i)  // beyond the 2^48-us wheel horizon
+      sim.schedule_at((SimTime{1} << 50) + i, [&fired] { ++fired; });
+    sim.run_all();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kEvents + 8));
+}
+BENCHMARK(BM_SimulatorFarFuture);
+
+void BM_SimulatorCancellationChurn(benchmark::State& state) {
+  // Periodic-task churn: a rolling fleet of tasks where the oldest is
+  // cancelled and replaced every millisecond. Cancelled tasks leave inert
+  // events behind, so a large share of wheel traffic is tombstones — the
+  // pattern window schedulers and combining-tree rounds produce when nodes
+  // are rebuilt mid-run.
+  constexpr std::size_t kTasks = 64;
+  for (auto _ : state) {
+    sim::Simulator sim;
+    std::uint64_t fired = 0;
+    std::deque<std::unique_ptr<sim::PeriodicTask>> tasks;
+    for (std::size_t i = 0; i < kTasks; ++i)
+      tasks.push_back(std::make_unique<sim::PeriodicTask>(
+          &sim, static_cast<SimTime>(i), 100, [&fired] { ++fired; }));
+    sim::PeriodicTask churn(&sim, 500, 1000, [&] {
+      tasks.pop_front();  // cancels via destructor; pending event goes inert
+      tasks.push_back(std::make_unique<sim::PeriodicTask>(
+          &sim, sim.now() + 1, 100, [&fired] { ++fired; }));
+    });
+    sim.run_until(seconds(1.0));
+    churn.cancel();
+    tasks.clear();
+    benchmark::DoNotOptimize(fired);
+    benchmark::DoNotOptimize(sim.events_processed());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kTasks) * 10000);
+}
+BENCHMARK(BM_SimulatorCancellationChurn);
 
 ScenarioConfig small_scenario(Layer layer) {
   core::AgreementGraph g;

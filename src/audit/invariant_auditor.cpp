@@ -154,6 +154,29 @@ void audit_window_conservation(const Matrix& quota, const Matrix& consumed,
   }
 }
 
+void audit_sim_clock_monotone(std::int64_t now, std::int64_t next) {
+  require(next >= now, "sim.clock-monotone", [&] {
+    return "event due at t=" + std::to_string(next) +
+           " would move the clock backwards from t=" + std::to_string(now) +
+           "; a wheel cascade filed an event into an already-passed bucket";
+  });
+}
+
+void audit_sim_event_conservation(std::uint64_t inserted, std::uint64_t popped,
+                                  std::size_t size, std::uint64_t walked) {
+  require(walked == size, "sim.event-size-counter", [&] {
+    return "wheel size counter says " + std::to_string(size) +
+           " pending events but walking the slots found " +
+           std::to_string(walked) +
+           "; a cascade dropped or duplicated a node";
+  });
+  require(inserted == popped + size, "sim.event-conservation", [&] {
+    return std::to_string(inserted) + " events scheduled but " +
+           std::to_string(popped) + " executed + " + std::to_string(size) +
+           " pending; an event was lost or ran twice across a cascade";
+  });
+}
+
 void audit_quota_carry(double carry) {
   require(carry >= 0.0 && carry < 1.0, "window.carry-range", [&] {
     return "integer-quota error carry is " + num(carry) +

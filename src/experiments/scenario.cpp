@@ -10,11 +10,13 @@
 #include "nodes/l4_redirector.hpp"
 #include "nodes/server.hpp"
 #include "sched/income_scheduler.hpp"
+#include "sched/multi_provider_scheduler.hpp"
 #include "sched/response_time_scheduler.hpp"
 #include "sched/swappable_scheduler.hpp"
 #include "sim/simulator.hpp"
 #include "util/assert.hpp"
 #include "util/rng.hpp"
+#include "util/worker_pool.hpp"
 
 namespace sharegrid::experiments {
 namespace {
@@ -91,9 +93,14 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
     graph.set_capacity(owner, graph.capacity(owner) + spec.capacity);
   }
   // Scheduler factory: re-invoked whenever capacities change at runtime
-  // (agreements are interpreted dynamically, §2.2).
+  // (agreements are interpreted dynamically, §2.2). The worker pool is
+  // shared across rebuilds so capacity events don't respawn threads.
+  std::shared_ptr<WorkerPool> plan_pool;
+  if (!config.providers.empty() && config.plan_solver_threads > 0)
+    plan_pool = std::make_shared<WorkerPool>(config.plan_solver_threads);
   auto build_scheduler =
-      [&config, n](const core::AgreementGraph& g) -> std::unique_ptr<sched::Scheduler> {
+      [&config, n, &plan_pool](
+          const core::AgreementGraph& g) -> std::unique_ptr<sched::Scheduler> {
     const core::AccessLevels levels = core::compute_access_levels(g);
     if (config.scheduler == SchedulerKind::kResponseTime) {
       sched::ResponseTimeOptions options;
@@ -105,6 +112,14 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
                                                             options);
     }
     SHAREGRID_EXPECTS(config.prices.size() == n);
+    if (!config.providers.empty()) {
+      std::vector<core::PrincipalId> providers;
+      providers.reserve(config.providers.size());
+      for (const std::string& name : config.providers)
+        providers.push_back(resolve(g, name));
+      return std::make_unique<sched::MultiProviderScheduler>(
+          g, levels, std::move(providers), config.prices, plan_pool);
+    }
     return std::make_unique<sched::IncomeScheduler>(
         g, levels, resolve(g, config.provider), config.prices);
   };

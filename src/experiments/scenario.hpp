@@ -62,6 +62,13 @@ struct ScenarioConfig {
   /// Income scheduler inputs (ignored for response-time).
   std::string provider;
   std::vector<double> prices;
+  /// Multi-provider income mode: when non-empty, each named principal runs
+  /// its own per-window income LP over its entitlement columns and the plans
+  /// are merged (src/sched/multi_provider_scheduler.hpp); `provider` is then
+  /// ignored. Plans are identical whatever `plan_solver_threads` is.
+  std::vector<std::string> providers;
+  /// Worker threads for the per-provider plan solves (0 = solve serially).
+  std::size_t plan_solver_threads = 0;
 
   /// Locality caps c_k (§3.1.2 extension): at most this many requests/sec
   /// may be pushed to principal k's servers per window, modeling forwarding

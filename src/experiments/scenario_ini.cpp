@@ -60,6 +60,21 @@ ScenarioConfig scenario_from_ini(const IniDocument& doc) {
   }
   if (const auto provider = g.get_string("provider"))
     config.provider = *provider;
+  // Comma-separated principal names, e.g. "providers = S1, S2"; names are
+  // validated against the [principal] sections below.
+  if (const auto providers = g.get_string("providers")) {
+    std::stringstream ss(*providers);
+    std::string token;
+    while (std::getline(ss, token, ',')) {
+      const std::size_t first = token.find_first_not_of(" \t");
+      if (first == std::string::npos) continue;
+      const std::size_t last = token.find_last_not_of(" \t");
+      config.providers.push_back(token.substr(first, last - first + 1));
+    }
+    if (config.providers.empty()) fail("providers list is empty");
+  }
+  if (const auto threads = g.get_double("plan_solver_threads"))
+    config.plan_solver_threads = static_cast<std::size_t>(*threads);
   config.duration_sec = g.get_double("duration").value_or(100.0);
   if (const auto window_ms = g.get_double("window_ms"))
     config.window = milliseconds(*window_ms);
@@ -112,6 +127,9 @@ ScenarioConfig scenario_from_ini(const IniDocument& doc) {
            name + "'");
     return id;
   };
+  for (const std::string& name : config.providers)
+    if (config.graph.find(name) == core::kNoPrincipal)
+      fail("providers references unknown principal '" + name + "'");
 
   // --- Agreements ------------------------------------------------------------
   for (const IniSection* a : doc.all("agreement")) {

@@ -30,6 +30,30 @@ IncomeScheduler::IncomeScheduler(const core::AgreementGraph& graph,
   SHAREGRID_EXPECTS(provider_capacity_ > 0.0);
 }
 
+IncomeScheduler::IncomeScheduler(EntitlementColumns,
+                                 const core::AgreementGraph& graph,
+                                 const core::AccessLevels& levels,
+                                 core::PrincipalId provider,
+                                 std::vector<double> prices,
+                                 bool work_conserving)
+    : provider_(provider),
+      prices_(std::move(prices)),
+      work_conserving_(work_conserving) {
+  SHAREGRID_EXPECTS(provider < graph.size());
+  SHAREGRID_EXPECTS(prices_.size() == graph.size());
+  SHAREGRID_EXPECTS(levels.size() == graph.size());
+  for (double p : prices_) SHAREGRID_EXPECTS(p >= 0.0);
+  const std::size_t n = graph.size();
+  mandatory_.resize(n);
+  optional_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    mandatory_[i] = levels.mandatory_entitlement(i, provider);
+    optional_[i] = levels.optional_entitlement(i, provider);
+  }
+  provider_capacity_ = graph.capacity(provider);
+  SHAREGRID_EXPECTS(provider_capacity_ > 0.0);
+}
+
 void IncomeScheduler::set_solver_options(const lp::SolverOptions& options) {
   const std::lock_guard<std::mutex> lock(mutex_);
   solver_options_ = options;

@@ -37,6 +37,18 @@ class IncomeScheduler final : public Scheduler {
                   core::AccessLevels levels, core::PrincipalId provider,
                   std::vector<double> prices, bool work_conserving = true);
 
+  /// Tag selecting the per-server entitlement columns as the bound source.
+  struct EntitlementColumns {};
+
+  /// Multi-provider variant: customer i's bounds against @p provider come
+  /// from the entitlement decomposition columns EM(i, provider) /
+  /// EO(i, provider) rather than the global access levels MC_i / OC_i, so
+  /// one IncomeScheduler per provider partitions the community capacity
+  /// without any server being promised twice (DESIGN.md D1).
+  IncomeScheduler(EntitlementColumns, const core::AgreementGraph& graph,
+                  const core::AccessLevels& levels, core::PrincipalId provider,
+                  std::vector<double> prices, bool work_conserving = true);
+
   Plan plan(const std::vector<double>& demand) const override;
   std::size_t size() const override { return prices_.size(); }
 

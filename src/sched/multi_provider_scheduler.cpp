@@ -1,0 +1,127 @@
+#include "sched/multi_provider_scheduler.hpp"
+
+#include <utility>
+
+#include "audit/invariant_auditor.hpp"
+#include "util/assert.hpp"
+
+namespace sharegrid::sched {
+
+MultiProviderScheduler::MultiProviderScheduler(
+    const core::AgreementGraph& graph, const core::AccessLevels& levels,
+    std::vector<core::PrincipalId> providers, std::vector<double> prices,
+    std::shared_ptr<WorkerPool> pool, bool work_conserving)
+    : providers_(std::move(providers)), pool_(std::move(pool)) {
+  const std::size_t n = graph.size();
+  const std::size_t count = providers_.size();
+  SHAREGRID_EXPECTS(count > 0);
+  SHAREGRID_EXPECTS(prices.size() == n);
+  per_provider_.reserve(count);
+  shadow_.reserve(count);
+  for (const core::PrincipalId k : providers_) {
+    SHAREGRID_EXPECTS(k < n);
+    per_provider_.push_back(std::make_unique<IncomeScheduler>(
+        IncomeScheduler::EntitlementColumns{}, graph, levels, k, prices,
+        work_conserving));
+    shadow_.push_back(std::make_unique<IncomeScheduler>(
+        IncomeScheduler::EntitlementColumns{}, graph, levels, k, prices,
+        work_conserving));
+  }
+
+  // Split each customer's demand by its entitlement share at each provider;
+  // a customer entitled nowhere offers its demand evenly (it can still be
+  // admitted through a provider's optional headroom stage).
+  weights_ = Matrix(n, count, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    double total = 0.0;
+    for (std::size_t p = 0; p < count; ++p)
+      total += levels.mandatory_entitlement(i, providers_[p]) +
+               levels.optional_entitlement(i, providers_[p]);
+    for (std::size_t p = 0; p < count; ++p) {
+      weights_(i, p) =
+          total > 0.0
+              ? (levels.mandatory_entitlement(i, providers_[p]) +
+                 levels.optional_entitlement(i, providers_[p])) /
+                    total
+              : 1.0 / static_cast<double>(count);
+    }
+  }
+}
+
+void MultiProviderScheduler::set_solver_options(
+    const lp::SolverOptions& options) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& scheduler : per_provider_) scheduler->set_solver_options(options);
+  for (auto& scheduler : shadow_) scheduler->set_solver_options(options);
+}
+
+lp::SolveStats MultiProviderScheduler::solver_stats() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  lp::SolveStats total;
+  for (const auto& scheduler : per_provider_) total += scheduler->solver_stats();
+  return total;
+}
+
+Plan MultiProviderScheduler::plan(const std::vector<double>& demand) const {
+  const std::size_t n = weights_.rows();
+  const std::size_t count = providers_.size();
+  SHAREGRID_EXPECTS(demand.size() == n);
+  const std::lock_guard<std::mutex> lock(mutex_);
+
+  std::vector<std::vector<double>> split(count,
+                                         std::vector<double>(n, 0.0));
+  for (std::size_t p = 0; p < count; ++p)
+    for (std::size_t i = 0; i < n; ++i)
+      split[p][i] = demand[i] * weights_(i, p);
+
+  // Fan out: each solve touches only its own slot, its scheduler's own
+  // warm-start contexts, and its own read-only demand vector.
+  std::vector<Plan> results(count);
+  auto solve = [&](std::size_t p) {
+    results[p] = per_provider_[p]->plan(split[p]);
+  };
+  if (pool_ != nullptr) {
+    pool_->run_indexed(count, solve);
+  } else {
+    for (std::size_t p = 0; p < count; ++p) solve(p);
+  }
+
+  // The shadow solve replays the identical window on serial contexts; both
+  // pipelines are deterministic (DESIGN.md D7), so the plans must match
+  // bitwise — any drift means the pooled solves leaked state across threads.
+  SHAREGRID_AUDIT_HOOK([&] {
+    for (std::size_t p = 0; p < count; ++p)
+      audit::audit_parallel_plan_match(results[p], shadow_[p]->plan(split[p]),
+                                       p);
+  }());
+
+  // Merge in provider index order: each per-provider plan fills only its own
+  // column, so the merged plan is independent of solve completion order.
+  Plan out;
+  out.demand = demand;
+  out.rate = Matrix(n, n, 0.0);
+  for (std::size_t p = 0; p < count; ++p) {
+    const core::PrincipalId k = providers_[p];
+    for (std::size_t i = 0; i < n; ++i)
+      out.rate(i, k) = results[p].rate(i, k);
+    out.lp_fallback = out.lp_fallback || results[p].lp_fallback;
+  }
+  return out;
+}
+
+double MultiProviderScheduler::income(const Plan& plan) const {
+  double total = 0.0;
+  for (std::size_t p = 0; p < providers_.size(); ++p) {
+    // Each provider prices only the column it planned.
+    Plan column;
+    column.demand = plan.demand;
+    column.rate = Matrix(plan.rate.rows(), plan.rate.cols(), 0.0);
+    const core::PrincipalId k = providers_[p];
+    for (std::size_t i = 0; i < plan.rate.rows(); ++i)
+      column.rate(i, k) = plan.rate(i, k);
+    total += per_provider_[p]->income(column);
+  }
+  return total;
+}
+
+}  // namespace sharegrid::sched

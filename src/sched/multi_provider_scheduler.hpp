@@ -1,0 +1,85 @@
+// Multi-provider plan assembly: several resource owners, one plan (§3.1.2
+// scaled out; ROADMAP "parallel multi-server plan solves", DESIGN.md D8).
+//
+// Each provider's income LP is independent of the others': its bounds come
+// from the entitlement decomposition columns EM(·, k) / EO(·, k), which
+// partition every server's capacity across principals (DESIGN.md D1), and
+// its objective touches only its own admission variables. So the per-window
+// solve decomposes exactly — one IncomeScheduler per provider, each with its
+// own warm-start SolveContext — and the per-provider solves can run
+// concurrently on a WorkerPool without changing any result.
+//
+// Determinism contract: customer demand is split across providers by fixed
+// entitlement-share weights, each provider solves the same LP sequence it
+// would solve alone, and the per-provider plans are merged column-by-column
+// in provider index order. Completion order never influences the output, so
+// serial and parallel runs (and runs on pools of different sizes) produce
+// bitwise-identical plans; the SHAREGRID_AUDIT build re-solves every window
+// serially on shadow contexts and asserts exact equality.
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "core/agreement_graph.hpp"
+#include "core/flow.hpp"
+#include "sched/income_scheduler.hpp"
+#include "sched/scheduler.hpp"
+#include "util/matrix.hpp"
+#include "util/worker_pool.hpp"
+
+namespace sharegrid::sched {
+
+/// Income maximization across several providers, one LP per provider,
+/// optionally fanned out on a worker pool.
+class MultiProviderScheduler final : public Scheduler {
+ public:
+  /// @param graph      agreement graph; capacities give each provider's pool.
+  /// @param levels     access levels precomputed from @p graph.
+  /// @param providers  ids of the resource-owning providers (each with
+  ///                   capacity > 0); plans fill exactly these columns.
+  /// @param prices     price per extra request, indexed by principal id.
+  /// @param pool       worker pool for the per-provider solves; nullptr runs
+  ///                   them serially. Shared so scheduler rebuilds (capacity
+  ///                   events) reuse the same threads.
+  MultiProviderScheduler(const core::AgreementGraph& graph,
+                         const core::AccessLevels& levels,
+                         std::vector<core::PrincipalId> providers,
+                         std::vector<double> prices,
+                         std::shared_ptr<WorkerPool> pool = nullptr,
+                         bool work_conserving = true);
+
+  Plan plan(const std::vector<double>& demand) const override;
+  std::size_t size() const override { return weights_.rows(); }
+
+  const std::vector<core::PrincipalId>& providers() const {
+    return providers_;
+  }
+
+  /// Income implied by a plan, summed over all providers.
+  double income(const Plan& plan) const;
+
+  /// Overrides the LP solver tuning for every per-provider stage solve.
+  void set_solver_options(const lp::SolverOptions& options);
+
+  /// Cumulative warm/cold solver statistics across all providers.
+  lp::SolveStats solver_stats() const;
+
+ private:
+  std::vector<core::PrincipalId> providers_;
+  std::vector<std::unique_ptr<IncomeScheduler>> per_provider_;
+  /// Serial shadow solvers fed the identical window sequence; audit builds
+  /// compare their plans bitwise against the pooled ones.
+  std::vector<std::unique_ptr<IncomeScheduler>> shadow_;
+  std::shared_ptr<WorkerPool> pool_;
+  /// weights_(i, p): fraction of customer i's demand offered to provider p —
+  /// i's entitlement share at that provider, fixed at construction.
+  Matrix weights_;
+
+  /// Serializes plan() so every window feeds the warm-start contexts in the
+  /// same order regardless of caller concurrency.
+  mutable std::mutex mutex_;
+};
+
+}  // namespace sharegrid::sched

@@ -45,22 +45,24 @@ WindowScheduler::WindowScheduler(const Scheduler* scheduler, SimDuration window,
   SHAREGRID_EXPECTS(window > 0);
   SHAREGRID_EXPECTS(redirector_count >= 1);
   const std::size_t n = scheduler_->size();
+  demand_scratch_.resize(n);
+  share_scratch_.resize(n);
   quota_ = Matrix(n, n, 0.0);
   debt_ = Matrix(n, n, 0.0);
   consumed_ = Matrix(n, n, 0.0);
   slices_ = Matrix(n, n, 0.0);
 }
 
-Matrix WindowScheduler::compute_slices(const std::vector<double>& local_demand,
-                                       const GlobalDemand& global) {
+void WindowScheduler::compute_slices(const std::vector<double>& local_demand,
+                                     const GlobalDemand& global) {
   const std::size_t n = scheduler_->size();
   SHAREGRID_EXPECTS(local_demand.size() == n);
   SHAREGRID_EXPECTS(!global.valid || global.demand.size() == n);
 
   // Build the demand estimate and this redirector's share of each
   // principal's global queue.
-  std::vector<double> demand(n, 0.0);
-  std::vector<double> share(n, 0.0);
+  std::vector<double>& demand = demand_scratch_;
+  std::vector<double>& share = share_scratch_;
   if (!global.valid && stale_policy_ == StalePolicy::kConservative) {
     // Conservative mode: assume everyone is saturated, which pins every
     // principal to its mandatory entitlement, and admit only a 1/R slice.
@@ -99,17 +101,15 @@ Matrix WindowScheduler::compute_slices(const std::vector<double>& local_demand,
   plan_ = scheduler_->plan(demand);
   if (plan_.lp_fallback) ++plan_fallbacks_;
 
-  Matrix slices(n, n, 0.0);
   const double window_sec = to_seconds(window_);
   for (std::size_t i = 0; i < n; ++i)
     for (std::size_t k = 0; k < n; ++k)
-      slices(i, k) = plan_.rate(i, k) * share[i] * window_sec;
-  return slices;
+      slices_(i, k) = plan_.rate(i, k) * share[i] * window_sec;
 }
 
 void WindowScheduler::begin_window(const std::vector<double>& local_demand,
                                    const GlobalDemand& global) {
-  slices_ = compute_slices(local_demand, global);
+  compute_slices(local_demand, global);
   const std::size_t n = scheduler_->size();
   for (std::size_t i = 0; i < n; ++i) {
     for (std::size_t k = 0; k < n; ++k) {
@@ -126,7 +126,7 @@ void WindowScheduler::begin_window(const std::vector<double>& local_demand,
 
 void WindowScheduler::replan(const std::vector<double>& local_demand,
                              const GlobalDemand& global) {
-  slices_ = compute_slices(local_demand, global);
+  compute_slices(local_demand, global);
   const std::size_t n = scheduler_->size();
   // Fresh slices against the same window's debt and consumption: quota can
   // only grow if the *plan* grew, never because consumption was forgotten.

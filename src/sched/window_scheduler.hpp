@@ -130,9 +130,14 @@ class WindowScheduler {
   std::size_t redirector_count_;
   StalePolicy stale_policy_;
 
-  /// Computes the per-cell quota slices for the current demand/share state.
-  Matrix compute_slices(const std::vector<double>& local_demand,
-                        const GlobalDemand& global);
+  /// Recomputes slices_ for the current demand/share state, reusing the
+  /// member scratch buffers — windows fire ten times a second per
+  /// redirector, and steady state should not touch the heap (DESIGN.md D8).
+  void compute_slices(const std::vector<double>& local_demand,
+                      const GlobalDemand& global);
+
+  std::vector<double> demand_scratch_;
+  std::vector<double> share_scratch_;
 
   Matrix quota_;     // (i, k) units remaining this window
   Matrix debt_;      // (i, k) borrow carried into this window (<= 0)

@@ -2,17 +2,24 @@
 //
 // Substitute for the paper's physical testbed (DESIGN.md §4): every node —
 // client machines, redirectors, servers, combining-tree links — advances by
-// scheduling callbacks on one shared event queue. Events at equal timestamps
+// scheduling callbacks on one shared event store. Events at equal timestamps
 // fire in scheduling order (a stable tie-break), so runs are bit-reproducible
 // (DESIGN.md D4).
+//
+// The store is a hierarchical timing wheel (timing_wheel.hpp) rather than a
+// binary heap: O(1) schedule and pop instead of O(log n), and — together
+// with the small-buffer Callback (callback.hpp) and a freelist of recycled
+// event nodes — zero allocations per event in the steady state. Design
+// notes and measurements: docs/sim-performance.md, DESIGN.md D8.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <queue>
 #include <vector>
 
+#include "sim/callback.hpp"
+#include "sim/timing_wheel.hpp"
 #include "util/assert.hpp"
 #include "util/time.hpp"
 
@@ -21,49 +28,69 @@ namespace sharegrid::sim {
 /// Single-threaded event-driven simulator.
 class Simulator {
  public:
-  using Callback = std::function<void()>;
+  using Callback = sim::Callback;
 
   /// Current simulated time.
   SimTime now() const { return now_; }
 
-  /// Schedules @p fn to run at absolute time @p t (>= now()).
-  void schedule_at(SimTime t, Callback fn);
-
-  /// Schedules @p fn to run @p delay after now().
-  void schedule_after(SimDuration delay, Callback fn) {
-    SHAREGRID_EXPECTS(delay >= 0);
-    schedule_at(now_ + delay, std::move(fn));
+  /// Schedules @p fn to run at absolute time @p t (>= now()). Raw callables
+  /// are constructed directly into the event node's inline buffer — no
+  /// intermediate Callback and no relocation on the way in.
+  template <class F>
+  void schedule_at(SimTime t, F&& fn) {
+    SHAREGRID_EXPECTS(t >= now_);
+    EventNode* node = free_;
+    if (node == nullptr) [[unlikely]] node = grow();
+    free_ = node->next;
+    node->next = nullptr;
+    node->time = t;
+    node->seq = next_seq_++;
+    node->fn = std::forward<F>(fn);
+    SHAREGRID_EXPECTS(node->fn != nullptr);
+    wheel_.insert(node);
   }
 
-  /// Runs events until the queue empties or simulated time would pass
+  /// Schedules @p fn to run @p delay after now().
+  template <class F>
+  void schedule_after(SimDuration delay, F&& fn) {
+    SHAREGRID_EXPECTS(delay >= 0);
+    schedule_at(now_ + delay, std::forward<F>(fn));
+  }
+
+  /// Runs events until the store empties or simulated time would pass
   /// @p deadline; leaves now() == deadline.
   void run_until(SimTime deadline);
 
-  /// Runs until the event queue is empty.
+  /// Runs until the event store is empty; leaves now() at the last event.
   void run_all();
 
   /// True if no events remain.
-  bool idle() const { return queue_.empty(); }
+  bool idle() const { return wheel_.empty(); }
 
   /// Total events executed so far (for the micro benches).
   std::uint64_t events_processed() const { return events_processed_; }
 
  private:
-  struct Event {
-    SimTime time;
-    std::uint64_t seq;  // stable FIFO tie-break at equal times
-    Callback fn;
-  };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      return a.time != b.time ? a.time > b.time : a.seq > b.seq;
-    }
-  };
+  /// Nodes are pool-allocated in chunks and recycled through a freelist, so
+  /// the steady-state loop never touches the heap.
+  static constexpr std::size_t kChunk = 64;
+
+  /// Refills the freelist with a fresh chunk; returns its first node.
+  EventNode* grow();
+  void release(EventNode* node) {
+    node->next = free_;
+    free_ = node;
+  }
+  /// Runs the node's callback in place (a follow-up schedule draws a
+  /// different node from the freelist), then recycles it.
+  void dispatch(EventNode* node);
 
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t events_processed_ = 0;
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  TimingWheel wheel_;
+  EventNode* free_ = nullptr;
+  std::vector<std::unique_ptr<EventNode[]>> arena_;
 };
 
 /// Helper that reruns a callback at a fixed period until cancelled; the
@@ -86,7 +113,7 @@ class PeriodicTask {
 
   Simulator* sim_;
   SimDuration period_;
-  std::function<void()> body_;
+  std::function<void()> body_;  // stored once; rearming never re-wraps it
   std::shared_ptr<bool> alive_;
 };
 

@@ -1,0 +1,92 @@
+#include "util/worker_pool.hpp"
+
+namespace sharegrid {
+
+WorkerPool::WorkerPool(std::size_t threads) {
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  wake_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void WorkerPool::run_indexed(std::size_t count,
+                             const std::function<void(std::size_t)>& fn) {
+  if (count == 0) return;
+  const std::lock_guard<std::mutex> serialize(run_mutex_);
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    fn_ = &fn;
+    count_ = count;
+    next_ = 0;
+    pending_ = count;
+    errors_.assign(count, nullptr);
+    ++generation_;
+  }
+  wake_.notify_all();
+  participate();
+  std::exception_ptr first;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_.wait(lock, [this] { return pending_ == 0; });
+    fn_ = nullptr;
+    // Rethrow by lowest index, not completion order, so a failing fan-out
+    // fails the same way no matter how threads interleaved.
+    for (std::exception_ptr& error : errors_) {
+      if (error != nullptr) {
+        first = error;
+        break;
+      }
+    }
+    errors_.clear();
+  }
+  if (first != nullptr) std::rethrow_exception(first);
+}
+
+void WorkerPool::participate() {
+  for (;;) {
+    std::size_t index;
+    const std::function<void(std::size_t)>* fn;
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (fn_ == nullptr || next_ >= count_) return;
+      index = next_++;
+      fn = fn_;
+    }
+    std::exception_ptr error;
+    try {
+      (*fn)(index);
+    } catch (...) {
+      error = std::current_exception();
+    }
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (error != nullptr) errors_[index] = error;
+      if (--pending_ == 0) done_.notify_all();
+    }
+  }
+}
+
+void WorkerPool::worker_loop() {
+  std::uint64_t seen = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wake_.wait(lock, [&] {
+        return stop_ || (generation_ != seen && fn_ != nullptr);
+      });
+      if (stop_) return;
+      seen = generation_;
+    }
+    participate();
+  }
+}
+
+}  // namespace sharegrid

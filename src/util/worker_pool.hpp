@@ -1,0 +1,67 @@
+// Small persistent worker pool for the parallel per-provider plan solves
+// (DESIGN.md D8, ROADMAP "parallel multi-server plan solves").
+//
+// Deliberately minimal: one kind of job (run fn(i) for every index in a
+// range), the caller participates so a pool of zero threads degrades to a
+// plain serial loop, and runs are serialized — the schedulers that use it
+// issue one fan-out per window, so queueing sophistication would buy
+// nothing. Determinism matters more than throughput here: results are
+// written by index into caller-owned slots, and when callables throw, the
+// exception rethrown is always the one from the *lowest* index, independent
+// of thread interleaving, so a failing window fails identically in serial
+// and parallel runs.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace sharegrid {
+
+/// Fixed-size thread pool running indexed fan-out jobs.
+class WorkerPool {
+ public:
+  /// Spawns @p threads workers. Zero is valid: run_indexed() then executes
+  /// entirely on the calling thread.
+  explicit WorkerPool(std::size_t threads);
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  /// Runs fn(0) .. fn(count - 1), each exactly once, distributed over the
+  /// workers with the calling thread participating; returns when all have
+  /// finished. If callables throw, every index still runs and the exception
+  /// from the lowest throwing index is rethrown. Concurrent callers are
+  /// serialized.
+  void run_indexed(std::size_t count,
+                   const std::function<void(std::size_t)>& fn);
+
+  std::size_t thread_count() const { return workers_.size(); }
+
+ private:
+  void worker_loop();
+  /// Claims and runs indexes of the current job until none remain.
+  void participate();
+
+  std::mutex run_mutex_;  // serializes run_indexed callers
+
+  std::mutex mutex_;  // guards everything below
+  std::condition_variable wake_;  // workers: a new job arrived (or stop)
+  std::condition_variable done_;  // caller: all indexes finished
+  const std::function<void(std::size_t)>* fn_ = nullptr;
+  std::size_t count_ = 0;
+  std::size_t next_ = 0;
+  std::size_t pending_ = 0;
+  std::uint64_t generation_ = 0;
+  bool stop_ = false;
+  std::vector<std::exception_ptr> errors_;
+
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace sharegrid

@@ -1,0 +1,175 @@
+// Serial/parallel equivalence for the multi-provider plan solves.
+//
+// The contract (DESIGN.md D8): per-provider income LPs are independent, so
+// solving them on a worker pool must produce *bitwise* the same plans as
+// solving them one after another — across many windows, with warm-started
+// solver contexts carrying state window to window. These tests randomize
+// demand sequences and compare serial vs pooled schedulers exactly.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "audit/invariant_auditor.hpp"
+#include "core/agreement_graph.hpp"
+#include "core/flow.hpp"
+#include "sched/multi_provider_scheduler.hpp"
+#include "util/assert.hpp"
+#include "util/worker_pool.hpp"
+
+namespace sharegrid::sched {
+namespace {
+
+/// Two providers, three customers, asymmetric agreements and prices.
+core::AgreementGraph make_graph() {
+  core::AgreementGraph g;
+  const auto s1 = g.add_principal("S1", 300.0);
+  const auto s2 = g.add_principal("S2", 500.0);
+  const auto a = g.add_principal("A", 0.0);
+  const auto b = g.add_principal("B", 0.0);
+  const auto c = g.add_principal("C", 0.0);
+  g.set_agreement(s1, a, 0.3, 0.6);
+  g.set_agreement(s1, b, 0.2, 0.7);
+  g.set_agreement(s2, b, 0.4, 0.8);
+  g.set_agreement(s2, c, 0.3, 0.5);
+  return g;
+}
+
+std::vector<double> prices() { return {0.0, 0.0, 2.0, 1.0, 3.0}; }
+
+/// Deterministic demand sequence with idle principals, spikes, and ties.
+std::vector<std::vector<double>> demand_windows(std::size_t n,
+                                                std::size_t windows) {
+  std::vector<std::vector<double>> out;
+  std::uint64_t rng = 0x9e3779b97f4a7c15ull;
+  for (std::size_t w = 0; w < windows; ++w) {
+    std::vector<double> demand(n, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      rng ^= rng << 13;
+      rng ^= rng >> 7;
+      rng ^= rng << 17;
+      const auto bucket = rng % 5;
+      demand[i] = bucket == 0 ? 0.0
+                              : static_cast<double>(rng % 4000) / 7.0;
+    }
+    out.push_back(std::move(demand));
+  }
+  return out;
+}
+
+TEST(MultiProviderScheduler, SerialAndPooledPlansAreBitwiseEqual) {
+  const core::AgreementGraph graph = make_graph();
+  const core::AccessLevels levels = core::compute_access_levels(graph);
+  const std::vector<core::PrincipalId> providers = {0, 1};
+
+  MultiProviderScheduler serial(graph, levels, providers, prices(), nullptr);
+  MultiProviderScheduler pooled(graph, levels, providers, prices(),
+                                std::make_shared<WorkerPool>(3));
+
+  for (const auto& demand : demand_windows(graph.size(), 40)) {
+    const Plan a = serial.plan(demand);
+    const Plan b = pooled.plan(demand);
+    ASSERT_EQ(a.rate.rows(), b.rate.rows());
+    for (std::size_t i = 0; i < a.rate.rows(); ++i)
+      for (std::size_t k = 0; k < a.rate.cols(); ++k)
+        ASSERT_EQ(a.rate(i, k), b.rate(i, k))
+            << "rate(" << i << ", " << k << ") diverged";
+    ASSERT_EQ(a.lp_fallback, b.lp_fallback);
+    ASSERT_DOUBLE_EQ(serial.income(a), pooled.income(b));
+  }
+}
+
+TEST(MultiProviderScheduler, PoolSizeNeverChangesThePlan) {
+  const core::AgreementGraph graph = make_graph();
+  const core::AccessLevels levels = core::compute_access_levels(graph);
+  const std::vector<core::PrincipalId> providers = {0, 1};
+  const auto windows = demand_windows(graph.size(), 15);
+
+  std::vector<Plan> reference;
+  MultiProviderScheduler serial(graph, levels, providers, prices(), nullptr);
+  for (const auto& demand : windows) reference.push_back(serial.plan(demand));
+
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    MultiProviderScheduler pooled(graph, levels, providers, prices(),
+                                  std::make_shared<WorkerPool>(threads));
+    for (std::size_t w = 0; w < windows.size(); ++w) {
+      const Plan p = pooled.plan(windows[w]);
+      for (std::size_t i = 0; i < p.rate.rows(); ++i)
+        for (std::size_t k = 0; k < p.rate.cols(); ++k)
+          ASSERT_EQ(p.rate(i, k), reference[w].rate(i, k))
+              << "threads=" << threads << " window=" << w;
+    }
+  }
+}
+
+TEST(MultiProviderScheduler, PlansRespectEntitlementColumns) {
+  // No provider may admit beyond its own capacity, and plans only fill
+  // provider columns.
+  const core::AgreementGraph graph = make_graph();
+  const core::AccessLevels levels = core::compute_access_levels(graph);
+  MultiProviderScheduler scheduler(graph, levels, {0, 1}, prices(), nullptr);
+  const std::vector<double> demand = {0.0, 0.0, 500.0, 500.0, 500.0};
+  const Plan plan = scheduler.plan(demand);
+  EXPECT_LE(plan.server_load(0), graph.capacity(0) + 1e-7);
+  EXPECT_LE(plan.server_load(1), graph.capacity(1) + 1e-7);
+  for (std::size_t i = 0; i < plan.rate.rows(); ++i)
+    for (std::size_t k = 2; k < plan.rate.cols(); ++k)
+      EXPECT_EQ(plan.rate(i, k), 0.0);
+  // With saturated paying demand both pools should fill completely.
+  EXPECT_NEAR(plan.server_load(0) + plan.server_load(1),
+              graph.capacity(0) + graph.capacity(1), 1e-6);
+}
+
+TEST(AuditParallelPlanMatch, DetectsDivergence) {
+  Plan a;
+  a.rate = Matrix(2, 2, 1.0);
+  a.demand = {1.0, 2.0};
+  Plan b = a;
+  audit::audit_parallel_plan_match(a, b, 0);  // identical: passes
+  b.rate(1, 0) += 1e-12;  // any bit of drift must throw
+  EXPECT_THROW(audit::audit_parallel_plan_match(a, b, 0), ContractViolation);
+}
+
+TEST(WorkerPool, RunsEveryIndexExactlyOnce) {
+  WorkerPool pool(4);
+  std::vector<int> counts(257, 0);
+  pool.run_indexed(counts.size(),
+                   [&](std::size_t i) { ++counts[i]; });  // disjoint slots
+  for (std::size_t i = 0; i < counts.size(); ++i) EXPECT_EQ(counts[i], 1);
+  // Reuse across runs, including an empty one.
+  pool.run_indexed(0, [&](std::size_t) { ADD_FAILURE(); });
+  pool.run_indexed(counts.size(), [&](std::size_t i) { ++counts[i]; });
+  for (std::size_t i = 0; i < counts.size(); ++i) EXPECT_EQ(counts[i], 2);
+}
+
+TEST(WorkerPool, ZeroThreadsRunsInline) {
+  WorkerPool pool(0);
+  EXPECT_EQ(pool.thread_count(), 0u);
+  std::vector<int> counts(16, 0);
+  pool.run_indexed(counts.size(), [&](std::size_t i) { ++counts[i]; });
+  for (int c : counts) EXPECT_EQ(c, 1);
+}
+
+TEST(WorkerPool, RethrowsLowestIndexException) {
+  WorkerPool pool(4);
+  // Indexes 3 and 9 throw; every index must still run, and the reported
+  // error must be index 3's regardless of which thread hit which first.
+  for (int attempt = 0; attempt < 20; ++attempt) {
+    std::vector<int> ran(16, 0);
+    try {
+      pool.run_indexed(ran.size(), [&](std::size_t i) {
+        ++ran[i];
+        if (i == 3 || i == 9)
+          throw ContractViolation("boom " + std::to_string(i));
+      });
+      FAIL() << "expected an exception";
+    } catch (const ContractViolation& e) {
+      EXPECT_STREQ(e.what(), "boom 3");
+    }
+    for (int r : ran) EXPECT_EQ(r, 1);
+  }
+}
+
+}  // namespace
+}  // namespace sharegrid::sched

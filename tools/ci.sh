@@ -28,6 +28,11 @@ if [[ "${SHAREGRID_CI_SKIP_TSAN:-0}" == "1" ]]; then
   echo "=== [debug-tsan] skipped (SHAREGRID_CI_SKIP_TSAN=1) ==="
 else
   run_stage debug-tsan     # TSan, SHAREGRID_AUDIT=ON
+  # The worker-pool plan solves are the one truly multi-threaded subsystem:
+  # rerun them standalone so a TSan report can't hide in the big ctest log.
+  echo "=== [debug-tsan] parallel plan solves (worker pool) ==="
+  ./build-tsan/tests/sharegrid_tests \
+    --gtest_filter='MultiProviderScheduler.*:WorkerPool.*:AuditParallelPlanMatch.*'
 fi
 
 # Opt-in: refresh the checked-in warm-vs-cold LP re-solve numbers (see
@@ -39,6 +44,17 @@ if [[ "${SHAREGRID_CI_QUICK_BENCH:-0}" == "1" ]]; then
   ./build-relwithdebinfo/bench/micro_lp \
     --benchmark_filter='BM_LpResolve' \
     --benchmark_out=BENCH_lp.json --benchmark_out_format=json
+
+  echo
+  echo "=== [quick-bench] micro_sim event-engine throughput ==="
+  # Refreshes only the 'current' (timing wheel) section of BENCH_sim.json;
+  # the frozen priority-queue 'baseline' section stays for comparison.
+  SIM_JSON="$(mktemp -t sim_bench.XXXXXX.json)"
+  ./build-relwithdebinfo/bench/micro_sim \
+    --benchmark_filter='BM_Simulator|BM_Scenario' \
+    --benchmark_out="${SIM_JSON}" --benchmark_out_format=json
+  python3 tools/update_sim_bench.py "${SIM_JSON}" --section current
+  rm -f "${SIM_JSON}"
 fi
 
 echo

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Folds a fresh google-benchmark JSON run of bench/micro_sim into
+BENCH_sim.json, which keeps two sections side by side:
+
+  baseline : the pre-timing-wheel engine (std::priority_queue of
+             std::function events), frozen for before/after comparison
+  current  : the timing-wheel engine, refreshed by
+             SHAREGRID_CI_QUICK_BENCH=1 tools/ci.sh
+
+Usage: tools/update_sim_bench.py FRESH_JSON [--section current|baseline]
+"""
+import argparse
+import json
+import pathlib
+import sys
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+BENCH = REPO / "BENCH_sim.json"
+
+KEEP_CONTEXT = ("date", "host_name", "num_cpus", "mhz_per_cpu",
+                "cpu_scaling_enabled", "library_build_type")
+KEEP_BENCH = ("name", "iterations", "real_time", "cpu_time", "time_unit",
+              "items_per_second")
+
+
+def condense(raw):
+    """Keeps just the fields a before/after comparison needs."""
+    return {
+        "context": {k: raw["context"][k]
+                    for k in KEEP_CONTEXT if k in raw["context"]},
+        "benchmarks": [{k: b[k] for k in KEEP_BENCH if k in b}
+                       for b in raw["benchmarks"]
+                       if b.get("run_type", "iteration") == "iteration"],
+    }
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("fresh", type=pathlib.Path)
+    parser.add_argument("--section", default="current",
+                        choices=("current", "baseline"))
+    args = parser.parse_args()
+
+    with open(args.fresh) as f:
+        fresh = condense(json.load(f))
+
+    doc = {}
+    if BENCH.exists():
+        with open(BENCH) as f:
+            doc = json.load(f)
+    doc.setdefault(
+        "comment",
+        "Simulator event-engine throughput, before (priority-queue engine) "
+        "and after (hierarchical timing wheel); see docs/sim-performance.md")
+    doc[args.section] = fresh
+
+    with open(BENCH, "w") as f:
+        json.dump(doc, f, indent=2, sort_keys=False)
+        f.write("\n")
+    print(f"updated {BENCH.relative_to(REPO)} section '{args.section}' "
+          f"({len(fresh['benchmarks'])} benchmarks)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
