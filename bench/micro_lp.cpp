@@ -115,6 +115,61 @@ void BM_LpResolveWarm(benchmark::State& state) {
 }
 BENCHMARK(BM_LpResolveWarm)->Arg(4)->Arg(8)->Arg(16)->Unit(benchmark::kMicrosecond);
 
+// -- M4: implicit upper bounds vs explicit bound rows -------------------------
+//
+// The bounded-variable ratio test keeps upper bounds out of the tableau
+// entirely; the engine used to emit one `y_j <= hi_j - lo_j` row per finite
+// bound. This pair solves the identical box-constrained program cold, once
+// in its natural form and once reformulated with the explicit bound rows
+// the old tableau carried, isolating the dense-tableau row-count win from
+// everything else the pipeline does.
+
+lp::Problem make_boxed_program(std::size_t n, bool explicit_rows, Rng& rng) {
+  lp::Problem p(n, lp::Sense::kMaximize);
+  std::vector<double> hi(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    hi[j] = rng.uniform(1.0, 10.0);
+    p.set_objective(j, rng.uniform(0.5, 3.0));
+    if (!explicit_rows) p.set_bounds(j, 0.0, hi[j]);
+  }
+  for (std::size_t i = 0; i < n / 2; ++i) {
+    std::vector<std::pair<std::size_t, double>> terms;
+    for (std::size_t j = 0; j < n; ++j)
+      terms.emplace_back(j, rng.uniform(0.0, 2.0));
+    p.add_constraint(std::move(terms), lp::Relation::kLessEq,
+                     rng.uniform(static_cast<double>(n) / 2.0,
+                                 2.0 * static_cast<double>(n)));
+  }
+  if (explicit_rows) {
+    for (std::size_t j = 0; j < n; ++j)
+      p.add_constraint({{j, 1.0}}, lp::Relation::kLessEq, hi[j]);
+  }
+  return p;
+}
+
+void bounded_bench(benchmark::State& state, bool explicit_rows) {
+  Rng rng(45);
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const lp::Problem problem = make_boxed_program(n, explicit_rows, rng);
+  for (auto _ : state) {
+    lp::SolveContext context;  // fresh context: every solve runs cold
+    benchmark::DoNotOptimize(context.solve(problem));
+  }
+  state.SetLabel(std::to_string(problem.num_constraints()) + " rows");
+}
+
+void BM_LpColdImplicitBounds(benchmark::State& state) {
+  bounded_bench(state, false);
+}
+BENCHMARK(BM_LpColdImplicitBounds)
+    ->Arg(16)->Arg(32)->Arg(64)->Unit(benchmark::kMicrosecond);
+
+void BM_LpColdExplicitRows(benchmark::State& state) {
+  bounded_bench(state, true);
+}
+BENCHMARK(BM_LpColdExplicitRows)
+    ->Arg(16)->Arg(32)->Arg(64)->Unit(benchmark::kMicrosecond);
+
 // -- M3: multi-provider plan, serial vs worker-pool ---------------------------
 //
 // One deployment hosting `p` providers solves `p` independent per-provider

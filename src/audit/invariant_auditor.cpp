@@ -1,6 +1,7 @@
 #include "audit/invariant_auditor.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <sstream>
 
 namespace sharegrid::audit {
@@ -17,13 +18,20 @@ std::string num(double value) {
 }
 
 void audit_simplex_basis(const Matrix& a, const std::vector<double>& rhs,
-                         const std::vector<std::size_t>& basis, double tol) {
+                         const std::vector<std::size_t>& basis,
+                         const std::vector<double>& upper, double tol) {
   const std::size_t m = rhs.size();
   require(a.rows() == m && basis.size() == m, "simplex.tableau-shape", [&] {
     return "tableau has " + std::to_string(a.rows()) + " rows, " +
            std::to_string(rhs.size()) + " rhs entries, and " +
            std::to_string(basis.size()) + " basis entries";
   });
+  require(upper.empty() || upper.size() == a.cols(), "simplex.tableau-shape",
+          [&] {
+            return "upper-bound vector has " + std::to_string(upper.size()) +
+                   " entries for a tableau with " + std::to_string(a.cols()) +
+                   " columns (pass an empty vector for all-unbounded)";
+          });
   // Feasibility tolerance must scale with the data: conservative-mode LPs
   // carry saturated demands around 1e9, where rounding dwarfs any absolute
   // epsilon.
@@ -51,6 +59,17 @@ void audit_simplex_basis(const Matrix& a, const std::vector<double>& rhs,
              " went negative mid-solve; the ratio test admitted a pivot "
              "that left the basic solution infeasible";
     });
+    if (!upper.empty()) {
+      const double ub = upper[col];
+      require(!std::isfinite(ub) || rhs[i] <= ub + tol * scale,
+              "simplex.primal-above-upper", [&] {
+                return "rhs[" + std::to_string(i) + "] = " + num(rhs[i]) +
+                       " exceeds the basic variable's upper bound " + num(ub) +
+                       "; the bounded ratio test missed the upper-bound "
+                       "leaving candidate and the basic solution violates a "
+                       "box constraint";
+              });
+    }
   }
 }
 
@@ -104,6 +123,7 @@ void audit_reduced_costs(const Matrix& a, const std::vector<std::size_t>& basis,
 
 void audit_warm_start_entry(const Matrix& a, const std::vector<double>& rhs,
                             const std::vector<std::size_t>& basis,
+                            const std::vector<double>& upper,
                             std::size_t first_artificial, double tol) {
   for (std::size_t i = 0; i < basis.size(); ++i) {
     require(basis[i] < first_artificial, "simplex.warm-artificial-basic", [&] {
@@ -113,7 +133,7 @@ void audit_warm_start_entry(const Matrix& a, const std::vector<double>& rhs,
              "; the cached basis was not clean and must not be reused";
     });
   }
-  audit_simplex_basis(a, rhs, basis, tol);
+  audit_simplex_basis(a, rhs, basis, upper, tol);
 }
 
 void audit_window_conservation(const Matrix& quota, const Matrix& consumed,

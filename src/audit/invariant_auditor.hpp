@@ -72,14 +72,19 @@ std::string num(double value);
 // ---------------------------------------------------------------------------
 
 /// Checks that the tableau is in proper basic form: every basic column is a
-/// unit column (1 in its own row, 0 elsewhere) and the right-hand side is
-/// non-negative, i.e. the current basic solution stays primal feasible.
-/// Invoked after tableau construction and after every pivot. The rhs check
+/// unit column (1 in its own row, 0 elsewhere) and every basic value lies
+/// within its variable's bounds — at least 0, and with the bounded-variable
+/// simplex also at most upper[basis[i]], i.e. the current basic solution
+/// stays primal feasible on *both* sides. @p upper holds the per-column
+/// shifted upper bounds (kInfinity when unbounded); an empty vector means
+/// all-infinite, which preserves the historical rhs >= 0 check. Invoked
+/// after tableau construction and after every pivot/bound flip. The check
 /// scales its tolerance by the largest |rhs| entry: conservative-mode LPs
 /// carry saturated demands around 1e9, where rounding dwarfs any absolute
 /// epsilon.
 void audit_simplex_basis(const Matrix& a, const std::vector<double>& rhs,
-                         const std::vector<std::size_t>& basis, double tol);
+                         const std::vector<std::size_t>& basis,
+                         const std::vector<double>& upper, double tol);
 
 /// Bland's rule guarantees the objective never regresses even on degenerate
 /// pivots; a decrease means the anti-cycling pricing is broken (or the
@@ -104,7 +109,39 @@ void audit_reduced_costs(const Matrix& a, const std::vector<std::size_t>& basis,
 /// constraints.
 void audit_warm_start_entry(const Matrix& a, const std::vector<double>& rhs,
                             const std::vector<std::size_t>& basis,
+                            const std::vector<double>& upper,
                             std::size_t first_artificial, double tol);
+
+/// Cross-checks a SolveContext's cumulative counters (duck-typed over
+/// lp::SolveStats to keep this header dependency-free). Every solve is
+/// either warm or cold — exactly one of the two counters moves per solve()
+/// — and every cold solve has at most one recorded cause (layout mismatch,
+/// periodic refresh, unrepairable column, rejected rhs); a cause recorded
+/// twice for one failed warm attempt would overstate miss rates and trip
+/// the CI warm-hit-rate gate on healthy runs.
+template <class Stats>
+void audit_solve_stats(const Stats& s) {
+  require(s.warm_solves + s.cold_solves == s.solves, "lp.stats-solve-split",
+          [&] {
+            return std::to_string(s.warm_solves) + " warm + " +
+                   std::to_string(s.cold_solves) + " cold != " +
+                   std::to_string(s.solves) +
+                   " total solves; a solve path returned without exactly one "
+                   "of the two counters being bumped";
+          });
+  require(s.structure_misses + s.refreshes + s.repair_rejections +
+                  s.rhs_rejections <=
+              s.cold_solves,
+          "lp.stats-cold-causes", [&] {
+            return "cold-solve causes (" + std::to_string(s.structure_misses) +
+                   " structure misses + " + std::to_string(s.refreshes) +
+                   " refreshes + " + std::to_string(s.repair_rejections) +
+                   " repair rejections + " + std::to_string(s.rhs_rejections) +
+                   " rhs rejections) exceed " + std::to_string(s.cold_solves) +
+                   " cold solves; some failed warm attempt was counted under "
+                   "two causes";
+          });
+}
 
 /// Checks that a returned kOptimal solution satisfies the *original* problem:
 /// variable bounds, every constraint in its stated relation, and an objective

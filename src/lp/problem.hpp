@@ -6,6 +6,7 @@
 // large-scale sparsity machinery.
 #pragma once
 
+#include <cmath>
 #include <cstddef>
 #include <limits>
 #include <utility>
@@ -52,9 +53,13 @@ class Problem {
     objective_[var] = coeff;
   }
 
-  /// Sets bounds lo <= x_var <= hi (hi may be kInfinity).
+  /// Sets bounds lo <= x_var <= hi (hi may be kInfinity; lo == hi fixes the
+  /// variable). NaN bounds and lo > hi are rejected: a NaN would otherwise
+  /// slip through ordered comparisons (every `NaN <= x` is false) and
+  /// poison the solve as a spurious infeasibility or a silent wrong answer.
   void set_bounds(std::size_t var, double lo, double hi) {
     SHAREGRID_EXPECTS(var < num_vars());
+    SHAREGRID_EXPECTS(!std::isnan(lo) && !std::isnan(hi));
     SHAREGRID_EXPECTS(lo <= hi);
     lower_[var] = lo;
     upper_[var] = hi;

@@ -6,17 +6,30 @@
 // drift) and allocation-free raw-pointer inner loops. Warm solves skip
 // construction and phase 1 entirely.
 //
+// Upper bounds are handled *implicitly* (bounded-variable simplex): a
+// nonbasic variable is either at its lower bound (shifted value 0) or at its
+// upper bound (value u_j = hi_j - lo_j), the ratio test gains a third
+// candidate — the entering variable reaching its own opposite bound, a
+// "bound flip" that moves it there without any basis change — and the stored
+// right-hand side always holds the *values of the basic variables* given the
+// current nonbasic positions. Bounds therefore never materialize as tableau
+// rows, which roughly halves the row count of the box-constrained scheduler
+// programs.
+//
 // The warm path rests on one invariant: the tableau is always B^-1 * A_std,
 // where A_std is the standard-form matrix and B the current basis. The
 // columns that start as the identity (one slack or artificial per row)
 // therefore always hold B^-1 itself, so for a new window the solver can
-//   * form B^-1 * b_new in O(m^2) without storing any factorization,
+//   * form B^-1 * b_new in O(m^2) without storing any factorization, then
+//     subtract each nonbasic-at-upper column times its (possibly drifted)
+//     bound to recover the basic values,
 //   * replace a changed structural column c with B^-1 * a_new_c, and when c
 //     is basic restore its unit form with a single repair pivot.
-// If the result is primal feasible the solve re-enters phase 2 from the old
-// optimum; otherwise it falls back to the full two-phase method. Phase-1
-// residue clearing (redundant rows) wipes part of the B^-1 image, so such
-// tableaus are never reused (basis_clean below).
+// If the result is primal feasible (every basic value within its bounds) the
+// solve re-enters phase 2 from the old optimum; otherwise it falls back to
+// the full two-phase method. Phase-1 residue clearing (redundant rows) wipes
+// part of the B^-1 image, so such tableaus are never reused (basis_clean
+// below).
 #include "lp/solve_context.hpp"
 
 #include <algorithm>
@@ -41,12 +54,16 @@ std::size_t max_repairs(std::size_t rows) {
   return std::max<std::size_t>(8, rows / 4);
 }
 
-/// Dense standard-form tableau: maximize c.y subject to Ay = b, y >= 0,
-/// with A kept in terms of the current basis (A := B^-1 A, b := B^-1 b).
+/// Dense standard-form tableau: maximize c.y subject to Ay = b,
+/// 0 <= y_j <= upper_j, with A kept in terms of the current basis
+/// (A := B^-1 A) and rhs holding the basic variables' *values* given every
+/// nonbasic variable at its recorded bound (at_upper below).
 struct Tableau {
   Matrix a;                        // m x cols
-  std::vector<double> rhs;         // m
+  std::vector<double> rhs;         // m, value of the basic var in each row
   std::vector<std::size_t> basis;  // m, column index basic in each row
+  std::vector<double> upper;       // per column; kInfinity when unbounded
+  std::vector<std::uint8_t> at_upper;  // nonbasic column rests at its upper
   std::size_t num_structural = 0;  // original (shifted) variables
   std::size_t first_artificial = 0;
 
@@ -54,32 +71,35 @@ struct Tableau {
   std::size_t cols() const { return a.cols(); }
 };
 
-/// One simplex pivot: make @p col basic in @p row. The loops run on raw
-/// row pointers: this is the innermost hot path and the bounds-checked
+/// Eliminates @p col from every row but @p row and normalizes the pivot row:
+/// the matrix half of a simplex pivot. The right-hand side is *not* touched —
+/// with bounded variables the basic values move by the ratio-test step
+/// length, which the caller applies before the elimination (and the warm
+/// repair path recomputes the rhs wholesale afterwards). The loops run on
+/// raw row pointers: this is the innermost hot path and the bounds-checked
 /// operator() costs two comparisons per element.
-void pivot(Tableau& t, std::size_t row, std::size_t col) {
+void pivot_matrix(Tableau& t, std::size_t row, std::size_t col) {
   const std::size_t cols = t.cols();
   double* pr = t.a.row(row);
   const double p = pr[col];
   SHAREGRID_ASSERT(std::abs(p) > 0.0);
   const double inv = 1.0 / p;
   for (std::size_t j = 0; j < cols; ++j) pr[j] *= inv;
-  t.rhs[row] *= inv;
   pr[col] = 1.0;  // cancel rounding
-  const double pivot_rhs = t.rhs[row];
   for (std::size_t i = 0; i < t.rows(); ++i) {
     if (i == row) continue;
     double* ri = t.a.row(i);
     const double factor = ri[col];
     if (factor == 0.0) continue;
     for (std::size_t j = 0; j < cols; ++j) ri[j] -= factor * pr[j];
-    t.rhs[i] -= factor * pivot_rhs;
     ri[col] = 0.0;
   }
   t.basis[row] = col;
 }
 
 /// Reduced costs d_j = c_j - sum_i c_basis[i] * a[i][j], from scratch.
+/// Independent of the nonbasic bound statuses: those only decide which
+/// *sign* of d_j is improving.
 void recompute_reduced_costs(const Tableau& t, const std::vector<double>& costs,
                              std::vector<double>& d) {
   d.assign(costs.begin(), costs.end());
@@ -95,43 +115,54 @@ double objective_value(const Tableau& t, const std::vector<double>& costs) {
   double z = 0.0;
   for (std::size_t i = 0; i < t.rows(); ++i)
     z += costs[t.basis[i]] * t.rhs[i];
+  // Nonbasic-at-upper variables contribute at their bound.
+  for (std::size_t j = 0; j < t.cols(); ++j)
+    if (t.at_upper[j] && costs[j] != 0.0) z += costs[j] * t.upper[j];
   return z;
 }
 
 enum class PhaseResult { kOptimal, kUnbounded, kIterationLimit };
 
-/// Runs primal simplex to optimality for the given cost vector (maximize).
-/// Columns at or beyond @p col_limit never enter the basis (used to lock out
-/// artificials in phase 2). Reduced costs are maintained incrementally in
-/// @p d instead of being recomputed over every column each iteration, and
-/// @p col is the entering-column gather buffer; both are caller-owned
-/// scratch so iterations never allocate.
+/// Runs the bounded-variable primal simplex to optimality for the given cost
+/// vector (maximize). Columns at or beyond @p col_limit never enter the
+/// basis (used to lock out artificials in phase 2). Reduced costs are
+/// maintained incrementally in @p d instead of being recomputed over every
+/// column each iteration, and @p col is the entering-column gather buffer;
+/// both are caller-owned scratch so iterations never allocate.
 PhaseResult run_simplex(Tableau& t, const std::vector<double>& costs,
                         std::size_t col_limit, const SolverOptions& opt,
                         std::vector<double>& d, std::vector<double>& col,
-                        std::uint64_t& pivots) {
+                        SolveStats& stats) {
   recompute_reduced_costs(t, costs, d);
   col.resize(t.rows());
   std::size_t since_refresh = 0;
   for (std::size_t iter = 0; iter < opt.max_iterations; ++iter) {
     const bool bland = iter >= opt.bland_after;
 
-    // Entering column: Dantzig (steepest reduced cost) or Bland (lowest
-    // index) once the iteration budget suggests degeneracy cycling.
+    // Entering column: a nonbasic variable improves the objective by rising
+    // off its lower bound when d_j > 0, or by dropping off its upper bound
+    // when d_j < 0. Dantzig (steepest gain) pricing, or Bland (lowest
+    // improving index) once the iteration budget suggests degeneracy
+    // cycling. Fixed variables (upper == 0) cannot move and never enter,
+    // which also keeps zero-length bound flips out of the anti-cycling
+    // argument: every admitted flip travels a strictly positive distance.
     std::size_t enter = kNone;
     double best = opt.tolerance;
     for (std::size_t j = 0; j < col_limit; ++j) {
-      if (d[j] <= opt.tolerance) continue;
+      const double gain = t.at_upper[j] ? -d[j] : d[j];
+      if (gain <= opt.tolerance || t.upper[j] == 0.0) continue;
       if (bland) {
         enter = j;
         break;
       }
-      if (d[j] > best) {
-        best = d[j];
+      if (gain > best) {
+        best = gain;
         enter = j;
       }
     }
     if (enter == kNone) return PhaseResult::kOptimal;
+    // Movement direction of the entering variable in shifted space.
+    const double dir = t.at_upper[enter] ? -1.0 : 1.0;
 
     // Gather the entering column once: the ratio test and the column-scale
     // pivot guard both need every entry, and column access in the row-major
@@ -142,40 +173,88 @@ PhaseResult run_simplex(Tableau& t, const std::vector<double>& costs,
       col_max = std::max(col_max, std::abs(col[i]));
     }
 
-    // Leaving row: exact minimum ratio; exact ties broken by smallest basis
-    // index (the lexicographic safeguard that pairs with Bland's rule).
-    // The comparisons are deliberately tolerance-free: pivoting on any row
-    // whose ratio exceeds the true minimum drives the minimum row's rhs
-    // negative by (difference * a(i, enter)), so an absolute tie window is
-    // an infeasibility budget that scales with the column magnitude — and a
-    // window that follows the accepted ratio can ratchet upward across rows.
-    // The ties that matter for anti-cycling (degenerate rows) are exact:
-    // rhs 0 divided by any pivot element is exactly 0.
-    // A pivot candidate counts as zero only relative to the entering
-    // column's largest magnitude. An absolute guard misclassifies genuinely
-    // tiny data (1e-8-scale coefficients whose min-ratio row it skips, so
-    // the pivot drives that row's rhs negative and the "optimal" point
-    // violates the original constraint); cancellation noise, by contrast,
-    // is always small relative to the column that produced it.
+    // Ratio test over three candidate kinds: a basic variable driven down to
+    // its lower bound, a basic variable driven up to a finite upper bound,
+    // or the entering variable reaching its own opposite bound (a bound
+    // flip — no basis change at all). Exact minimum ratio; exact row ties
+    // broken by smallest basis index (the lexicographic safeguard that pairs
+    // with Bland's rule), and a row tie against the flip distance keeps the
+    // row — in the explicit-row formulation the bound "row" carried a
+    // late-numbered slack, so constraint rows always won such ties, and the
+    // pivot path (hence the chosen vertex under alternate optima) stays
+    // comparable. The comparisons are deliberately tolerance-free: pivoting
+    // on any row whose ratio exceeds the true minimum drives the minimum
+    // row's basic value out of its bounds by (difference * step). A pivot
+    // candidate counts as zero only relative to the entering column's
+    // largest magnitude — an absolute guard misclassifies genuinely tiny
+    // data, while cancellation noise is always small relative to the column
+    // that produced it.
     const double drop = opt.tolerance * col_max;
     std::size_t leave = kNone;
-    double best_ratio = std::numeric_limits<double>::infinity();
+    bool leave_at_upper = false;
+    double best_ratio = t.upper[enter];  // bound-flip distance (may be inf)
     for (std::size_t i = 0; i < t.rows(); ++i) {
-      const double aij = col[i];
-      if (aij <= drop) continue;
-      const double ratio = t.rhs[i] / aij;
-      if (leave == kNone || ratio < best_ratio ||
-          (ratio == best_ratio && t.basis[i] < t.basis[leave])) {
-        best_ratio = ratio;
-        leave = i;
+      if (std::abs(col[i]) <= drop) continue;
+      const double step = dir * col[i];  // basic value moves by -step per unit
+      if (step > 0.0) {
+        const double ratio = t.rhs[i] / step;
+        if (ratio < best_ratio ||
+            (ratio == best_ratio &&
+             (leave == kNone || t.basis[i] < t.basis[leave]))) {
+          best_ratio = ratio;
+          leave = i;
+          leave_at_upper = false;
+        }
+      } else {
+        const double ub = t.upper[t.basis[i]];
+        if (!std::isfinite(ub)) continue;
+        const double ratio = (ub - t.rhs[i]) / (-step);
+        if (ratio < best_ratio ||
+            (ratio == best_ratio &&
+             (leave == kNone || t.basis[i] < t.basis[leave]))) {
+          best_ratio = ratio;
+          leave = i;
+          leave_at_upper = true;
+        }
       }
     }
-    if (leave == kNone) return PhaseResult::kUnbounded;
+    if (leave == kNone && !std::isfinite(best_ratio))
+      return PhaseResult::kUnbounded;
+
 #if defined(SHAREGRID_AUDIT)
     const double objective_before = bland ? objective_value(t, costs) : 0.0;
 #endif
-    pivot(t, leave, enter);
-    ++pivots;
+
+    if (leave == kNone) {
+      // Bound flip: the entering variable reaches its opposite bound before
+      // any basic variable hits one. Move it there — O(m), no pivot, basis
+      // and reduced costs unchanged.
+      for (std::size_t i = 0; i < t.rows(); ++i)
+        t.rhs[i] -= dir * col[i] * best_ratio;
+      t.at_upper[enter] ^= 1;
+      ++stats.bound_flips;
+      SHAREGRID_AUDIT_HOOK(audit::audit_simplex_basis(t.a, t.rhs, t.basis,
+                                                      t.upper, /*tol=*/1e-6));
+      SHAREGRID_AUDIT_HOOK(if (bland) audit::audit_bland_progress(
+                               objective_before, objective_value(t, costs),
+                               /*tol=*/1e-6));
+      continue;
+    }
+
+    // Basis change: move every basic value by its share of the step, file
+    // the leaving variable at whichever bound it hit, then eliminate the
+    // entering column. Row `leave` afterwards represents the entering
+    // variable at its post-step value.
+    const std::size_t leaving = t.basis[leave];
+    for (std::size_t i = 0; i < t.rows(); ++i)
+      t.rhs[i] -= dir * col[i] * best_ratio;
+    const double enter_value =
+        (t.at_upper[enter] ? t.upper[enter] : 0.0) + dir * best_ratio;
+    t.at_upper[leaving] = leave_at_upper ? 1 : 0;
+    t.at_upper[enter] = 0;
+    pivot_matrix(t, leave, enter);
+    t.rhs[leave] = enter_value;
+    ++stats.pivots;
 
     // Incremental pricing: after the pivot, d'_j = d_j - d_enter * r_j with
     // r the normalized pivot row — an O(cols) eta update replacing the
@@ -196,7 +275,7 @@ PhaseResult run_simplex(Tableau& t, const std::vector<double>& costs,
     // plus the Bland anti-cycling guarantee (objective never regresses once
     // Bland pricing is active).
     SHAREGRID_AUDIT_HOOK(audit::audit_simplex_basis(t.a, t.rhs, t.basis,
-                                                    /*tol=*/1e-6));
+                                                    t.upper, /*tol=*/1e-6));
     SHAREGRID_AUDIT_HOOK(audit::audit_reduced_costs(t.a, t.basis, costs, d,
                                                     /*tol=*/1e-6));
     SHAREGRID_AUDIT_HOOK(if (bland) audit::audit_bland_progress(
@@ -210,7 +289,6 @@ PhaseResult run_simplex(Tableau& t, const std::vector<double>& costs,
 
 bool PreparedProblem::layout_matches(const PreparedProblem& other) const {
   return num_vars == other.num_vars && num_rows == other.num_rows &&
-         num_constraint_rows == other.num_constraint_rows &&
          relation == other.relation && flipped == other.flipped &&
          term_var == other.term_var && row_begin == other.row_begin &&
          ub_var == other.ub_var;
@@ -238,7 +316,6 @@ void prepare(const Problem& problem, PreparedProblem& out) {
   // shifted RHS are negated so every RHS is >= 0 (the flip is part of the
   // layout signature: a sign change forces a cold solve).
   const auto& cons = problem.constraints();
-  out.num_constraint_rows = cons.size();
   for (const Constraint& c : cons) {
     double shift = 0.0;
     const std::size_t first = out.coeffs.size();
@@ -265,28 +342,31 @@ void prepare(const Problem& problem, PreparedProblem& out) {
     out.effective.push_back(effective);
     out.rhs.push_back(rhs);
   }
-  // Finite upper bounds become explicit rows y_j <= hi_j - lo_j (never
-  // negative, so never flipped).
+  out.num_rows = out.rhs.size();
+
+  // Upper bounds stay implicit: the ratio test enforces y_j <= hi_j - lo_j
+  // directly, so no rows are emitted. The finite/infinite pattern is layout
+  // (a bound crossing to/from kInfinity must miss the warm cache); the
+  // finite widths are data and free to drift between windows.
+  out.upper.assign(n, kInfinity);
   for (std::size_t j = 0; j < n; ++j) {
     if (!std::isfinite(hi[j])) continue;
     out.ub_var.push_back(static_cast<std::uint32_t>(j));
-    out.rhs.push_back(hi[j] - lo[j]);
+    out.upper[j] = hi[j] - lo[j];
   }
-  out.num_rows = out.rhs.size();
 
   // Column layout: [structural | slack/surplus | artificial], assigned in
-  // row order (constraint rows, then bound rows).
+  // row order.
   out.slack_col.clear();
   out.art_col.clear();
   out.unit_col.clear();
   out.slack_sign.clear();
   std::size_t num_slack = 0;
   std::size_t num_art = 0;
-  for (std::size_t i = 0; i < out.num_constraint_rows; ++i) {
+  for (std::size_t i = 0; i < out.num_rows; ++i) {
     if (out.effective[i] != Relation::kEqual) ++num_slack;
     if (out.effective[i] != Relation::kLessEq) ++num_art;
   }
-  num_slack += out.ub_var.size();
   out.num_slack = num_slack;
   out.num_artificial = num_art;
   out.first_artificial = n + num_slack;
@@ -294,8 +374,7 @@ void prepare(const Problem& problem, PreparedProblem& out) {
   std::uint32_t next_slack = static_cast<std::uint32_t>(n);
   std::uint32_t next_art = static_cast<std::uint32_t>(out.first_artificial);
   for (std::size_t i = 0; i < out.num_rows; ++i) {
-    const Relation effective =
-        i < out.num_constraint_rows ? out.effective[i] : Relation::kLessEq;
+    const Relation effective = out.effective[i];
     std::uint32_t slack = kNoColumn;
     std::uint32_t art = kNoColumn;
     double sign = 0.0;
@@ -325,6 +404,15 @@ void prepare(const Problem& problem, PreparedProblem& out) {
     out.costs[j] = sense_sign * problem.objective()[j];
 }
 
+/// Why a warm attempt ended; SolveContext::Impl::run maps each outcome to
+/// exactly one stats counter so no failure path can double-count.
+enum class WarmOutcome {
+  kWarm,            ///< warm solve completed (possibly iteration-limited)
+  kTooManyRepairs,  ///< enough basic columns changed that cold is cheaper
+  kRepairRejected,  ///< a changed basic column had no safe repair pivot
+  kRhsRejected,     ///< new rhs primal infeasible, dual recovery failed
+};
+
 struct SolveContext::Impl {
   bool valid = false;        // cached tableau/basis reusable for warm start
   bool basis_clean = false;  // no artificial basic, no redundancy clearing
@@ -344,12 +432,11 @@ struct SolveContext::Impl {
   std::vector<std::size_t> row_of;   // column -> basic row (kNone if nonbasic)
   std::vector<std::uint32_t> changed;      // changed structural columns
   std::vector<char> changed_mark;          // dedup for `changed`
-  std::vector<std::uint32_t> ub_row;       // var -> bound row (kNoColumn)
   std::vector<std::pair<std::uint32_t, double>> column_entries;
 
   Solution run(const Problem& problem, const SolverOptions& opt);
-  bool try_warm(const Problem& problem, const SolverOptions& opt,
-                Solution& out);
+  WarmOutcome try_warm(const Problem& problem, const SolverOptions& opt,
+                       Solution& out);
   bool dual_recover(const SolverOptions& opt);
   void cold(const Problem& problem, const SolverOptions& opt, Solution& out);
   void extract(const Problem& problem, Solution& out);
@@ -358,12 +445,11 @@ struct SolveContext::Impl {
 };
 
 /// Collects standard-form column @p c of the incoming problem as sparse
-/// (row, value) entries: constraint terms plus the variable's bound row.
-/// Duplicate terms for one variable in one row stay separate entries (they
-/// accumulate, matching the dense scatter in cold()).
+/// (row, value) entries. Duplicate terms for one variable in one row stay
+/// separate entries (they accumulate, matching the dense scatter in cold()).
 void SolveContext::Impl::gather_column(std::uint32_t c) {
   column_entries.clear();
-  for (std::size_t i = 0; i < incoming.num_constraint_rows; ++i) {
+  for (std::size_t i = 0; i < incoming.num_rows; ++i) {
     for (std::uint32_t k = incoming.row_begin[i]; k < incoming.row_begin[i + 1];
          ++k) {
       if (incoming.term_var[k] == c)
@@ -371,7 +457,6 @@ void SolveContext::Impl::gather_column(std::uint32_t c) {
                                     incoming.coeffs[k]);
     }
   }
-  if (ub_row[c] != kNoColumn) column_entries.emplace_back(ub_row[c], 1.0);
 }
 
 /// result = B^-1 * (gathered column), reading B^-1 off the tableau columns
@@ -389,43 +474,67 @@ void SolveContext::Impl::binv_column(std::vector<double>& result) const {
 }
 
 /// Dual simplex: restores primal feasibility of the cached basis after an
-/// RHS change, preserving dual feasibility (all reduced costs <= 0) so the
-/// follow-up primal phase 2 terminates in few — typically zero — pivots.
-/// Returns false when the basis is not dual feasible for the new costs (the
-/// objective moved), when a leaving row has no admissible entering column
-/// (the new program may be genuinely infeasible — let the cold solve
-/// decide), or when the pivot budget runs out; callers then fall back to
-/// the full two-phase method. Precondition: t reflects the *new* problem's
-/// columns and raw (possibly negative) B^-1 * b_new right-hand side.
+/// RHS or bound change, preserving dual feasibility (reduced costs <= 0 on
+/// at-lower columns, >= 0 on at-upper columns) so the follow-up primal
+/// phase 2 terminates in few — typically zero — pivots. A basic variable may
+/// now violate either bound: one below its lower bound leaves *at* the lower
+/// bound, one above a finite upper leaves at the upper, and the entering
+/// ratio test runs over the correspondingly signed row. Returns false when
+/// the basis is not dual feasible for the new costs (the objective moved),
+/// when a violated row has no admissible entering column (the new program
+/// may be genuinely infeasible — let the cold solve decide), or when the
+/// pivot budget runs out; callers then fall back to the full two-phase
+/// method. Precondition: t reflects the *new* problem's columns, bounds, and
+/// basic values (possibly out of bounds).
 bool SolveContext::Impl::dual_recover(const SolverOptions& opt) {
   const std::size_t m = prep.num_rows;
   const std::size_t limit = prep.first_artificial;
   recompute_reduced_costs(t, prep.costs, d);
-  for (std::size_t j = 0; j < limit; ++j)
-    if (d[j] > opt.tolerance) return false;
+  for (std::size_t j = 0; j < limit; ++j) {
+    // Fixed variables (upper == 0) can never move off their bound, so their
+    // reduced cost carries no dual-feasibility information — primal pricing
+    // skips them for the same reason. The scheduler programs are full of
+    // them (zero-width [0, 0] boxes for principal pairs with no agreement).
+    if (t.upper[j] == 0.0) continue;
+    if (t.at_upper[j] ? d[j] < -opt.tolerance : d[j] > opt.tolerance)
+      return false;
+  }
 
   const std::size_t budget = std::max<std::size_t>(32, 4 * m);
   for (std::size_t iter = 0; iter < budget; ++iter) {
-    // Leaving row: most negative rhs (tolerance scaled to the data).
+    // Leaving row: largest bound violation (tolerance scaled to the data).
     double scale = 1.0;
     for (std::size_t i = 0; i < m; ++i)
       scale = std::max(scale, std::abs(t.rhs[i]));
     const double feas_tol = opt.tolerance * scale;
     std::size_t leave = kNone;
-    double most_negative = -feas_tol;
+    bool above_upper = false;
+    double worst = feas_tol;
     for (std::size_t i = 0; i < m; ++i) {
-      if (t.rhs[i] < most_negative) {
-        most_negative = t.rhs[i];
+      if (-t.rhs[i] > worst) {
+        worst = -t.rhs[i];
         leave = i;
+        above_upper = false;
+      }
+      const double ub = t.upper[t.basis[i]];
+      if (std::isfinite(ub) && t.rhs[i] - ub > worst) {
+        worst = t.rhs[i] - ub;
+        leave = i;
+        above_upper = true;
       }
     }
     if (leave == kNone) return true;  // primal feasible again
 
-    // Entering column: dual ratio test over a(leave, j) < 0, minimizing
-    // d_j / a(leave, j) (both non-positive, so the ratio is >= 0); the
-    // minimum keeps every reduced cost <= 0 after the pivot. The pivot-size
-    // guard mirrors the primal ratio test: candidates are measured against
-    // the row's largest magnitude so cancellation noise cannot be chosen.
+    // Entering column: dual ratio test. With the row negated when the basic
+    // variable sits *above* its upper bound, admissible columns are those
+    // whose movement off their own bound raises (case below-lower) or lowers
+    // (case above-upper) the basic value, and the minimized ratio
+    // d_j / alpha_j is >= 0 for both bound statuses — the minimum keeps
+    // every reduced cost on its dual-feasible side after the pivot. The
+    // pivot-size guard mirrors the primal ratio test: candidates are
+    // measured against the row's largest magnitude so cancellation noise
+    // cannot be chosen.
+    const double row_sign = above_upper ? -1.0 : 1.0;
     const double* pr = t.a.row(leave);
     double row_max = 0.0;
     for (std::size_t j = 0; j < limit; ++j)
@@ -434,9 +543,10 @@ bool SolveContext::Impl::dual_recover(const SolverOptions& opt) {
     std::size_t enter = kNone;
     double best_ratio = std::numeric_limits<double>::infinity();
     for (std::size_t j = 0; j < limit; ++j) {
-      const double a = pr[j];
-      if (a >= -drop) continue;
-      const double ratio = d[j] / a;
+      if (j == t.basis[leave] || t.upper[j] == 0.0) continue;
+      const double alpha = row_sign * pr[j];
+      if (t.at_upper[j] ? alpha <= drop : alpha >= -drop) continue;
+      const double ratio = d[j] / alpha;
       // Strict < keeps the lowest-index column on exact ties (Bland-style),
       // and the budget bounds any residual degenerate cycling.
       if (ratio < best_ratio) {
@@ -446,32 +556,47 @@ bool SolveContext::Impl::dual_recover(const SolverOptions& opt) {
     }
     if (enter == kNone) return false;
 
-    pivot(t, leave, enter);
-    ++stats.pivots;
+    // The leaving variable lands exactly on the bound it violated; every
+    // other basic value moves by its share of the entering step.
+    const std::size_t leaving = t.basis[leave];
+    const double target = above_upper ? t.upper[leaving] : 0.0;
+    const double dir = t.at_upper[enter] ? -1.0 : 1.0;
+    const double step = (t.rhs[leave] - target) / (pr[enter] * dir);
+    for (std::size_t i = 0; i < m; ++i) col[i] = t.a.row(i)[enter];
+    for (std::size_t i = 0; i < m; ++i) t.rhs[i] -= dir * col[i] * step;
+    const double enter_value =
+        (t.at_upper[enter] ? t.upper[enter] : 0.0) + dir * step;
+    t.at_upper[leaving] = above_upper ? 1 : 0;
+    t.at_upper[enter] = 0;
     const double dq = d[enter];
+    pivot_matrix(t, leave, enter);
+    t.rhs[leave] = enter_value;
+    ++stats.pivots;
     if (dq != 0.0) {
       const double* prow = t.a.row(leave);
       for (std::size_t j = 0; j < d.size(); ++j) d[j] -= dq * prow[j];
     }
     d[enter] = 0.0;
     // The basis stays coherent throughout (unit columns, maintained d);
-    // the rhs is allowed to be negative until recovery completes, so the
-    // full warm-entry audit runs only after this loop returns.
+    // basic values may sit outside their bounds until recovery completes,
+    // so the full warm-entry audit runs only after this loop returns.
     SHAREGRID_AUDIT_HOOK(audit::audit_reduced_costs(t.a, t.basis, prep.costs,
                                                     d, /*tol=*/1e-6));
   }
   return false;
 }
 
-bool SolveContext::Impl::try_warm(const Problem& problem,
-                                  const SolverOptions& opt, Solution& out) {
+WarmOutcome SolveContext::Impl::try_warm(const Problem& problem,
+                                         const SolverOptions& opt,
+                                         Solution& out) {
   const std::size_t m = prep.num_rows;
+  const std::size_t n = prep.num_vars;
 
-  // Changed structural columns (exact coefficient compare; bound rows have
-  // constant coefficient 1 and never change). For the schedulers this is
-  // empty or just the theta column, whose coefficients carry the demand.
+  // Changed structural columns (exact coefficient compare). For the
+  // schedulers this is empty or just the theta column, whose coefficients
+  // carry the demand.
   changed.clear();
-  changed_mark.assign(prep.num_vars, 0);
+  changed_mark.assign(n, 0);
   for (std::size_t k = 0; k < prep.coeffs.size(); ++k) {
     if (incoming.coeffs[k] == prep.coeffs[k]) continue;
     const std::uint32_t c = prep.term_var[k];
@@ -486,20 +611,14 @@ bool SolveContext::Impl::try_warm(const Problem& problem,
   std::size_t changed_basic = 0;
   for (const std::uint32_t c : changed)
     if (row_of[c] != kNone) ++changed_basic;
-  if (changed_basic > max_repairs(m)) {
-    ++stats.structure_misses;
-    return false;
-  }
-
-  ub_row.assign(prep.num_vars, kNoColumn);
-  for (std::size_t idx = 0; idx < incoming.ub_var.size(); ++idx)
-    ub_row[incoming.ub_var[idx]] =
-        static_cast<std::uint32_t>(incoming.num_constraint_rows + idx);
+  if (changed_basic > max_repairs(m)) return WarmOutcome::kTooManyRepairs;
 
   // Repair changed basic columns sequentially: each repair pivot updates
   // the B^-1 image that the next repair reads. A repair replaces column c
   // with B^-1 * a_new_c and re-pivots on its own basic row to restore the
   // unit form — exactly the basis-change rank-1 update, at one pivot each.
+  // Basic values are recomputed wholesale below, so the pivots are
+  // matrix-only.
   for (const std::uint32_t c : changed) {
     const std::size_t r = row_of[c];
     if (r == kNone) continue;
@@ -511,12 +630,11 @@ bool SolveContext::Impl::try_warm(const Problem& problem,
         col_scale == 0.0) {
       // Unrepairable within the pivot-size guard; the tableau may already be
       // partially rewritten, so the cache is dead either way.
-      ++stats.repair_rejections;
       valid = false;
-      return false;
+      return WarmOutcome::kRepairRejected;
     }
     for (std::size_t rr = 0; rr < m; ++rr) t.a.row(rr)[c] = repaired[rr];
-    pivot(t, r, c);
+    pivot_matrix(t, r, c);
     ++stats.pivots;
   }
   // Changed nonbasic columns just get rewritten against the final basis.
@@ -527,21 +645,38 @@ bool SolveContext::Impl::try_warm(const Problem& problem,
     for (std::size_t rr = 0; rr < m; ++rr) t.a.row(rr)[c] = repaired[rr];
   }
 
-  // New right-hand side: rhs = B^-1 * b_new.
+  // Refresh the (possibly drifted) finite bound widths; the finite pattern
+  // is layout-checked, so only values move here. A nonbasic-at-upper
+  // variable simply tracks its new bound.
+  for (std::size_t j = 0; j < n; ++j) t.upper[j] = incoming.upper[j];
+
+  // New basic values: rhs = B^-1 * b_new minus every nonbasic-at-upper
+  // column (already expressed through B^-1 in the tableau) times its bound.
   new_rhs.assign(m, 0.0);
-  double scale = 0.0;
   for (std::size_t r = 0; r < m; ++r) {
     const double* row = t.a.row(r);
     double acc = 0.0;
     for (std::size_t i = 0; i < m; ++i)
       acc += row[prep.unit_col[i]] * incoming.rhs[i];
     new_rhs[r] = acc;
-    scale = std::max(scale, std::abs(acc));
   }
+  for (std::size_t j = 0; j < n; ++j) {
+    if (!t.at_upper[j]) continue;
+    const double u = t.upper[j];
+    if (u == 0.0) continue;
+    for (std::size_t r = 0; r < m; ++r) new_rhs[r] -= t.a.row(r)[j] * u;
+  }
+  double scale = 0.0;
+  for (std::size_t r = 0; r < m; ++r)
+    scale = std::max(scale, std::abs(new_rhs[r]));
   const double feas_tol = opt.tolerance * (1.0 + scale);
   bool primal_infeasible = false;
-  for (std::size_t r = 0; r < m; ++r)
-    primal_infeasible = primal_infeasible || new_rhs[r] < -feas_tol;
+  for (std::size_t r = 0; r < m; ++r) {
+    if (new_rhs[r] < -feas_tol) primal_infeasible = true;
+    const double ub = t.upper[t.basis[r]];
+    if (std::isfinite(ub) && new_rhs[r] > ub + feas_tol)
+      primal_infeasible = true;
+  }
   t.rhs = new_rhs;
 
   // Commit: the tableau now reflects the incoming problem's data.
@@ -549,45 +684,46 @@ bool SolveContext::Impl::try_warm(const Problem& problem,
 
   if (primal_infeasible) {
     // The cached basis is primal infeasible for this window's right-hand
-    // side. The previous optimum is still *dual* feasible whenever the
-    // objective did not move (true for every scheduler stage: the costs are
-    // structural), so a few dual simplex pivots usually restore primal
+    // side or bounds. The previous optimum is still *dual* feasible whenever
+    // the objective did not move (true for every scheduler stage: the costs
+    // are structural), so a few dual simplex pivots usually restore primal
     // feasibility far cheaper than a cold phase 1+2. Only when that also
     // fails does the solve fall back to phase 1.
     if (!dual_recover(opt)) {
-      ++stats.rhs_rejections;
       valid = false;
       std::swap(prep, incoming);  // cold() expects the new data in incoming
-      return false;
+      return WarmOutcome::kRhsRejected;
     }
     ++stats.dual_recoveries;
   }
-  for (std::size_t r = 0; r < m; ++r) t.rhs[r] = std::max(0.0, t.rhs[r]);
+  for (std::size_t r = 0; r < m; ++r) {
+    t.rhs[r] = std::max(0.0, t.rhs[r]);
+    const double ub = t.upper[t.basis[r]];
+    if (std::isfinite(ub)) t.rhs[r] = std::min(t.rhs[r], ub);
+  }
   SHAREGRID_AUDIT_HOOK(audit::audit_warm_start_entry(
-      t.a, t.rhs, t.basis, prep.first_artificial, /*tol=*/1e-6));
+      t.a, t.rhs, t.basis, t.upper, prep.first_artificial, /*tol=*/1e-6));
 
-  ++stats.warm_solves;
   ++warm_streak;
   const PhaseResult r = run_simplex(t, prep.costs, prep.first_artificial, opt,
-                                    d, col, stats.pivots);
+                                    d, col, stats);
   if (r == PhaseResult::kIterationLimit) {
     out.status = Status::kIterationLimit;
     valid = false;
-    return true;
+    return WarmOutcome::kWarm;
   }
   if (r == PhaseResult::kUnbounded) {
     out.status = Status::kUnbounded;
     valid = false;
-    return true;
+    return WarmOutcome::kWarm;
   }
   extract(problem, out);
   out.warm_started = true;
-  return true;
+  return WarmOutcome::kWarm;
 }
 
 void SolveContext::Impl::cold(const Problem& problem, const SolverOptions& opt,
                               Solution& out) {
-  ++stats.cold_solves;
   std::swap(prep, incoming);
   valid = false;
   basis_clean = false;
@@ -600,22 +736,20 @@ void SolveContext::Impl::cold(const Problem& problem, const SolverOptions& opt,
   t.a.assign(m, prep.cols, 0.0);
   t.rhs = prep.rhs;
   t.basis.assign(m, kNone);
-  for (std::size_t i = 0; i < prep.num_constraint_rows; ++i) {
+  t.upper.assign(prep.cols, kInfinity);
+  for (std::size_t j = 0; j < n; ++j) t.upper[j] = prep.upper[j];
+  t.at_upper.assign(prep.cols, 0);
+  for (std::size_t i = 0; i < m; ++i) {
     double* row = t.a.row(i);
     for (std::uint32_t k = prep.row_begin[i]; k < prep.row_begin[i + 1]; ++k)
       row[prep.term_var[k]] += prep.coeffs[k];
-  }
-  for (std::size_t idx = 0; idx < prep.ub_var.size(); ++idx)
-    t.a.row(prep.num_constraint_rows + idx)[prep.ub_var[idx]] = 1.0;
-  for (std::size_t i = 0; i < m; ++i) {
-    double* row = t.a.row(i);
     if (prep.slack_col[i] != kNoColumn)
       row[prep.slack_col[i]] = prep.slack_sign[i];
     if (prep.art_col[i] != kNoColumn) row[prep.art_col[i]] = 1.0;
     t.basis[i] = prep.unit_col[i];
   }
   SHAREGRID_AUDIT_HOOK(audit::audit_simplex_basis(t.a, t.rhs, t.basis,
-                                                  /*tol=*/1e-6));
+                                                  t.upper, /*tol=*/1e-6));
 
   // Phase 1: drive artificials to zero (maximize -sum of artificials).
   bool clean = true;
@@ -624,7 +758,7 @@ void SolveContext::Impl::cold(const Problem& problem, const SolverOptions& opt,
     for (std::size_t j = prep.first_artificial; j < prep.cols; ++j)
       phase1_costs[j] = -1.0;
     const PhaseResult r =
-        run_simplex(t, phase1_costs, prep.cols, opt, d, col, stats.pivots);
+        run_simplex(t, phase1_costs, prep.cols, opt, d, col, stats);
     if (r == PhaseResult::kIterationLimit) {
       out.status = Status::kIterationLimit;
       return;
@@ -639,8 +773,23 @@ void SolveContext::Impl::cold(const Problem& problem, const SolverOptions& opt,
       if (t.basis[i] < prep.first_artificial) continue;
       bool pivoted = false;
       for (std::size_t j = 0; j < prep.first_artificial; ++j) {
-        if (std::abs(t.a.row(i)[j]) > 1e-7) {
-          pivot(t, i, j);
+        const double p = t.a.row(i)[j];
+        if (std::abs(p) > 1e-7) {
+          // Swap the zero-level artificial for column j: the artificial
+          // leaves at 0, so the step length is the (tiny) residual level
+          // over the pivot element, applied with the same bounded-pivot
+          // mechanics as the ratio test — j may be nonbasic at either
+          // bound, and enters at (its bound) + dir * step.
+          const double dir = t.at_upper[j] ? -1.0 : 1.0;
+          const double step = t.rhs[i] / (dir * p);
+          for (std::size_t rr = 0; rr < m; ++rr) col[rr] = t.a.row(rr)[j];
+          for (std::size_t rr = 0; rr < m; ++rr)
+            t.rhs[rr] -= dir * col[rr] * step;
+          const double enter_value =
+              (t.at_upper[j] ? t.upper[j] : 0.0) + dir * step;
+          t.at_upper[j] = 0;
+          pivot_matrix(t, i, j);
+          t.rhs[i] = enter_value;
           ++stats.pivots;
           pivoted = true;
           break;
@@ -666,7 +815,7 @@ void SolveContext::Impl::cold(const Problem& problem, const SolverOptions& opt,
 
   // Phase 2: the real objective over structural columns only.
   const PhaseResult r = run_simplex(t, prep.costs, prep.first_artificial, opt,
-                                    d, col, stats.pivots);
+                                    d, col, stats);
   if (r == PhaseResult::kIterationLimit) {
     out.status = Status::kIterationLimit;
     return;
@@ -684,8 +833,14 @@ void SolveContext::Impl::extract(const Problem& problem, Solution& out) {
   const std::size_t n = prep.num_vars;
   out.status = Status::kOptimal;
   out.values.assign(n, 0.0);
+  for (std::size_t j = 0; j < n; ++j)
+    if (t.at_upper[j]) out.values[j] = prep.upper[j];
   for (std::size_t i = 0; i < prep.num_rows; ++i) {
-    if (t.basis[i] < n) out.values[t.basis[i]] = std::max(0.0, t.rhs[i]);
+    const std::size_t b = t.basis[i];
+    if (b >= n) continue;
+    double v = std::max(0.0, t.rhs[i]);
+    if (std::isfinite(prep.upper[b])) v = std::min(v, prep.upper[b]);
+    out.values[b] = v;
   }
   const auto& lo = problem.lower_bounds();
   double objective = 0.0;
@@ -707,16 +862,36 @@ Solution SolveContext::Impl::run(const Problem& problem,
   prepare(problem, incoming);
   Solution out;
   bool warm_done = false;
+  // Every counter increments exactly here (one per solve at most), so a
+  // failed warm attempt can never double-count across its internal exits.
   if (valid && basis_clean && opt.warm_refresh_interval > 0) {
     if (!prep.layout_matches(incoming)) {
       ++stats.structure_misses;
     } else if (warm_streak >= opt.warm_refresh_interval) {
       ++stats.refreshes;
     } else {
-      warm_done = try_warm(problem, opt, out);
+      switch (try_warm(problem, opt, out)) {
+        case WarmOutcome::kWarm:
+          ++stats.warm_solves;
+          warm_done = true;
+          break;
+        case WarmOutcome::kTooManyRepairs:
+          ++stats.structure_misses;
+          break;
+        case WarmOutcome::kRepairRejected:
+          ++stats.repair_rejections;
+          break;
+        case WarmOutcome::kRhsRejected:
+          ++stats.rhs_rejections;
+          break;
+      }
     }
   }
-  if (!warm_done) cold(problem, opt, out);
+  if (!warm_done) {
+    cold(problem, opt, out);
+    ++stats.cold_solves;
+  }
+  SHAREGRID_AUDIT_HOOK(audit::audit_solve_stats(stats));
   return out;
 }
 

@@ -10,6 +10,10 @@
 //  * PreparedProblem factors standard-form construction — lower-bound
 //    shifting, sign flips, slack/artificial column layout, phase-2 costs —
 //    out of the solve, so a re-solve only rewrites the numbers that moved.
+//    Upper bounds never materialize as rows: the simplex handles them
+//    implicitly in the ratio test (bounded-variable simplex), so the
+//    tableau holds true constraints only and is roughly half the size for
+//    the box-constrained scheduler programs.
 //  * The optimal basis and final tableau of the previous solve are kept.
 //    When the next problem has the same layout, the solver recomputes
 //    B⁻¹·b for the new right-hand side (B⁻¹ is read off the tableau's
@@ -47,9 +51,8 @@ inline constexpr std::uint32_t kNoColumn =
 /// layouts match can reuse one tableau; only the data is rewritten.
 struct PreparedProblem {
   // -- dimensions --
-  std::size_t num_vars = 0;             ///< structural variables n
-  std::size_t num_constraint_rows = 0;  ///< user constraints
-  std::size_t num_rows = 0;             ///< constraints + finite-bound rows
+  std::size_t num_vars = 0;  ///< structural variables n
+  std::size_t num_rows = 0;  ///< user constraints (bounds are implicit)
   std::size_t num_slack = 0;
   std::size_t num_artificial = 0;
   std::size_t cols = 0;  ///< n + slacks + artificials
@@ -61,7 +64,11 @@ struct PreparedProblem {
   std::vector<Relation> effective;       ///< relation after the flip
   std::vector<std::uint32_t> term_var;   ///< CSR term variable indices
   std::vector<std::uint32_t> row_begin;  ///< CSR offsets, size rows+1
-  std::vector<std::uint32_t> ub_var;     ///< vars with finite upper bound
+  /// Vars with a finite upper bound. Part of the *layout*: a bound drifting
+  /// between finite values is a data rewrite, but a bound crossing to/from
+  /// kInfinity changes which variables the ratio test may flip, so it must
+  /// force a structure miss.
+  std::vector<std::uint32_t> ub_var;
   std::vector<std::uint32_t> slack_col;  ///< per row, kNoColumn if none
   std::vector<std::uint32_t> art_col;    ///< per row, kNoColumn if none
   std::vector<std::uint32_t> unit_col;   ///< per row: its initial unit column
@@ -71,9 +78,13 @@ struct PreparedProblem {
   std::vector<double> coeffs;  ///< CSR coefficients, flip-adjusted
   std::vector<double> rhs;     ///< shifted + flip-adjusted, size num_rows
   std::vector<double> costs;   ///< phase-2 maximize costs over all columns
+  /// Shifted upper bound hi_j - lo_j per variable (kInfinity when
+  /// unbounded); the finite/infinite *pattern* is layout (ub_var above),
+  /// the finite values are data.
+  std::vector<double> upper;
 
-  /// True when @p other has the same structural layout (coefficients, rhs
-  /// and costs may differ). Warm starts require a match.
+  /// True when @p other has the same structural layout (coefficients, rhs,
+  /// finite bound values and costs may differ). Warm starts require a match.
   bool layout_matches(const PreparedProblem& other) const;
 };
 
@@ -103,6 +114,9 @@ struct SolveStats {
   /// Periodic anti-drift cold refreshes (SolverOptions::warm_refresh_interval).
   std::uint64_t refreshes = 0;
   std::uint64_t pivots = 0;  ///< simplex pivots across all solves
+  /// Ratio-test steps resolved by moving a nonbasic variable to its opposite
+  /// bound instead of changing the basis (no pivot, O(m) instead of O(m·n)).
+  std::uint64_t bound_flips = 0;
 
   SolveStats& operator+=(const SolveStats& o) {
     solves += o.solves;
@@ -114,6 +128,7 @@ struct SolveStats {
     repair_rejections += o.repair_rejections;
     refreshes += o.refreshes;
     pivots += o.pivots;
+    bound_flips += o.bound_flips;
     return *this;
   }
 };

@@ -91,7 +91,9 @@ Plan IncomeScheduler::plan(const std::vector<double>& demand) const {
     Problem p(n, Sense::kMaximize);
     for (std::size_t i = 0; i < n; ++i) {
       // Mandatory level is honoured up to available demand; the ceiling is
-      // the agreement upper bound.
+      // the agreement upper bound. The boxes are implicit (DESIGN.md D9), so
+      // this whole program is a single capacity row regardless of n, and
+      // per-window demand drift only rewrites bound data — no re-prepare.
       const double lo = std::min(mandatory_[i], demand[i]);
       const double hi =
           std::min(mandatory_[i] + optional_[i], std::max(lo, demand[i]));

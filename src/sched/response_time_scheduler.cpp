@@ -89,6 +89,11 @@ Plan ResponseTimeScheduler::plan(const std::vector<double>& raw_demand) const {
     // constraint) can force requests onto a remote server even when the
     // principal's own server could absorb them, needlessly displacing other
     // principals (see DESIGN.md D1).
+    // These n² boxes never become tableau rows: the bounded-variable ratio
+    // test handles them implicitly (DESIGN.md D9), and the many zero-width
+    // boxes — pairs with no entitlement — are fixed variables the solver
+    // skips outright. Entitlement drift between windows is a data-only
+    // rewrite, so it stays on the warm path.
     for (std::size_t i = 0; i < n; ++i) {
       for (std::size_t k = 0; k < n; ++k) {
         const double em = levels_.mandatory_entitlement(i, k);

@@ -5,9 +5,11 @@
 // nothing.
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <map>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "audit/invariant_auditor.hpp"
 #include "core/agreement_graph.hpp"
@@ -17,6 +19,7 @@
 #include "l4/packet.hpp"
 #include "lp/problem.hpp"
 #include "lp/simplex.hpp"
+#include "lp/solve_context.hpp"
 #include "util/assert.hpp"
 
 namespace sharegrid {
@@ -226,7 +229,7 @@ TEST(AuditSimplex, ProperBasisPasses) {
   a(0, 2) = 4.0;
   a(1, 2) = 2.0;
   EXPECT_NO_THROW(
-      audit::audit_simplex_basis(a, {3.0, 1.0}, {0, 1}, /*tol=*/1e-9));
+      audit::audit_simplex_basis(a, {3.0, 1.0}, {0, 1}, {}, /*tol=*/1e-9));
 }
 
 TEST(AuditSimplex, NonUnitBasisColumnFires) {
@@ -235,7 +238,7 @@ TEST(AuditSimplex, NonUnitBasisColumnFires) {
   a(1, 1) = 1.0;
   a(0, 1) = 0.5;  // column 1 is basic in row 1 but not eliminated in row 0
   const std::string msg = violation_message(
-      [&] { audit::audit_simplex_basis(a, {3.0, 1.0}, {0, 1}, 1e-9); });
+      [&] { audit::audit_simplex_basis(a, {3.0, 1.0}, {0, 1}, {}, 1e-9); });
   EXPECT_NE(msg.find("simplex.basis-not-unit"), std::string::npos);
   EXPECT_NE(msg.find("pivot"), std::string::npos);
 }
@@ -245,8 +248,65 @@ TEST(AuditSimplex, NegativeRhsFires) {
   a(0, 0) = 1.0;
   a(1, 1) = 1.0;
   const std::string msg = violation_message(
-      [&] { audit::audit_simplex_basis(a, {-1.0, 2.0}, {0, 1}, 1e-9); });
+      [&] { audit::audit_simplex_basis(a, {-1.0, 2.0}, {0, 1}, {}, 1e-9); });
   EXPECT_NE(msg.find("simplex.primal-infeasible-rhs"), std::string::npos);
+}
+
+TEST(AuditSimplex, BasicValueWithinBothBoundsPasses) {
+  Matrix a(2, 2, 0.0);
+  a(0, 0) = 1.0;
+  a(1, 1) = 1.0;
+  const std::vector<double> upper = {5.0,
+                                     std::numeric_limits<double>::infinity()};
+  EXPECT_NO_THROW(
+      audit::audit_simplex_basis(a, {5.0, 100.0}, {0, 1}, upper, 1e-9));
+}
+
+TEST(AuditSimplex, BasicValueAboveUpperBoundFires) {
+  Matrix a(2, 2, 0.0);
+  a(0, 0) = 1.0;
+  a(1, 1) = 1.0;
+  const std::vector<double> upper = {5.0,
+                                     std::numeric_limits<double>::infinity()};
+  const std::string msg = violation_message(
+      [&] { audit::audit_simplex_basis(a, {6.0, 2.0}, {0, 1}, upper, 1e-9); });
+  EXPECT_NE(msg.find("simplex.primal-above-upper"), std::string::npos);
+  EXPECT_NE(msg.find("ratio test"), std::string::npos);
+}
+
+TEST(AuditSimplex, ConsistentSolveStatsPass) {
+  lp::SolveStats s;
+  s.solves = 10;
+  s.warm_solves = 7;
+  s.cold_solves = 3;
+  s.structure_misses = 1;
+  s.refreshes = 1;
+  s.rhs_rejections = 1;
+  EXPECT_NO_THROW(audit::audit_solve_stats(s));
+}
+
+TEST(AuditSimplex, SolveSplitMismatchFires) {
+  lp::SolveStats s;
+  s.solves = 10;
+  s.warm_solves = 7;
+  s.cold_solves = 2;  // one solve vanished
+  const std::string msg =
+      violation_message([&] { audit::audit_solve_stats(s); });
+  EXPECT_NE(msg.find("lp.stats-solve-split"), std::string::npos);
+}
+
+TEST(AuditSimplex, DoubleCountedColdCauseFires) {
+  lp::SolveStats s;
+  s.solves = 10;
+  s.warm_solves = 8;
+  s.cold_solves = 2;
+  // One failed warm attempt booked under two causes: 3 causes, 2 colds.
+  s.structure_misses = 2;
+  s.rhs_rejections = 1;
+  const std::string msg =
+      violation_message([&] { audit::audit_solve_stats(s); });
+  EXPECT_NE(msg.find("lp.stats-cold-causes"), std::string::npos);
+  EXPECT_NE(msg.find("two causes"), std::string::npos);
 }
 
 TEST(AuditSimplex, BlandRegressionFires) {

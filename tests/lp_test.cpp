@@ -4,7 +4,13 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
+#include <utility>
+#include <vector>
 
+#include "audit/invariant_auditor.hpp"
+#include "lp/solve_context.hpp"
+#include "util/assert.hpp"
 #include "util/rng.hpp"
 
 namespace sharegrid::lp {
@@ -190,6 +196,160 @@ TEST_P(SimplexRandomTest, OptimumIsFeasibleAndDominatesSamples) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, SimplexRandomTest,
+                         ::testing::Range<std::uint64_t>(1, 33));
+
+TEST(Problem, RejectsInvertedAndNaNBounds) {
+  Problem p(2);
+  EXPECT_THROW(p.set_bounds(0, 2.0, 1.0), ContractViolation);
+  const double nan = std::nan("");
+  EXPECT_THROW(p.set_bounds(0, nan, 1.0), ContractViolation);
+  EXPECT_THROW(p.set_bounds(0, 0.0, nan), ContractViolation);
+  EXPECT_THROW(p.set_bounds(0, nan, nan), ContractViolation);
+  // Valid settings still pass, including the degenerate fixed variable and
+  // an unbounded-above variable.
+  EXPECT_NO_THROW(p.set_bounds(0, 1.5, 1.5));
+  EXPECT_NO_THROW(p.set_bounds(1, -1.0, kInfinity));
+}
+
+TEST(Simplex, FixedVariablesSolve) {
+  // lo == hi pins a variable; income-stage programs produce these whenever
+  // demand falls at the mandatory floor. Fixed columns never enter the
+  // basis (they cannot move), so the solver must still route their
+  // contribution through the constraints correctly.
+  Problem p(2, Sense::kMaximize);
+  p.set_objective(0, 5.0);
+  p.set_objective(1, 1.0);
+  p.set_bounds(0, 2.0, 2.0);
+  p.set_bounds(1, 0.0, 10.0);
+  p.add_constraint({{0, 1.0}, {1, 1.0}}, Relation::kLessEq, 6.0);
+  const Solution s = solve(p);
+  ASSERT_TRUE(s.optimal());
+  EXPECT_NEAR(s.values[0], 2.0, 1e-9);
+  EXPECT_NEAR(s.values[1], 4.0, 1e-9);
+  EXPECT_NEAR(s.objective, 14.0, 1e-9);
+}
+
+TEST(Simplex, AllVariablesFixedSolves) {
+  Problem p(2, Sense::kMinimize);
+  p.set_objective(0, 3.0);
+  p.set_objective(1, -1.0);
+  p.set_bounds(0, 1.0, 1.0);
+  p.set_bounds(1, 2.5, 2.5);
+  p.add_constraint({{0, 1.0}, {1, 1.0}}, Relation::kLessEq, 4.0);
+  const Solution s = solve(p);
+  ASSERT_TRUE(s.optimal());
+  EXPECT_NEAR(s.values[0], 1.0, 1e-9);
+  EXPECT_NEAR(s.values[1], 2.5, 1e-9);
+  EXPECT_NEAR(s.objective, 0.5, 1e-9);
+}
+
+TEST(SolveContext, BoundFlipsReplaceBasisChanges) {
+  // One constraint row means at most one basic structural variable, yet the
+  // optimum needs both variables at their upper bounds — only a bound flip
+  // (move a nonbasic variable to its opposite bound, no pivot) can get the
+  // second one there. The explicit-row engine needed extra tableau rows and
+  // pivots for the same program.
+  SolveContext ctx;
+  Problem p(2, Sense::kMaximize);
+  p.set_objective(0, 1.0);
+  p.set_objective(1, 1.0);
+  p.set_bounds(0, 0.0, 3.0);
+  p.set_bounds(1, 0.0, 4.0);
+  p.add_constraint({{0, 1.0}, {1, 1.0}}, Relation::kLessEq, 10.0);
+  const Solution s = ctx.solve(p);
+  ASSERT_TRUE(s.optimal());
+  EXPECT_NEAR(s.objective, 7.0, 1e-9);
+  EXPECT_NEAR(s.values[0], 3.0, 1e-9);
+  EXPECT_NEAR(s.values[1], 4.0, 1e-9);
+  EXPECT_GT(ctx.stats().bound_flips, 0u);
+}
+
+// Equivalence sweep for the bounded-variable simplex: every randomized
+// box-constrained program is solved twice — once with implicit bounds (the
+// production path) and once against an explicitly reformulated program whose
+// finite upper bounds are ordinary `x_j <= hi_j` rows, the shape the old
+// engine materialized internally. Statuses must agree exactly, optima must
+// agree to solver tolerance, both returned points must satisfy their
+// original programs, and the implicit engine must pivot no more than the
+// explicit one (flips replace basis changes; the smaller tableau never adds
+// iterations). 32 seeds x 10 instances = 320 programs, covering fixed
+// (lo == hi), unbounded-above, infeasible, and unbounded-objective cases.
+class BoundedSimplexEquivalence
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BoundedSimplexEquivalence, MatchesExplicitRowFormulation) {
+  Rng rng(GetParam() * 7919 + 17);
+  std::uint64_t implicit_pivots = 0;
+  std::uint64_t explicit_pivots = 0;
+  for (int instance = 0; instance < 10; ++instance) {
+    const std::size_t n = 2 + rng.bounded(4);  // 2..5 variables
+    const std::size_t m = 1 + rng.bounded(4);  // 1..4 constraints
+    const Sense sense =
+        rng.bounded(2) == 0 ? Sense::kMaximize : Sense::kMinimize;
+
+    Problem boxed(n, sense);
+    Problem rows(n, sense);
+    std::vector<double> hi(n);
+    for (std::size_t j = 0; j < n; ++j) {
+      const double lo = rng.uniform(-2.0, 2.0);
+      const double roll = rng.uniform(0.0, 1.0);
+      if (roll < 0.15) {
+        hi[j] = lo;  // fixed variable
+      } else if (roll < 0.30) {
+        hi[j] = kInfinity;
+      } else {
+        hi[j] = lo + rng.uniform(0.5, 8.0);
+      }
+      const double c = rng.uniform(-4.0, 4.0);
+      boxed.set_bounds(j, lo, hi[j]);
+      boxed.set_objective(j, c);
+      rows.set_bounds(j, lo, kInfinity);
+      rows.set_objective(j, c);
+    }
+    for (std::size_t i = 0; i < m; ++i) {
+      std::vector<std::pair<std::size_t, double>> terms;
+      for (std::size_t j = 0; j < n; ++j) {
+        if (rng.uniform(0.0, 1.0) < 0.3 && terms.size() + (n - j) > 1)
+          continue;  // sparse rows, but never an empty one
+        terms.emplace_back(j, rng.uniform(-3.0, 3.0));
+      }
+      const double roll = rng.uniform(0.0, 1.0);
+      const Relation rel = roll < 0.6   ? Relation::kLessEq
+                           : roll < 0.85 ? Relation::kGreaterEq
+                                         : Relation::kEqual;
+      const double rhs = rng.uniform(-5.0, 10.0);
+      boxed.add_constraint(terms, rel, rhs);
+      rows.add_constraint(std::move(terms), rel, rhs);
+    }
+    // Bound rows go after the real constraints, mirroring where the old
+    // engine emitted them in its tableau.
+    for (std::size_t j = 0; j < n; ++j) {
+      if (std::isfinite(hi[j]))
+        rows.add_constraint({{j, 1.0}}, Relation::kLessEq, hi[j]);
+    }
+
+    SolveContext boxed_ctx;
+    SolveContext rows_ctx;
+    const Solution si = boxed_ctx.solve(boxed);
+    const Solution se = rows_ctx.solve(rows);
+    ASSERT_EQ(si.status, se.status)
+        << "seed " << GetParam() << " instance " << instance;
+    if (si.optimal()) {
+      EXPECT_NEAR(si.objective, se.objective,
+                  1e-7 * (1.0 + std::abs(se.objective)))
+          << "seed " << GetParam() << " instance " << instance;
+      audit::audit_lp_solution(boxed, si, 1e-6);
+      audit::audit_lp_solution(rows, se, 1e-6);
+    }
+    implicit_pivots += boxed_ctx.stats().pivots;
+    explicit_pivots += rows_ctx.stats().pivots;
+  }
+  EXPECT_LE(implicit_pivots, explicit_pivots)
+      << "the implicit-bound tableau must pivot no more than the "
+         "explicit-row formulation";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BoundedSimplexEquivalence,
                          ::testing::Range<std::uint64_t>(1, 33));
 
 }  // namespace

@@ -265,6 +265,116 @@ TEST(SolveContext, StructureChangeGoesColdThenReWarms) {
   EXPECT_TRUE(rewarm.warm_started);
 }
 
+/// maximize 2*x0 + x1 over x0 in [0, h0], x1 in [0, h1], x0 + x1 <= cap.
+/// With h0 + h1 < cap both variables sit nonbasic at their upper bounds at
+/// the optimum — reached by bound flips, since the single constraint row
+/// admits only one basic structural variable.
+Problem make_box_problem(double h0, double h1, double cap) {
+  Problem p(2, Sense::kMaximize);
+  p.set_objective(0, 2.0);
+  p.set_objective(1, 1.0);
+  p.set_bounds(0, 0.0, h0);
+  p.set_bounds(1, 0.0, h1);
+  p.add_constraint({{0, 1.0}, {1, 1.0}}, Relation::kLessEq, cap);
+  return p;
+}
+
+TEST(SolveContext, BoundFlipSurvivesWarmReEntry) {
+  SolveContext warm;
+  const Problem first = make_box_problem(3.0, 4.0, 10.0);
+  const Solution base = warm.solve(first);
+  ASSERT_TRUE(base.optimal());
+  EXPECT_NEAR(base.objective, 10.0, 1e-9);
+  // The optimum parks both variables nonbasic-at-upper via flips.
+  EXPECT_GT(warm.stats().bound_flips, 0u);
+
+  // Drift the finite bound values between windows: that is data, not
+  // layout, so every re-solve stays warm, and the flipped variables must
+  // track their moving bounds through the recomputed basic values.
+  for (const double d : {0.25, 0.5, 0.75, 1.0}) {
+    const Problem next = make_box_problem(3.0 + d, 4.0 - d, 10.0);
+    SolveContext cold;
+    const Solution w = warm.solve(next);
+    const Solution c = cold.solve(next);
+    EXPECT_TRUE(w.warm_started);
+    expect_equivalent(next, w, c);
+  }
+  EXPECT_EQ(warm.stats().warm_solves, 4u);
+  EXPECT_EQ(warm.stats().structure_misses, 0u);
+}
+
+TEST(SolveContext, BoundCrossingInfinityIsAStructureMissBothWays) {
+  // cap = 5 keeps the program bounded even when x1 loses its upper bound.
+  auto with_hi = [](double h1) { return make_box_problem(3.0, h1, 5.0); };
+  SolveContext context;
+  ASSERT_TRUE(context.solve(with_hi(4.0)).optimal());
+
+  // finite -> kInfinity: the set of flippable variables changed, so the
+  // cached tableau must not be reused even though every coefficient and
+  // right-hand side is identical.
+  const Solution widened = context.solve(with_hi(kInfinity));
+  ASSERT_TRUE(widened.optimal());
+  EXPECT_NEAR(widened.objective, 2.0 * 3.0 + 2.0, 1e-9);
+  EXPECT_FALSE(widened.warm_started);
+  EXPECT_EQ(context.stats().structure_misses, 1u);
+
+  // kInfinity -> finite: same in the other direction.
+  const Solution narrowed = context.solve(with_hi(4.0));
+  ASSERT_TRUE(narrowed.optimal());
+  EXPECT_FALSE(narrowed.warm_started);
+  EXPECT_EQ(context.stats().structure_misses, 2u);
+
+  // finite -> finite is a data rewrite and must stay warm.
+  const Solution drifted = context.solve(with_hi(3.5));
+  ASSERT_TRUE(drifted.optimal());
+  EXPECT_TRUE(drifted.warm_started);
+  EXPECT_EQ(context.stats().structure_misses, 2u);
+}
+
+TEST(SolveContext, StatsStayConsistentAcrossMixedOutcomes) {
+  // A workload that exercises warm solves, layout misses, periodic
+  // refreshes, and an iteration-limited window, then cross-checks the
+  // counters with the audit-layer consistency assertion (the same check the
+  // solver runs after every solve in SHAREGRID_AUDIT builds).
+  constexpr std::size_t kVars = 4;
+  std::vector<double> prices = {1.0, 0.8, 1.2, 0.9};
+  SolveContext context;
+  SolverOptions opt;
+  opt.warm_refresh_interval = 8;
+  Rng rng(2026);
+  for (int w = 0; w < 40; ++w) {
+    std::vector<double> hi(kVars, 20.0 + rng.uniform(0.0, 10.0));
+    if (w % 13 == 12) {
+      // Different constraint pattern: forces a structure miss.
+      Problem other(kVars, Sense::kMaximize);
+      for (std::size_t j = 0; j < kVars; ++j) {
+        other.set_objective(j, prices[j]);
+        other.set_bounds(j, 0.0, hi[j]);
+      }
+      other.add_constraint({{0, 1.0}, {2, 1.0}}, Relation::kLessEq, 30.0);
+      ASSERT_TRUE(context.solve(other, opt).optimal());
+      continue;
+    }
+    const Problem p = make_window_problem(
+        kVars, 70.0 + rng.uniform(0.0, 20.0), 4.0 + rng.uniform(0.0, 2.0), hi,
+        120.0 + rng.uniform(0.0, 60.0), prices);
+    if (w == 20) {
+      SolverOptions strangled = opt;
+      strangled.max_iterations = 0;
+      context.solve(p, strangled);  // iteration-limited, still one solve
+      continue;
+    }
+    ASSERT_TRUE(context.solve(p, opt).optimal());
+  }
+  const SolveStats& s = context.stats();
+  EXPECT_NO_THROW(audit::audit_solve_stats(s));
+  EXPECT_EQ(s.solves, 40u);
+  EXPECT_EQ(s.warm_solves + s.cold_solves, s.solves);
+  EXPECT_GE(s.warm_solves, 1u);
+  EXPECT_GE(s.structure_misses, 1u);
+  EXPECT_GE(s.refreshes, 1u);
+}
+
 }  // namespace
 }  // namespace sharegrid::lp
 

@@ -12,6 +12,12 @@ cd "$(dirname "$0")/.."
 
 JOBS="${SHAREGRID_CI_JOBS:-$(nproc)}"
 
+# Temp files registered here are removed on any exit, including a failing
+# bench or python step aborting the script via `set -e` mid-stage.
+TMP_FILES=()
+cleanup() { ((${#TMP_FILES[@]})) && rm -f -- "${TMP_FILES[@]}"; return 0; }
+trap cleanup EXIT
+
 run_stage() {
   local preset="$1"
   echo
@@ -41,20 +47,27 @@ fi
 if [[ "${SHAREGRID_CI_QUICK_BENCH:-0}" == "1" ]]; then
   echo
   echo "=== [quick-bench] micro_lp warm-vs-cold re-solve ==="
+  # Refreshes only the 'current' (implicit-bound engine) section of
+  # BENCH_lp.json; the frozen explicit-bound-row 'baseline' section stays for
+  # comparison. update_lp_bench.py fails the stage if the warm-hit rate
+  # regresses below the checked-in baseline.
+  LP_JSON="$(mktemp -t lp_bench.XXXXXX.json)"
+  TMP_FILES+=("${LP_JSON}")
   ./build-relwithdebinfo/bench/micro_lp \
-    --benchmark_filter='BM_LpResolve' \
-    --benchmark_out=BENCH_lp.json --benchmark_out_format=json
+    --benchmark_filter='BM_LpResolve|BM_LpCold' \
+    --benchmark_out="${LP_JSON}" --benchmark_out_format=json
+  python3 tools/update_lp_bench.py "${LP_JSON}" --section current
 
   echo
   echo "=== [quick-bench] micro_sim event-engine throughput ==="
-  # Refreshes only the 'current' (timing wheel) section of BENCH_sim.json;
-  # the frozen priority-queue 'baseline' section stays for comparison.
+  # Same split for BENCH_sim.json: 'current' is the timing wheel, the frozen
+  # priority-queue 'baseline' section stays for comparison.
   SIM_JSON="$(mktemp -t sim_bench.XXXXXX.json)"
+  TMP_FILES+=("${SIM_JSON}")
   ./build-relwithdebinfo/bench/micro_sim \
     --benchmark_filter='BM_Simulator|BM_Scenario' \
     --benchmark_out="${SIM_JSON}" --benchmark_out_format=json
   python3 tools/update_sim_bench.py "${SIM_JSON}" --section current
-  rm -f "${SIM_JSON}"
 fi
 
 echo

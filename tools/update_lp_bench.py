@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""Folds a fresh google-benchmark JSON run of bench/micro_lp into
+BENCH_lp.json, which keeps two sections side by side:
+
+  baseline : the explicit-bound-row engine (one tableau row per finite
+             upper bound), frozen for before/after comparison
+  current  : the bounded-variable (implicit-bound) engine, refreshed by
+             SHAREGRID_CI_QUICK_BENCH=1 tools/ci.sh
+
+The warm-start benchmarks label themselves "W/S warm solves"; this script
+also acts as the warm-hit-rate regression gate: if a fresh BM_LpResolveWarm
+run warm-starts a smaller fraction of its solves than the frozen baseline
+section records (beyond a small slack), it exits nonzero and leaves
+BENCH_lp.json untouched — a hit-rate drop means the warm path is silently
+falling back to cold solves and the headline numbers are lying.
+
+Usage: tools/update_lp_bench.py FRESH_JSON [--section current|baseline]
+"""
+import argparse
+import json
+import pathlib
+import re
+import sys
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+BENCH = REPO / "BENCH_lp.json"
+
+KEEP_CONTEXT = ("date", "host_name", "num_cpus", "mhz_per_cpu",
+                "cpu_scaling_enabled", "library_build_type")
+# "label" carries the warm-hit counters ("3528/3584 warm solves") and the
+# tableau row counts; dropping it would blind the regression gate.
+KEEP_BENCH = ("name", "iterations", "real_time", "cpu_time", "time_unit",
+              "label")
+
+# A fresh warm-hit rate may fall this far below the recorded baseline before
+# the gate trips (the counters are deterministic, but refresh cadence can
+# shift the ratio by a solve or two at short benchmark runs).
+RATE_SLACK = 0.02
+
+WARM_LABEL = re.compile(r"(\d+)/(\d+) warm solves")
+
+
+def condense(raw):
+    """Keeps just the fields a before/after comparison needs."""
+    return {
+        "context": {k: raw["context"][k]
+                    for k in KEEP_CONTEXT if k in raw["context"]},
+        "benchmarks": [{k: b[k] for k in KEEP_BENCH if k in b}
+                       for b in raw["benchmarks"]
+                       if b.get("run_type", "iteration") == "iteration"],
+    }
+
+
+def warm_rates(section):
+    """name -> warm_solves / solves for benchmarks carrying the warm label."""
+    rates = {}
+    for b in section.get("benchmarks", []):
+        m = WARM_LABEL.fullmatch(b.get("label", ""))
+        if m and int(m.group(2)) > 0:
+            rates[b["name"]] = int(m.group(1)) / int(m.group(2))
+    return rates
+
+
+def check_warm_rate(fresh, reference):
+    """Returns a list of regression messages (empty when the gate passes)."""
+    ref_rates = warm_rates(reference)
+    problems = []
+    for name, rate in warm_rates(fresh).items():
+        ref = ref_rates.get(name)
+        if ref is not None and rate < ref - RATE_SLACK:
+            problems.append(
+                f"{name}: warm-hit rate {rate:.3f} regressed below the "
+                f"checked-in {ref:.3f} (slack {RATE_SLACK})")
+    return problems
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("fresh", type=pathlib.Path)
+    parser.add_argument("--section", default="current",
+                        choices=("current", "baseline"))
+    args = parser.parse_args()
+
+    with open(args.fresh) as f:
+        fresh = condense(json.load(f))
+
+    doc = {}
+    if BENCH.exists():
+        with open(BENCH) as f:
+            doc = json.load(f)
+    doc.setdefault(
+        "comment",
+        "Per-window LP re-solve cost, before (explicit bound rows) and after "
+        "(bounded-variable simplex, implicit bounds); see "
+        "docs/lp-performance.md")
+
+    if args.section == "current" and "baseline" in doc:
+        problems = check_warm_rate(fresh, doc["baseline"])
+        if problems:
+            for p in problems:
+                print(f"update_lp_bench: {p}", file=sys.stderr)
+            return 1
+
+    doc[args.section] = fresh
+
+    with open(BENCH, "w") as f:
+        json.dump(doc, f, indent=2, sort_keys=False)
+        f.write("\n")
+    print(f"updated {BENCH.relative_to(REPO)} section '{args.section}' "
+          f"({len(fresh['benchmarks'])} benchmarks)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
