@@ -17,6 +17,8 @@
 #include <iostream>
 #include <memory>
 
+#include "coord/control_plane.hpp"
+#include "coord/window_driver.hpp"
 #include "core/flow.hpp"
 #include "nodes/l4_redirector.hpp"
 #include "nodes/server.hpp"
@@ -43,14 +45,18 @@ Outcome run_with(const sched::Scheduler* scheduler,
   nodes::Server server(&sim, &metrics, {"s", 0, 320.0, {1, 80}});
   nodes::ServerPool pool;
   pool.add(&server);
-  nodes::L4Redirector redirector(&sim, &metrics, &pool, scheduler, {});
-  redirector.start(100 * kMillisecond);
+  coord::ControlPlane plane(scheduler, {});
+  coord::ControlPlane::Member* member = plane.add_member();
+  nodes::L4Redirector redirector(&sim, &metrics, &pool, member, {});
+  coord::SimWindowDriver driver(&sim, &plane);
+  driver.start(100 * kMillisecond);
   // A lone redirector still needs its aggregation feedback (normally the
   // combining tree): without a snapshot it stays conservative forever.
+  std::uint64_t round = 0;
   sim::PeriodicTask aggregator(&sim, 50 * kMillisecond, 100 * kMillisecond,
-                               [&redirector] {
-                                 redirector.receive_global(
-                                     redirector.local_demand());
+                               [member, &round] {
+                                 member->receive_global(
+                                     round++, member->local_demand());
                                });
 
   nodes::TraceClient client(&sim, &metrics, &redirector, &trace, {}, Rng(9));

@@ -31,7 +31,9 @@ void BM_CombiningTreeRound(benchmark::State& state) {
     for (std::size_t i = 0; i < n; ++i) {
       tree.attach(
           i, [&local] { return local; },
-          [&delivered](const std::vector<double>&) { ++delivered; });
+          [&delivered](std::uint64_t, const std::vector<double>&) {
+            ++delivered;
+          });
     }
     tree.start(0);
     sim.run_until(99);  // exactly one full round per fresh tree
@@ -59,7 +61,9 @@ void BM_PairwiseExchangeRound(benchmark::State& state) {
     for (std::size_t i = 0; i < n; ++i) {
       exchange.attach(
           i, [&local] { return local; },
-          [&delivered](const std::vector<double>&) { ++delivered; });
+          [&delivered](std::uint64_t, const std::vector<double>&) {
+            ++delivered;
+          });
     }
     exchange.start(0);
     sim.run_until(99);  // exactly one round per fresh exchange

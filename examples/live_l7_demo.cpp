@@ -100,10 +100,12 @@ int main() {
                  std::to_string(bronze_bounced)});
   table.print(std::cout);
 
-  std::cout << "\nBoth offer ~40 req/s; gold is far below its 120 req/s "
-               "floor so everything lands on\nthe backend, while bronze is "
-               "clamped to its 20 req/s (10%) ceiling and half of\nits "
-               "stream bounces back for retry.\n";
+  std::cout << "\nBoth offer ~40 req/s; gold sits far below its 120 req/s "
+               "floor, so once the\nconservative first window and the "
+               "budgeted spike re-plans warm the estimator\nit is admitted "
+               "in full, while bronze is clamped to its 20 req/s (10%) "
+               "ceiling\nand about half of its stream bounces back for "
+               "retry.\n";
 
   service.stop();
   running.store(false);

@@ -197,6 +197,67 @@ void audit_sim_event_conservation(std::uint64_t inserted, std::uint64_t popped,
   });
 }
 
+void audit_control_plane_snapshot(bool has_previous,
+                                  std::uint64_t previous_round,
+                                  std::uint64_t round) {
+  if (!has_previous) return;
+  require(round > previous_round, "coord.snapshot-monotone", [&] {
+    return "snapshot round " + std::to_string(round) +
+           " delivered after round " + std::to_string(previous_round) +
+           "; the transport replayed or reordered an aggregate and the "
+           "member would plan against data older than what it already used";
+  });
+}
+
+void audit_control_plane_member_slices(const Matrix& slices,
+                                       const Matrix& plan_rate,
+                                       double share_cap, double window_sec,
+                                       double tol) {
+  require(slices.rows() == plan_rate.rows() &&
+              slices.cols() == plan_rate.cols(),
+          "coord.slice-shape",
+          [&] { return std::string("slice/plan shapes disagree"); });
+  for (std::size_t i = 0; i < slices.rows(); ++i) {
+    for (std::size_t k = 0; k < slices.cols(); ++k) {
+      const double cap = plan_rate(i, k) * share_cap * window_sec;
+      require(slices(i, k) >= -tol &&
+                  slices(i, k) <= cap + tol * (1.0 + std::abs(cap)),
+              "coord.member-slice-cap", [&] {
+                return "cell (" + std::to_string(i) + ", " +
+                       std::to_string(k) + ") slice = " + num(slices(i, k)) +
+                       " but plan " + num(plan_rate(i, k)) + " * share cap " +
+                       num(share_cap) + " * window " + num(window_sec) +
+                       " allows at most " + num(cap) +
+                       "; a redirector is granting itself more than its "
+                       "share of the plan";
+              });
+    }
+  }
+}
+
+void audit_control_plane_slice_sum(const Matrix& slice_sum,
+                                   const Matrix& plan_rate, double window_sec,
+                                   double tol) {
+  require(slice_sum.rows() == plan_rate.rows() &&
+              slice_sum.cols() == plan_rate.cols(),
+          "coord.slice-shape",
+          [&] { return std::string("slice-sum/plan shapes disagree"); });
+  for (std::size_t i = 0; i < slice_sum.rows(); ++i) {
+    for (std::size_t k = 0; k < slice_sum.cols(); ++k) {
+      const double cap = plan_rate(i, k) * window_sec;
+      require(slice_sum(i, k) <= cap + tol * (1.0 + std::abs(cap)),
+              "coord.slice-conservation", [&] {
+                return "cell (" + std::to_string(i) + ", " +
+                       std::to_string(k) +
+                       "): redirector slices sum to " + num(slice_sum(i, k)) +
+                       " but the full plan cell is only " + num(cap) +
+                       "; the conservative 1/R split is over-admitting "
+                       "across redirectors (§5.1 phase 1)";
+              });
+    }
+  }
+}
+
 void audit_quota_carry(double carry) {
   require(carry >= 0.0 && carry < 1.0, "window.carry-range", [&] {
     return "integer-quota error carry is " + num(carry) +

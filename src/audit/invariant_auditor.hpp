@@ -219,6 +219,39 @@ void audit_window_conservation(const Matrix& quota, const Matrix& consumed,
 void audit_quota_carry(double carry);
 
 // ---------------------------------------------------------------------------
+// coord/control_plane: snapshot ordering and cross-redirector quota safety.
+// ---------------------------------------------------------------------------
+
+/// Snapshot rounds delivered to one control-plane member must be strictly
+/// increasing (gaps are fine — abandoned tree rounds). A repeat or a
+/// regression means a transport replayed or reordered an aggregate, and the
+/// member would plan window k against data older than what it already used.
+void audit_control_plane_snapshot(bool has_previous,
+                                  std::uint64_t previous_round,
+                                  std::uint64_t round);
+
+/// One member's window slices against its own plan: every cell must satisfy
+/// 0 <= slice(i, k) <= plan_rate(i, k) * share_cap * window_sec. share_cap
+/// is 1/R in the conservative no-snapshot phase (§5.1 phase 1: nobody may
+/// take more than their redirector-count slice) and 1 once snapshots flow
+/// (the proportional share can legitimately reach 1).
+void audit_control_plane_member_slices(const Matrix& slices,
+                                       const Matrix& plan_rate,
+                                       double share_cap, double window_sec,
+                                       double tol);
+
+/// Cross-member conservation in the conservative no-snapshot phase: the
+/// redirectors' slices of cell (i, k) must sum to at most the full plan cell
+/// plan_rate(i, k) * window_sec — the 1/R split may never hand out more
+/// total quota than one redirector owning the whole plan would. Only valid
+/// before the first snapshot (afterwards local drift over a lagged snapshot
+/// legitimately pushes the share sum past 1; see
+/// WindowScheduler::compute_slices).
+void audit_control_plane_slice_sum(const Matrix& slice_sum,
+                                   const Matrix& plan_rate, double window_sec,
+                                   double tol);
+
+// ---------------------------------------------------------------------------
 // core/flow + core/entitlement: Formulae 1-4 and the capacity partition.
 // ---------------------------------------------------------------------------
 

@@ -103,7 +103,7 @@ void CombiningTree::forward_up(std::uint64_t round, std::size_t node) {
 
 void CombiningTree::broadcast_down(std::uint64_t round, std::size_t node,
                                    const std::vector<double>& aggregate) {
-  if (nodes_[node].receiver) nodes_[node].receiver(aggregate);
+  if (nodes_[node].receiver) nodes_[node].receiver(round, aggregate);
   for (std::size_t child : children_[node]) {
     ++messages_sent_;
     sim_->schedule_after(config_.link_delay,
@@ -146,6 +146,7 @@ void PairwiseExchange::stop() {
 void PairwiseExchange::begin_round() {
   // Every node unicasts its local vector to every other node; receivers sum
   // what arrives within one link delay. n(n-1) messages per round.
+  const std::uint64_t round = next_round_++;
   const std::size_t n = providers_.size();
   std::vector<std::vector<double>> samples(n);
   for (std::size_t i = 0; i < n; ++i) {
@@ -164,8 +165,9 @@ void PairwiseExchange::begin_round() {
       for (std::size_t k = 0; k < config_.vector_size; ++k)
         total[k] += samples[src][k];
     }
-    sim_->schedule_after(config_.link_delay,
-                         [this, dst, total] { receivers_[dst](total); });
+    sim_->schedule_after(config_.link_delay, [this, round, dst, total] {
+      receivers_[dst](round, total);
+    });
   }
 }
 

@@ -35,8 +35,13 @@ class CombiningTree {
  public:
   /// Samples a participant's local contribution at round start.
   using Provider = std::function<std::vector<double>()>;
-  /// Delivers the completed global aggregate to a participant.
-  using Receiver = std::function<void(const std::vector<double>&)>;
+  /// Delivers the completed global aggregate to a participant, tagged with
+  /// the originating round. Uniform link delays mean rounds complete in
+  /// start order, so receivers observe strictly increasing round numbers
+  /// (with gaps where rounds were abandoned) — the monotonicity the
+  /// control-plane audit pins.
+  using Receiver =
+      std::function<void(std::uint64_t round, const std::vector<double>&)>;
 
   CombiningTree(sim::Simulator* sim, TreeTopology topology, TreeConfig config);
 
@@ -120,6 +125,7 @@ class PairwiseExchange {
   std::vector<CombiningTree::Provider> providers_;
   std::vector<CombiningTree::Receiver> receivers_;
   std::unique_ptr<sim::PeriodicTask> task_;
+  std::uint64_t next_round_ = 0;
   std::uint64_t messages_sent_ = 0;
 };
 

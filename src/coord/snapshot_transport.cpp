@@ -1,0 +1,123 @@
+#include "coord/snapshot_transport.hpp"
+
+#include <utility>
+
+#include "util/assert.hpp"
+
+namespace sharegrid::coord {
+namespace {
+
+TreeConfig tree_config_for(std::size_t vector_size,
+                           const SimTreeTransport::Options& options) {
+  TreeConfig config;
+  config.period = options.period;
+  config.link_delay = options.link_delay;
+  config.vector_size = vector_size;
+  return config;
+}
+
+TreeTopology topology_for(std::size_t member_count,
+                          const SimTreeTransport::Options& options) {
+  // Members hang off a virtual root (node 0) so every one of them sees the
+  // same aggregate lag; fanout >= 2 folds them into a balanced tree whose
+  // interior members both contribute and combine (§3.2).
+  SHAREGRID_EXPECTS(options.fanout == 0 || options.fanout >= 2);
+  return options.fanout == 0
+             ? TreeTopology::star(member_count + 1)
+             : TreeTopology::balanced(member_count + 1, options.fanout);
+}
+
+}  // namespace
+
+SimTreeTransport::SimTreeTransport(sim::Simulator* sim,
+                                   std::size_t member_count,
+                                   std::size_t vector_size, Options options)
+    : member_count_(member_count),
+      options_(options),
+      tree_(sim, topology_for(member_count, options),
+            tree_config_for(vector_size, options)) {
+  SHAREGRID_EXPECTS(member_count >= 1);
+}
+
+void SimTreeTransport::attach(std::size_t member, Provider provider,
+                              Receiver receiver) {
+  SHAREGRID_EXPECTS(member < member_count_);
+  tree_.attach(member + 1, std::move(provider), std::move(receiver));
+}
+
+void SimTreeTransport::start() { tree_.start(options_.first_round); }
+
+void SimTreeTransport::stop() { tree_.stop(); }
+
+InProcessTransport::InProcessTransport(std::size_t member_count,
+                                       std::size_t vector_size)
+    : vector_size_(vector_size),
+      providers_(member_count),
+      receivers_(member_count),
+      sum_scratch_(vector_size, 0.0) {
+  SHAREGRID_EXPECTS(member_count >= 1);
+  SHAREGRID_EXPECTS(vector_size >= 1);
+}
+
+void InProcessTransport::attach(std::size_t member, Provider provider,
+                                Receiver receiver) {
+  SHAREGRID_EXPECTS(member < providers_.size());
+  providers_[member] = std::move(provider);
+  receivers_[member] = std::move(receiver);
+}
+
+void InProcessTransport::start() { started_ = true; }
+
+void InProcessTransport::stop() { started_ = false; }
+
+void InProcessTransport::exchange() {
+  if (!started_) return;
+  const std::size_t r = providers_.size();
+  // Sample every provider before delivering anywhere: receivers must all see
+  // the same instant, exactly like the event tree sampling at round start.
+  std::vector<double>& sum = sum_scratch_;
+  sum.assign(vector_size_, 0.0);
+  for (std::size_t m = 0; m < r; ++m) {
+    if (!providers_[m]) continue;
+    const std::vector<double> local = providers_[m]();
+    SHAREGRID_ASSERT(local.size() == vector_size_);
+    for (std::size_t i = 0; i < vector_size_; ++i) sum[i] += local[i];
+  }
+  const std::uint64_t round = next_round_++;
+  for (std::size_t m = 0; m < r; ++m) {
+    if (receivers_[m]) receivers_[m](round, sum);
+  }
+  // Star accounting: R reports up to the virtual root, R broadcasts down.
+  messages_sent_ += 2 * static_cast<std::uint64_t>(r);
+  ++rounds_completed_;
+}
+
+SocketTransport::SocketTransport(std::size_t member_count,
+                                 std::size_t vector_size, Options options)
+    : vector_size_(vector_size),
+      options_(std::move(options)),
+      providers_(member_count),
+      receivers_(member_count) {
+  SHAREGRID_EXPECTS(member_count >= 1);
+  SHAREGRID_EXPECTS(vector_size >= 1);
+}
+
+void SocketTransport::attach(std::size_t member, Provider provider,
+                             Receiver receiver) {
+  SHAREGRID_EXPECTS(member < providers_.size());
+  providers_[member] = std::move(provider);
+  receivers_[member] = std::move(receiver);
+}
+
+void SocketTransport::start() {
+  (void)vector_size_;
+  throw ContractViolation(
+      "SocketTransport: cross-host snapshot exchange is not implemented yet; "
+      "use InProcessTransport for single-process deployments or "
+      "SimTreeTransport under the simulator (" +
+      std::to_string(options_.peers.size()) + " peers configured)");
+}
+
+void SocketTransport::stop() {}
+
+}  // namespace sharegrid::coord

@@ -1,0 +1,82 @@
+// Clock drivers for the control plane (the tentpole seam of DESIGN.md D10).
+//
+// ControlPlane knows nothing about time; these two shims decide when window
+// boundaries happen:
+//
+//  * SimWindowDriver — one PeriodicTask per member on the DES Simulator, in
+//    member-index order, so event sequence numbers (and therefore D4
+//    bit-reproducibility) match the historical per-redirector wiring.
+//  * WallClockDriver — clock-agnostic window roller for the live stack: the
+//    caller polls with the current time in microseconds (steady_clock in
+//    production, a fake in tests), elapsed windows are advanced with bounded
+//    catch-up, and the in-process snapshot exchange runs on a configurable
+//    window cadence after the new window's quotas are in place (so window k
+//    plans against the aggregate sampled at the end of window k-1 — the
+//    same one-window snapshot lag a zero-delay sim tree produces).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "coord/control_plane.hpp"
+#include "coord/snapshot_transport.hpp"
+#include "sim/simulator.hpp"
+#include "util/time.hpp"
+
+namespace sharegrid::coord {
+
+/// DES driver: periodic window tasks on the simulator.
+class SimWindowDriver {
+ public:
+  SimWindowDriver(sim::Simulator* sim, ControlPlane* plane);
+
+  /// Creates one PeriodicTask per member (member-index order — load-bearing
+  /// for D4: creation order fixes equal-time event ordering) firing every
+  /// plane window starting at @p first_window.
+  void start(SimTime first_window);
+  void stop();
+
+ private:
+  sim::Simulator* sim_;
+  ControlPlane* plane_;
+  std::vector<std::unique_ptr<sim::PeriodicTask>> tasks_;
+};
+
+/// Live driver: rolls wall-clock windows on poll(). Not internally
+/// synchronized — the admission facade above it holds the mutex.
+class WallClockDriver {
+ public:
+  struct Options {
+    /// Scheduling window in microseconds.
+    std::int64_t window_usec = 100000;
+    /// Idle-gap bound: at most this many windows advance per poll.
+    std::int64_t max_catchup = 16;
+    /// Run a snapshot exchange every this many windows (>= 1).
+    std::int64_t snapshot_period_windows = 1;
+  };
+
+  /// @param transport in-process exchange to run on window cadence; may be
+  ///                  nullptr (members then stay on their stale policy).
+  WallClockDriver(ControlPlane* plane, InProcessTransport* transport,
+                  Options options);
+
+  /// Re-anchors the window clock at @p now_usec (call when serving starts).
+  void reset(std::int64_t now_usec);
+
+  /// Advances every window boundary that elapsed by @p now_usec; returns how
+  /// many windows were rolled. The first poll always opens a window.
+  std::int64_t poll(std::int64_t now_usec);
+
+  std::uint64_t windows_begun() const { return windows_begun_; }
+
+ private:
+  ControlPlane* plane_;
+  InProcessTransport* transport_;
+  Options options_;
+  std::int64_t window_start_usec_ = 0;
+  bool first_window_done_ = false;
+  std::uint64_t windows_begun_ = 0;
+};
+
+}  // namespace sharegrid::coord

@@ -4,7 +4,9 @@
 #include <memory>
 #include <utility>
 
-#include "coord/combining_tree.hpp"
+#include "coord/control_plane.hpp"
+#include "coord/snapshot_transport.hpp"
+#include "coord/window_driver.hpp"
 #include "core/flow.hpp"
 #include "nodes/client.hpp"
 #include "nodes/l4_redirector.hpp"
@@ -143,82 +145,69 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
     pool.add(servers.back().get());
   }
 
+  // --- Control plane -------------------------------------------------------
+  // One ControlPlane owns the full window loop (DESIGN.md D10); each
+  // redirector node is a thin packet/HTTP shell around one of its members.
+  coord::ControlPlaneConfig cp_config;
+  cp_config.window = config.window;
+  cp_config.redirector_count = config.redirector_count;
+  cp_config.stale_policy = config.stale_policy;
+  cp_config.spike_replan_limit = config.spike_replan_limit;
+  cp_config.on_spike_replan = [&metrics] { metrics.on_spike_replan(); };
+  cp_config.on_replan_suppressed = [&metrics] {
+    metrics.on_replan_suppressed();
+  };
+  coord::ControlPlane plane(scheduler.get(), cp_config);
+
   nodes::WindowTrace trace;
   nodes::WindowTrace* trace_ptr = config.trace_windows ? &trace : nullptr;
   std::vector<std::unique_ptr<nodes::L7Redirector>> l7s;
   std::vector<std::unique_ptr<nodes::L4Redirector>> l4s;
   std::vector<nodes::RedirectorBase*> redirectors;
   for (std::size_t r = 0; r < config.redirector_count; ++r) {
+    coord::ControlPlane::Member* member = plane.add_member();
     if (config.layer == Layer::kL7) {
       nodes::L7Redirector::Config rc;
       rc.name = "l7-" + std::to_string(r);
-      rc.window = config.window;
-      rc.redirector_count = config.redirector_count;
       rc.mode = config.l7_mode;
       rc.net_delay = config.net_delay;
       rc.weighted_admission = config.weighted_admission;
-      rc.stale_policy = config.stale_policy;
       rc.trace = trace_ptr;
       l7s.push_back(std::make_unique<nodes::L7Redirector>(
-          &sim, &metrics, &pool, scheduler.get(), rc));
+          &sim, &metrics, &pool, member, rc));
       redirectors.push_back(l7s.back().get());
     } else {
       nodes::L4Redirector::Config rc;
       rc.name = "l4-" + std::to_string(r);
-      rc.window = config.window;
-      rc.redirector_count = config.redirector_count;
       rc.net_delay = config.net_delay;
       rc.weighted_admission = config.weighted_admission;
-      rc.stale_policy = config.stale_policy;
       rc.trace = trace_ptr;
       l4s.push_back(std::make_unique<nodes::L4Redirector>(
-          &sim, &metrics, &pool, scheduler.get(), rc));
+          &sim, &metrics, &pool, member, rc));
       redirectors.push_back(l4s.back().get());
     }
   }
 
-  // --- Combining tree ------------------------------------------------------
+  // --- Snapshot transport + window driver ----------------------------------
   // Redirectors hang as leaves off a virtual root so every one of them sees
   // the same aggregate lag of 2 * link_delay.
-  coord::TreeConfig tree_config;
-  tree_config.period =
+  coord::SimTreeTransport::Options tree_options;
+  tree_options.period =
       config.tree_period > 0 ? config.tree_period : config.window;
-  tree_config.link_delay = config.tree_link_delay;
-  tree_config.vector_size = n;
-  SHAREGRID_EXPECTS(config.tree_fanout == 0 || config.tree_fanout >= 2);
-  const coord::TreeTopology topology =
-      config.tree_fanout == 0
-          ? coord::TreeTopology::star(config.redirector_count + 1)
-          : coord::TreeTopology::balanced(config.redirector_count + 1,
-                                          config.tree_fanout);
-  coord::CombiningTree tree(&sim, topology, tree_config);
-  for (std::size_t r = 0; r < config.redirector_count; ++r) {
-    coord::CombiningTree::Provider provider;
-    coord::CombiningTree::Receiver receiver;
-    if (config.layer == Layer::kL7) {
-      nodes::L7Redirector* node = l7s[r].get();
-      provider = [node] { return node->local_demand(); };
-      receiver = [node](const std::vector<double>& v) {
-        node->receive_global(v);
-      };
-    } else {
-      nodes::L4Redirector* node = l4s[r].get();
-      provider = [node] { return node->local_demand(); };
-      receiver = [node](const std::vector<double>& v) {
-        node->receive_global(v);
-      };
-    }
-    tree.attach(r + 1, std::move(provider), std::move(receiver));
-  }
+  tree_options.link_delay = config.tree_link_delay;
+  tree_options.fanout = config.tree_fanout;
   // Aggregation rounds interleave halfway between scheduling windows so a
   // zero-delay tree still feeds each window the freshest possible snapshot.
-  tree.start(config.window / 2);
-  for (std::size_t r = 0; r < config.redirector_count; ++r) {
-    if (config.layer == Layer::kL7)
-      l7s[r]->start(config.window);
-    else
-      l4s[r]->start(config.window);
-  }
+  tree_options.first_round = config.window / 2;
+  coord::SimTreeTransport transport(&sim, config.redirector_count, n,
+                                    tree_options);
+  plane.connect(&transport);
+  // Task creation order is load-bearing (D4): the tree's periodic task must
+  // exist before the member window tasks so equal-time events fire in the
+  // historical order and figure output stays bit-identical.
+  transport.start();
+  coord::SimWindowDriver driver(&sim, &plane);
+  driver.start(config.window);
 
   // --- Clients and phase schedule ------------------------------------------
   // One shared WebBench-style size model; per-client RNG streams keep runs
@@ -278,7 +267,8 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
                                     backlog_samples.add(worst);
                                   });
   sim.run_until(seconds(config.duration_sec));
-  tree.stop();
+  transport.stop();
+  driver.stop();
   backlog_probe.cancel();
 
   // --- Report ----------------------------------------------------------------
@@ -287,7 +277,7 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
                         .phase_reports = {},
                         .total_admitted = 0,
                         .total_rejected_or_queued = 0,
-                        .coordination_messages = tree.messages_sent(),
+                        .coordination_messages = transport.messages_sent(),
                         .server_backlog_sec = backlog_samples,
                         .window_trace = std::move(trace)};
   for (core::PrincipalId p = 0; p < n; ++p)

@@ -1,5 +1,6 @@
 #include "experiments/scenario_ini.hpp"
 
+#include <cmath>
 #include <sstream>
 
 #include "util/assert.hpp"
@@ -104,6 +105,35 @@ ScenarioConfig scenario_from_ini(const IniDocument& doc) {
     config.max_outstanding = static_cast<std::size_t>(*cap);
   if (const auto weighted = g.get_bool("weighted_admission"))
     config.weighted_admission = *weighted;
+
+  // --- Control plane ---------------------------------------------------------
+  // Optional [control_plane] section: coordination knobs for the unified
+  // window loop (docs/control-plane.md).
+  const auto cp_sections = doc.all("control_plane");
+  if (cp_sections.size() > 1)
+    fail("at most one [control_plane] section is allowed");
+  if (!cp_sections.empty()) {
+    const IniSection& cp = *cp_sections.front();
+    if (const auto fanout = cp.get_double("tree_fanout")) {
+      if (*fanout != 0.0 && *fanout < 2.0)
+        fail("control_plane.tree_fanout must be 0 (star) or >= 2, got " +
+             std::to_string(*fanout));
+      config.tree_fanout = static_cast<std::size_t>(*fanout);
+    }
+    if (const auto period_ms = cp.get_double("snapshot_period_ms")) {
+      if (!(*period_ms > 0.0))
+        fail("control_plane.snapshot_period_ms must be > 0, got " +
+             std::to_string(*period_ms));
+      config.tree_period = milliseconds(*period_ms);
+    }
+    if (const auto limit = cp.get_double("spike_replan_limit")) {
+      if (!std::isfinite(*limit) || *limit < 0.0)
+        fail("control_plane.spike_replan_limit must be finite and >= 0, "
+             "got " +
+             std::to_string(*limit));
+      config.spike_replan_limit = *limit;
+    }
+  }
 
   // --- Principals + prices --------------------------------------------------
   const auto principals = doc.all("principal");

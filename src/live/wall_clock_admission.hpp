@@ -1,96 +1,146 @@
-// Wall-clock window admission shared by the live L7 service and L4 proxy.
+// Wall-clock admission facade shared by the live L7 service and L4 proxy.
 //
-// Bridges the simulation-oriented WindowScheduler to real time: scheduling
-// windows advance with std::chrono::steady_clock, arrivals feed EWMA demand
-// estimators, and a demand-spike fast path re-plans the current window when
-// a cold estimator would otherwise starve a principal whose load just
-// appeared. Thread-safe; a single live node is its own global view.
+// The window loop itself — demand estimators, snapshot exchange, plan solve,
+// proportional slices, integer quotas — is coord::ControlPlane, the same
+// implementation the DES experiments run (DESIGN.md D10). This facade is the
+// thin live-side driver: it owns the steady_clock, serializes every call
+// behind one mutex, rolls elapsed windows through a WallClockDriver, and
+// runs multi-redirector snapshot exchange over an InProcessTransport (the
+// cross-host SocketTransport is stubbed behind the same seam). A demand-
+// spike fast path re-plans the current window when a cold estimator would
+// otherwise starve a principal whose load just appeared, bounded by the
+// control plane's per-window re-plan budget.
 #pragma once
 
-#include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <mutex>
 #include <optional>
 #include <vector>
 
-#include "sched/window_scheduler.hpp"
+#include "coord/control_plane.hpp"
+#include "coord/snapshot_transport.hpp"
+#include "coord/window_driver.hpp"
+#include "sched/scheduler.hpp"
 
 namespace sharegrid::live {
 
-/// Thread-safe, wall-clock-driven admission facade over WindowScheduler.
+/// Thread-safe, wall-clock-driven admission facade over the control plane.
 class WallClockAdmission {
  public:
-  /// @param scheduler    planning logic (not owned).
-  /// @param window_usec  scheduling window in wall-clock microseconds.
+  struct Config {
+    /// Scheduling window in wall-clock microseconds (paper: 100 ms).
+    std::int64_t window_usec = 100000;
+    /// Redirector instances sharing this process (one control-plane member
+    /// each); their demand vectors are combined through the in-process
+    /// transport every `snapshot_period_windows` windows.
+    std::size_t redirector_count = 1;
+    /// Mid-window spike re-plans allowed per member per window; fractional
+    /// rates are error-carried, 0 disables the fast path.
+    double spike_replan_limit = 1.0;
+    /// Snapshot exchange cadence in windows (>= 1).
+    std::int64_t snapshot_period_windows = 1;
+    /// Idle-gap bound: at most this many windows advance per poll.
+    std::int64_t max_catchup = 16;
+    /// Observability hooks (optional), forwarded to the control plane.
+    std::function<void()> on_spike_replan;
+    std::function<void()> on_replan_suppressed;
+  };
+
+  /// @param scheduler planning logic (not owned).
+  WallClockAdmission(const sched::Scheduler* scheduler, Config config)
+      : transport_(config.redirector_count, scheduler->size()),
+        plane_(scheduler, plane_config(config)),
+        driver_(&plane_, &transport_, driver_options(config)),
+        epoch_(std::chrono::steady_clock::now()) {
+    for (std::size_t r = 0; r < config.redirector_count; ++r)
+      members_.push_back(plane_.add_member());
+    plane_.connect(&transport_);
+    transport_.start();
+  }
+
+  /// Single-member shorthand (the historical live-node constructor).
   WallClockAdmission(const sched::Scheduler* scheduler,
                      std::int64_t window_usec)
-      : window_usec_(window_usec),
-        window_(scheduler, window_usec, /*redirector_count=*/1),
-        estimators_(scheduler->size(), sched::ArrivalEstimator(0.3)),
-        arrivals_(scheduler->size(), 0.0),
-        window_start_(std::chrono::steady_clock::now()) {
-    SHAREGRID_EXPECTS(window_usec > 0);
-  }
+      : WallClockAdmission(scheduler, single_node(window_usec)) {}
 
   /// Resets the window clock (call when the service starts serving).
   void reset_clock() {
     std::lock_guard<std::mutex> lock(mutex_);
-    window_start_ = std::chrono::steady_clock::now();
+    driver_.reset(now_usec());
   }
 
-  /// Records one arrival for @p principal and attempts admission; returns
-  /// the resource owner to route to, or nullopt when out of quota.
-  std::optional<core::PrincipalId> try_admit(core::PrincipalId principal) {
+  /// Records one arrival for @p principal at member @p member_index and
+  /// attempts admission; returns the resource owner to route to, or nullopt
+  /// when out of quota. Out-of-quota requests try the demand-spike fast path
+  /// once, within the per-window re-plan budget.
+  std::optional<core::PrincipalId> try_admit(std::size_t member_index,
+                                             core::PrincipalId principal) {
     std::lock_guard<std::mutex> lock(mutex_);
-    roll_windows();
-    arrivals_[principal] += 1.0;
-    if (const auto owner = window_.try_admit(principal)) return owner;
+    driver_.poll(now_usec());
+    coord::ControlPlane::Member* member = members_[member_index];
+    member->record_arrival(principal, 1.0);
+    if (const auto owner = member->try_admit(principal)) return owner;
+    if (!member->spike_replan()) return std::nullopt;
+    return member->try_admit(principal);
+  }
 
-    // Demand-spike fast path: the window's quota came from the previous
-    // window's estimates, which starve a principal whose load just
-    // appeared. Re-plan against demand including arrivals seen so far;
-    // replan() preserves consumption, so sustained over-demand still
-    // bounces.
-    const double window_sec = static_cast<double>(window_usec_) / 1e6;
-    std::vector<double> demand(estimators_.size(), 0.0);
-    for (std::size_t i = 0; i < estimators_.size(); ++i)
-      demand[i] = std::max(estimators_[i].rate(), arrivals_[i] / window_sec);
-    window_.replan(demand, {demand, true});
-    return window_.try_admit(principal);
+  /// Member-0 shorthand for single-redirector services.
+  std::optional<core::PrincipalId> try_admit(core::PrincipalId principal) {
+    return try_admit(0, principal);
+  }
+
+  std::size_t member_count() const { return members_.size(); }
+  /// Introspection for tests/metrics; do not call concurrently with
+  /// try_admit (the accessors are lock-free snapshots of counters).
+  const coord::ControlPlane& plane() const { return plane_; }
+  const coord::ControlPlane::Member& member(std::size_t i) const {
+    return *members_[i];
+  }
+  std::uint64_t windows_begun() const { return driver_.windows_begun(); }
+  std::uint64_t snapshot_rounds() const {
+    return transport_.rounds_completed();
   }
 
  private:
-  /// Advances elapsed wall-clock windows (bounded catch-up on idle gaps).
-  void roll_windows() {
-    const auto now = std::chrono::steady_clock::now();
-    auto elapsed = std::chrono::duration_cast<std::chrono::microseconds>(
-                       now - window_start_)
-                       .count() /
-                   window_usec_;
-    if (!first_window_done_) elapsed = std::max<std::int64_t>(elapsed, 1);
-    elapsed = std::min<std::int64_t>(elapsed, 16);
-    for (std::int64_t w = 0; w < elapsed; ++w) {
-      std::vector<double> demand(estimators_.size(), 0.0);
-      for (std::size_t i = 0; i < estimators_.size(); ++i) {
-        estimators_[i].observe(arrivals_[i], window_usec_);
-        arrivals_[i] = 0.0;
-        demand[i] = estimators_[i].rate();
-      }
-      // A single live node is its own global view.
-      window_.begin_window(demand, {demand, true});
-      first_window_done_ = true;
-    }
-    if (elapsed > 0) window_start_ = now;
+  static Config single_node(std::int64_t window_usec) {
+    Config config;
+    config.window_usec = window_usec;
+    return config;
   }
 
-  std::int64_t window_usec_;
+  static coord::ControlPlaneConfig plane_config(const Config& config) {
+    SHAREGRID_EXPECTS(config.window_usec > 0);
+    coord::ControlPlaneConfig plane;
+    plane.window = config.window_usec;  // SimTime ticks are microseconds
+    plane.redirector_count = config.redirector_count;
+    plane.spike_replan_limit = config.spike_replan_limit;
+    plane.on_spike_replan = config.on_spike_replan;
+    plane.on_replan_suppressed = config.on_replan_suppressed;
+    return plane;
+  }
+
+  static coord::WallClockDriver::Options driver_options(
+      const Config& config) {
+    coord::WallClockDriver::Options options;
+    options.window_usec = config.window_usec;
+    options.max_catchup = config.max_catchup;
+    options.snapshot_period_windows = config.snapshot_period_windows;
+    return options;
+  }
+
+  std::int64_t now_usec() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               std::chrono::steady_clock::now() - epoch_)
+        .count();
+  }
+
   std::mutex mutex_;
-  sched::WindowScheduler window_;
-  std::vector<sched::ArrivalEstimator> estimators_;
-  std::vector<double> arrivals_;
-  std::chrono::steady_clock::time_point window_start_;
-  bool first_window_done_ = false;
+  coord::InProcessTransport transport_;
+  coord::ControlPlane plane_;
+  coord::WallClockDriver driver_;
+  std::vector<coord::ControlPlane::Member*> members_;
+  std::chrono::steady_clock::time_point epoch_;
 };
 
 }  // namespace sharegrid::live

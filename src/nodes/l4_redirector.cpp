@@ -9,27 +9,47 @@ namespace sharegrid::nodes {
 
 L4Redirector::L4Redirector(sim::Simulator* sim, Metrics* metrics,
                            ServerPool* servers,
-                           const sched::Scheduler* scheduler, Config config)
+                           coord::ControlPlane::Member* member, Config config)
     : sim_(sim),
       metrics_(metrics),
       servers_(servers),
-      config_(std::move(config)),
-      window_(scheduler, config_.window, config_.redirector_count,
-              config_.stale_policy) {
+      member_(member),
+      config_(std::move(config)) {
   SHAREGRID_EXPECTS(sim != nullptr);
   SHAREGRID_EXPECTS(metrics != nullptr);
   SHAREGRID_EXPECTS(servers != nullptr);
-  const std::size_t n = scheduler->size();
+  SHAREGRID_EXPECTS(member != nullptr);
+  const std::size_t n = member_->size();
   queues_.resize(n);
-  estimators_.assign(n, sched::ArrivalEstimator(config_.estimator_alpha));
-  arrivals_this_window_.assign(n, 0.0);
   in_flight_.assign(n, 0.0);
-}
 
-void L4Redirector::start(SimTime first_window) {
-  SHAREGRID_EXPECTS(window_task_ == nullptr);
-  window_task_ = std::make_unique<sim::PeriodicTask>(
-      sim_, first_window, config_.window, [this] { begin_window(); });
+  coord::ControlPlane::MemberHooks hooks;
+  // The user-space daemon reports the smoothed arrival rate plus the queued
+  // backlog amortized over a one-second drain horizon. Charging the whole
+  // backlog to a single window would let a handful of queued SYNs inflate a
+  // principal's apparent demand by hundreds of req/s, systematically
+  // over-claiming capacity from its peers.
+  hooks.extra_demand = [this](std::vector<double>& demand) {
+    constexpr double kDrainHorizonSec = 1.0;
+    // In-flight up to 50 ms worth of the arrival rate is normal pipelining
+    // (network hops + service time) and must not read as backlog.
+    constexpr double kInFlightAllowanceSec = 0.05;
+    for (std::size_t i = 0; i < demand.size(); ++i) {
+      // Arrival rate + kernel-queue backlog + *excess* admitted-but-unreplied
+      // work. The last term keeps latent demand visible when a transient
+      // parked requests in a server's FIFO: those connections hold client
+      // slots, so without it the closed loop settles wherever the transient
+      // left it, below the agreement levels.
+      const double rate = demand[i];
+      const double excess_in_flight =
+          std::max(0.0, in_flight_[i] - rate * kInFlightAllowanceSec);
+      demand[i] = rate + (static_cast<double>(queues_[i].size()) +
+                          excess_in_flight) /
+                             kDrainHorizonSec;
+    }
+  };
+  hooks.on_window_begun = [this](SimTime now) { on_window_begun(now); };
+  member_->bind(std::move(hooks));
 }
 
 void L4Redirector::on_client_request(const Request& request,
@@ -58,7 +78,8 @@ void L4Redirector::on_packet(const l4::Packet& packet, RequestSource* from) {
   request.created = sim_->now();
   request.client = packet.src.host - 0x0C000000u;
 
-  arrivals_this_window_[p] += config_.weighted_admission ? packet.weight : 1.0;
+  member_->record_arrival(
+      p, config_.weighted_admission ? packet.weight : 1.0);
 
   Held held{packet, request, from};
   if (try_forward(held)) return;
@@ -77,7 +98,7 @@ bool L4Redirector::try_forward(const Held& held) {
   const core::PrincipalId p = held.request.principal;
   const double weight =
       config_.weighted_admission ? held.request.weight : 1.0;
-  const auto owner = window_.try_admit(p, weight);
+  const auto owner = member_->try_admit(p, weight);
   if (!owner) return false;
 
   Server* server = nullptr;
@@ -130,24 +151,18 @@ void L4Redirector::forward_to(const Held& held, Server* server) {
   });
 }
 
-void L4Redirector::begin_window() {
+void L4Redirector::on_window_begun(SimTime now) {
   const std::size_t n = queues_.size();
-  for (std::size_t i = 0; i < n; ++i) {
-    estimators_[i].observe(arrivals_this_window_[i], config_.window);
-    arrivals_this_window_[i] = 0.0;
-  }
-
-  const std::vector<double> demand = local_demand();
-  window_.begin_window(demand, global_);
   if (config_.trace != nullptr) {
+    const sched::WindowScheduler& window = member_->window_scheduler();
     WindowTrace::Row row;
-    row.window_start = sim_->now();
+    row.window_start = now;
     row.redirector = config_.name;
-    row.local_demand = demand;
-    if (global_.valid) row.global_demand = global_.demand;
-    row.theta = window_.last_plan().theta;
+    row.local_demand = member_->last_local_demand();
+    if (member_->global().valid) row.global_demand = member_->global().demand;
+    row.theta = window.last_plan().theta;
     for (std::size_t i = 0; i < n; ++i)
-      row.planned_rate.push_back(window_.last_plan().admitted(i));
+      row.planned_rate.push_back(window.last_plan().admitted(i));
     config_.trace->record(std::move(row));
   }
 
@@ -161,35 +176,7 @@ void L4Redirector::begin_window() {
 }
 
 std::vector<double> L4Redirector::local_demand() const {
-  // The user-space daemon reports the smoothed arrival rate plus the queued
-  // backlog amortized over a one-second drain horizon. Charging the whole
-  // backlog to a single window would let a handful of queued SYNs inflate a
-  // principal's apparent demand by hundreds of req/s, systematically
-  // over-claiming capacity from its peers.
-  constexpr double kDrainHorizonSec = 1.0;
-  // In-flight up to 50 ms worth of the arrival rate is normal pipelining
-  // (network hops + service time) and must not read as backlog.
-  constexpr double kInFlightAllowanceSec = 0.05;
-  std::vector<double> demand(queues_.size(), 0.0);
-  for (std::size_t i = 0; i < demand.size(); ++i) {
-    // Arrival rate + kernel-queue backlog + *excess* admitted-but-unreplied
-    // work. The last term keeps latent demand visible when a transient
-    // parked requests in a server's FIFO: those connections hold client
-    // slots, so without it the closed loop settles wherever the transient
-    // left it, below the agreement levels.
-    const double rate = estimators_[i].rate();
-    const double excess_in_flight =
-        std::max(0.0, in_flight_[i] - rate * kInFlightAllowanceSec);
-    demand[i] = rate + (static_cast<double>(queues_[i].size()) +
-                        excess_in_flight) /
-                           kDrainHorizonSec;
-  }
-  return demand;
-}
-
-void L4Redirector::receive_global(const std::vector<double>& aggregate) {
-  global_.demand = aggregate;
-  global_.valid = true;
+  return member_->local_demand();
 }
 
 std::size_t L4Redirector::queue_length(core::PrincipalId p) const {

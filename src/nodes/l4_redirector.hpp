@@ -9,6 +9,10 @@
 // ever see the virtual address. New connections prefer the server that last
 // served the same client (affinity, e.g. for SSL session reuse) whenever the
 // admission decision lands on the same owner.
+//
+// The window loop — estimators, snapshots, plan, quotas — lives in
+// coord::ControlPlane (DESIGN.md D10); this node owns the packet path and
+// what the kernel queue / in-flight connections contribute to demand.
 #pragma once
 
 #include <cstdint>
@@ -17,13 +21,13 @@
 #include <string>
 #include <vector>
 
+#include "coord/control_plane.hpp"
 #include "l4/connection_table.hpp"
 #include "l4/packet.hpp"
 #include "nodes/client.hpp"
 #include "nodes/metrics.hpp"
 #include "nodes/server.hpp"
 #include "nodes/window_trace.hpp"
-#include "sched/window_scheduler.hpp"
 #include "sim/simulator.hpp"
 
 namespace sharegrid::nodes {
@@ -33,24 +37,20 @@ class L4Redirector final : public RedirectorBase {
  public:
   struct Config {
     std::string name;
-    SimDuration window = 100 * kMillisecond;
-    std::size_t redirector_count = 1;
     SimDuration net_delay = 500;  ///< one-way per-hop delay (usec)
     std::size_t max_queue = 1 << 16;  ///< kernel queue bound per principal
-    double estimator_alpha = 0.3;
     bool weighted_admission = false;
     bool use_affinity = true;
-    /// Behaviour before the first combining-tree aggregate arrives.
-    sched::StalePolicy stale_policy = sched::StalePolicy::kConservative;
     /// Optional per-window decision log (not owned; may be shared).
     WindowTrace* trace = nullptr;
   };
 
+  /// @param member this node's control-plane slice (not owned). The node
+  ///               binds its demand/window hooks in the ctor; a member can
+  ///               belong to exactly one node.
   L4Redirector(sim::Simulator* sim, Metrics* metrics, ServerPool* servers,
-               const sched::Scheduler* scheduler, Config config);
+               coord::ControlPlane::Member* member, Config config);
   ~L4Redirector() override { *alive_ = false; }
-
-  void start(SimTime first_window);
 
   /// Virtual service endpoint for a principal's service (what clients dial).
   static l4::Endpoint vip(core::PrincipalId principal) {
@@ -63,15 +63,17 @@ class L4Redirector final : public RedirectorBase {
   /// Packet-level entry point (also used directly by tests).
   void on_packet(const l4::Packet& packet, RequestSource* from);
 
-  /// Combining-tree hooks.
+  /// Local demand estimate; delegates to the control plane (kept for tests).
   std::vector<double> local_demand() const;
-  void receive_global(const std::vector<double>& aggregate);
 
   std::size_t queue_length(core::PrincipalId p) const;
   std::uint64_t drops() const { return drops_; }
   std::uint64_t admitted() const { return admitted_; }
   const l4::ConnectionTable& connections() const { return table_; }
-  const sched::WindowScheduler& window_scheduler() const { return window_; }
+  const sched::WindowScheduler& window_scheduler() const {
+    return member_->window_scheduler();
+  }
+  coord::ControlPlane::Member* member() { return member_; }
 
  private:
   struct Held {
@@ -80,7 +82,7 @@ class L4Redirector final : public RedirectorBase {
     RequestSource* from;
   };
 
-  void begin_window();
+  void on_window_begun(SimTime now);
   /// Admission decision for a SYN; true when forwarded.
   bool try_forward(const Held& held);
   void forward_to(const Held& held, Server* server);
@@ -88,20 +90,16 @@ class L4Redirector final : public RedirectorBase {
   sim::Simulator* sim_;
   Metrics* metrics_;
   ServerPool* servers_;
+  coord::ControlPlane::Member* member_;
   Config config_;
-  sched::WindowScheduler window_;
   l4::ConnectionTable table_;
   std::vector<std::deque<Held>> queues_;
-  std::vector<sched::ArrivalEstimator> estimators_;
-  std::vector<double> arrivals_this_window_;
-  sched::GlobalDemand global_;
   /// Admitted connections whose replies have not come back yet, per
   /// principal. Under healthy operation this is a handful (service time x
   /// rate); when transient over-admission piles work into a server's FIFO,
   /// these requests still hold client slots and must count as demand or the
   /// closed loop locks in below the agreement levels.
   std::vector<double> in_flight_;
-  std::unique_ptr<sim::PeriodicTask> window_task_;
 
   std::uint64_t drops_ = 0;
   std::uint64_t admitted_ = 0;

@@ -8,60 +8,54 @@ namespace sharegrid::nodes {
 
 L7Redirector::L7Redirector(sim::Simulator* sim, Metrics* metrics,
                            ServerPool* servers,
-                           const sched::Scheduler* scheduler, Config config)
+                           coord::ControlPlane::Member* member, Config config)
     : sim_(sim),
       metrics_(metrics),
       servers_(servers),
-      config_(std::move(config)),
-      window_(scheduler, config_.window, config_.redirector_count,
-              config_.stale_policy) {
+      member_(member),
+      config_(std::move(config)) {
   SHAREGRID_EXPECTS(sim != nullptr);
   SHAREGRID_EXPECTS(metrics != nullptr);
   SHAREGRID_EXPECTS(servers != nullptr);
-  const std::size_t n = scheduler->size();
-  estimators_.assign(n, sched::ArrivalEstimator(config_.estimator_alpha));
-  arrivals_this_window_.assign(n, 0.0);
-  held_.resize(n);
-}
+  SHAREGRID_EXPECTS(member != nullptr);
+  held_.resize(member_->size());
 
-void L7Redirector::start(SimTime first_window) {
-  SHAREGRID_EXPECTS(window_task_ == nullptr);
-  window_task_ = std::make_unique<sim::PeriodicTask>(
-      sim_, first_window, config_.window, [this] { begin_window(); });
-}
-
-void L7Redirector::begin_window() {
-  const std::size_t n = estimators_.size();
-
-  // Fold the last window's arrivals into the rate estimators.
-  for (std::size_t i = 0; i < n; ++i) {
-    estimators_[i].observe(arrivals_this_window_[i], config_.window);
-    arrivals_this_window_[i] = 0.0;
+  coord::ControlPlane::MemberHooks hooks;
+  if (config_.mode == Mode::kExplicitQueue) {
+    // The real backlog expressed as a rate over one window (§4.1).
+    hooks.extra_demand = [this](std::vector<double>& demand) {
+      const double window_sec = to_seconds(member_->window());
+      for (std::size_t i = 0; i < demand.size(); ++i)
+        demand[i] += static_cast<double>(held_[i].size()) / window_sec;
+    };
   }
+  hooks.on_window_begun = [this](SimTime now) { on_window_begun(now); };
+  member_->bind(std::move(hooks));
+}
 
-  const std::vector<double> demand = local_demand();
-  window_.begin_window(demand, global_);
-  if (window_.last_plan().lp_fallback) metrics_->on_plan_fallback();
+void L7Redirector::on_window_begun(SimTime now) {
+  const sched::WindowScheduler& window = member_->window_scheduler();
+  if (window.last_plan().lp_fallback) metrics_->on_plan_fallback();
   if (config_.trace != nullptr) {
     WindowTrace::Row row;
-    row.window_start = sim_->now();
+    row.window_start = now;
     row.redirector = config_.name;
-    row.local_demand = demand;
-    if (global_.valid) row.global_demand = global_.demand;
-    row.theta = window_.last_plan().theta;
-    for (std::size_t i = 0; i < n; ++i)
-      row.planned_rate.push_back(window_.last_plan().admitted(i));
+    row.local_demand = member_->last_local_demand();
+    if (member_->global().valid) row.global_demand = member_->global().demand;
+    row.theta = window.last_plan().theta;
+    for (std::size_t i = 0; i < held_.size(); ++i)
+      row.planned_rate.push_back(window.last_plan().admitted(i));
     config_.trace->record(std::move(row));
   }
 
   if (config_.mode == Mode::kExplicitQueue) {
     // Release queued requests in a batch — intentionally bunchy (§4.1's
     // first design, reproduced for the ablation bench).
-    for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t i = 0; i < held_.size(); ++i) {
       while (!held_[i].empty()) {
         const double weight =
             config_.weighted_admission ? held_[i].front().request.weight : 1.0;
-        const auto owner = window_.try_admit(i, weight);
+        const auto owner = member_->try_admit(i, weight);
         if (!owner) break;
         Held h = std::move(held_[i].front());
         held_[i].pop_front();
@@ -74,9 +68,9 @@ void L7Redirector::begin_window() {
 void L7Redirector::on_client_request(const Request& request,
                                      RequestSource* from) {
   const core::PrincipalId p = request.principal;
-  SHAREGRID_EXPECTS(p < estimators_.size());
-  arrivals_this_window_[p] +=
-      config_.weighted_admission ? request.weight : 1.0;
+  SHAREGRID_EXPECTS(p < held_.size());
+  member_->record_arrival(p, config_.weighted_admission ? request.weight
+                                                        : 1.0);
 
   if (config_.mode == Mode::kExplicitQueue) {
     held_[p].push_back({request, from});
@@ -84,7 +78,7 @@ void L7Redirector::on_client_request(const Request& request,
   }
 
   const double weight = config_.weighted_admission ? request.weight : 1.0;
-  if (const auto owner = window_.try_admit(p, weight)) {
+  if (const auto owner = member_->try_admit(p, weight)) {
     admit_and_redirect(request, from, *owner);
     return;
   }
@@ -111,21 +105,7 @@ void L7Redirector::admit_and_redirect(const Request& request,
 }
 
 std::vector<double> L7Redirector::local_demand() const {
-  // Estimated queue lengths (§4.1): smoothed arrival rate plus, in explicit
-  // mode, the real backlog expressed as a rate over one window.
-  std::vector<double> demand(estimators_.size(), 0.0);
-  const double window_sec = to_seconds(config_.window);
-  for (std::size_t i = 0; i < demand.size(); ++i) {
-    demand[i] = estimators_[i].rate();
-    if (config_.mode == Mode::kExplicitQueue)
-      demand[i] += static_cast<double>(held_[i].size()) / window_sec;
-  }
-  return demand;
-}
-
-void L7Redirector::receive_global(const std::vector<double>& aggregate) {
-  global_.demand = aggregate;
-  global_.valid = true;
+  return member_->local_demand();
 }
 
 }  // namespace sharegrid::nodes

@@ -13,6 +13,11 @@
 //    batch at the start of the next window — which bunches traffic and
 //    depresses closed-loop client throughput, the anomaly that motivated
 //    the switch (§4.1 / tech report).
+//
+// The window loop itself — estimators, snapshots, plan, quotas — lives in
+// coord::ControlPlane (DESIGN.md D10); this node owns only the HTTP-level
+// behaviour: what a 302 means, where out-of-quota requests go, and what the
+// held-request backlog contributes to demand.
 #pragma once
 
 #include <deque>
@@ -20,11 +25,11 @@
 #include <string>
 #include <vector>
 
+#include "coord/control_plane.hpp"
 #include "nodes/client.hpp"
 #include "nodes/metrics.hpp"
 #include "nodes/server.hpp"
 #include "nodes/window_trace.hpp"
-#include "sched/window_scheduler.hpp"
 #include "sim/simulator.hpp"
 
 namespace sharegrid::nodes {
@@ -36,55 +41,46 @@ class L7Redirector final : public RedirectorBase {
 
   struct Config {
     std::string name;
-    SimDuration window = 100 * kMillisecond;  ///< paper: 100 ms windows
-    std::size_t redirector_count = 1;         ///< R, for conservative mode
     Mode mode = Mode::kCreditBased;
     SimDuration net_delay = 500;  ///< one-way redirector->client hop (usec)
-    double estimator_alpha = 0.3;
     /// Admit requests by their sampled weight instead of 1 unit each.
     bool weighted_admission = false;
-    /// Behaviour before the first combining-tree aggregate arrives.
-    sched::StalePolicy stale_policy = sched::StalePolicy::kConservative;
     /// Optional per-window decision log (not owned; may be shared).
     WindowTrace* trace = nullptr;
   };
 
-  /// @param scheduler shared planning logic (not owned; one per experiment).
+  /// @param member this node's control-plane slice (not owned). The node
+  ///               binds its demand/window hooks in the ctor; a member can
+  ///               belong to exactly one node.
   L7Redirector(sim::Simulator* sim, Metrics* metrics, ServerPool* servers,
-               const sched::Scheduler* scheduler, Config config);
+               coord::ControlPlane::Member* member, Config config);
   ~L7Redirector() override { *alive_ = false; }
-
-  /// Starts the periodic window task.
-  void start(SimTime first_window);
 
   // RedirectorBase:
   void on_client_request(const Request& request, RequestSource* from) override;
 
-  /// Combining-tree provider: this node's current local demand estimate
-  /// (requests/sec per principal).
+  /// This node's current local demand estimate (requests/sec per principal):
+  /// the member's estimator rates plus held-request backlog. Delegates to the
+  /// control plane; kept on the node for tests and benches.
   std::vector<double> local_demand() const;
 
-  /// Combining-tree receiver: a fresh global aggregate arrived.
-  void receive_global(const std::vector<double>& aggregate);
-
-  const sched::WindowScheduler& window_scheduler() const { return window_; }
+  const sched::WindowScheduler& window_scheduler() const {
+    return member_->window_scheduler();
+  }
+  coord::ControlPlane::Member* member() { return member_; }
   std::uint64_t admitted() const { return admitted_; }
   std::uint64_t self_redirects() const { return self_redirects_; }
 
  private:
-  void begin_window();
+  void on_window_begun(SimTime now);
   void admit_and_redirect(const Request& request, RequestSource* from,
                           core::PrincipalId owner);
 
   sim::Simulator* sim_;
   Metrics* metrics_;
   ServerPool* servers_;
+  coord::ControlPlane::Member* member_;
   Config config_;
-  sched::WindowScheduler window_;
-  std::vector<sched::ArrivalEstimator> estimators_;
-  std::vector<double> arrivals_this_window_;
-  sched::GlobalDemand global_;
-  std::unique_ptr<sim::PeriodicTask> window_task_;
 
   // Explicit-queue mode state.
   struct Held {

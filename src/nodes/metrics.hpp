@@ -35,6 +35,13 @@ class Metrics {
   /// steady experiment means the solver budget is undersized for the
   /// principal count.
   void on_plan_fallback() { ++plan_fallbacks_; }
+  /// A demand spike triggered a mid-window re-plan on some control-plane
+  /// member (ControlPlane::Member::spike_replan).
+  void on_spike_replan() { ++spike_replans_; }
+  /// A spike re-plan was requested but the per-window budget
+  /// (ControlPlaneConfig::spike_replan_limit) was already spent; the request
+  /// bounced on the existing quota instead of re-solving the LP.
+  void on_replan_suppressed() { ++replans_suppressed_; }
 
   const RateSeries& offered(core::PrincipalId p) const;
   const RateSeries& served(core::PrincipalId p) const;
@@ -44,6 +51,10 @@ class Metrics {
   const RateSeries& reply_bytes(core::PrincipalId p) const;
   /// Windows that started on a stale plan (LP iteration-limit fallbacks).
   std::uint64_t plan_fallbacks() const { return plan_fallbacks_; }
+  /// Mid-window spike re-plans executed across the redirector fleet.
+  std::uint64_t spike_replans() const { return spike_replans_; }
+  /// Spike re-plans suppressed by the per-window budget.
+  std::uint64_t replans_suppressed() const { return replans_suppressed_; }
 
  private:
   void check(core::PrincipalId p) const { SHAREGRID_EXPECTS(p < served_.size()); }
@@ -54,6 +65,8 @@ class Metrics {
   std::vector<RunningStats> latency_;
   std::vector<RateSeries> bytes_;
   std::uint64_t plan_fallbacks_ = 0;
+  std::uint64_t spike_replans_ = 0;
+  std::uint64_t replans_suppressed_ = 0;
 };
 
 }  // namespace sharegrid::nodes

@@ -19,6 +19,7 @@ std::uint64_t QuotaCarry::take(double amount) {
 }
 
 ArrivalEstimator::ArrivalEstimator(double alpha) : alpha_(alpha) {
+  SHAREGRID_EXPECTS(std::isfinite(alpha));
   SHAREGRID_EXPECTS(alpha > 0.0 && alpha <= 1.0);
 }
 

@@ -34,6 +34,12 @@ namespace sharegrid::sched {
 class QuotaCarry {
  public:
   std::uint64_t take(double amount);
+
+  /// Drops the banked fraction. Call whenever the quantity being integerized
+  /// is superseded — e.g. across a mid-window replan(): fractional credit
+  /// earned against the old plan must not combine with the new plan's
+  /// fractions, or the two could round up to an extra admission the LP never
+  /// granted (take(0.6), replan, take(0.6) must yield 0 + 0, not 0 + 1).
   void reset() { carry_ = 0.0; }
 
  private:
@@ -44,7 +50,9 @@ class QuotaCarry {
 /// credit-based L7 mode where queues are implicit (§4.1, DESIGN.md D3).
 class ArrivalEstimator {
  public:
-  /// @param alpha  EWMA weight of the newest window, in (0, 1].
+  /// @param alpha  EWMA weight of the newest window. Must be finite and in
+  ///               (0, 1]: NaN or out-of-range weights would silently poison
+  ///               every downstream demand estimate, so construction throws.
   explicit ArrivalEstimator(double alpha = 0.3);
 
   /// Records the arrivals observed in one window of length @p window.
@@ -119,6 +127,9 @@ class WindowScheduler {
 
   SimDuration window() const { return window_; }
   const Plan& last_plan() const { return plan_; }
+  /// This window's plan slices in scheduling units (quota + consumed ==
+  /// slices + debt); exposed for the control-plane conservation audits.
+  const Matrix& slices() const { return slices_; }
 
   /// Windows (including re-plans) whose plan was a stale fallback because
   /// the LP solver hit its iteration budget (Plan::lp_fallback).

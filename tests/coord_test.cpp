@@ -72,7 +72,7 @@ void attach_all(CombiningTree& tree, sim::Simulator& sim,
     Participant* p = &parts[i];
     tree.attach(
         first_node + i, [p] { return p->local; },
-        [p, &sim](const std::vector<double>& agg) {
+        [p, &sim](std::uint64_t, const std::vector<double>& agg) {
           p->received.push_back(agg);
           p->received_at.push_back(sim.now());
         });
@@ -236,7 +236,9 @@ TEST(PairwiseExchange, DeliversSumsWithQuadraticMessages) {
     Participant* p = &parts[i];
     exchange.attach(
         i, [p] { return p->local; },
-        [p](const std::vector<double>& agg) { p->received.push_back(agg); });
+        [p](std::uint64_t, const std::vector<double>& agg) {
+          p->received.push_back(agg);
+        });
   }
 
   exchange.start(0);

@@ -164,6 +164,47 @@ TEST(ScenarioIni, RequiresCoreSections) {
                ContractViolation);
 }
 
+TEST(ScenarioIni, ControlPlaneSectionSetsCoordinationKnobs) {
+  using namespace experiments;
+  const std::string text = std::string(kMinimalScenario) +
+                           "[control_plane]\n"
+                           "tree_fanout = 2\n"
+                           "snapshot_period_ms = 200\n"
+                           "spike_replan_limit = 0.5\n";
+  const ScenarioConfig config = scenario_from_ini(parse_ini(text));
+  EXPECT_EQ(config.tree_fanout, 2u);
+  EXPECT_EQ(config.tree_period, 200 * kMillisecond);
+  EXPECT_DOUBLE_EQ(config.spike_replan_limit, 0.5);
+
+  // Omitting the section keeps the defaults.
+  const ScenarioConfig bare = scenario_from_ini(parse_ini(kMinimalScenario));
+  EXPECT_EQ(bare.tree_fanout, 0u);
+  EXPECT_EQ(bare.tree_period, 0);
+  EXPECT_DOUBLE_EQ(bare.spike_replan_limit, 1.0);
+}
+
+TEST(ScenarioIni, ControlPlaneSectionValidatesRanges) {
+  using namespace experiments;
+  const auto with_section = [](const std::string& body) {
+    return std::string(kMinimalScenario) + "[control_plane]\n" + body;
+  };
+  // A fanout of 1 would be a degenerate chain, not a combining tree.
+  EXPECT_THROW(scenario_from_ini(parse_ini(with_section("tree_fanout = 1\n"))),
+               ContractViolation);
+  EXPECT_THROW(
+      scenario_from_ini(parse_ini(with_section("snapshot_period_ms = 0\n"))),
+      ContractViolation);
+  EXPECT_THROW(
+      scenario_from_ini(parse_ini(with_section("snapshot_period_ms = -5\n"))),
+      ContractViolation);
+  EXPECT_THROW(
+      scenario_from_ini(parse_ini(with_section("spike_replan_limit = -1\n"))),
+      ContractViolation);
+  const std::string duplicated = with_section("tree_fanout = 2\n") +
+                                 "[control_plane]\ntree_fanout = 4\n";
+  EXPECT_THROW(scenario_from_ini(parse_ini(duplicated)), ContractViolation);
+}
+
 TEST(ScenarioIni, MissingFileThrows) {
   EXPECT_THROW(parse_ini_file("/nonexistent/path.ini"), ContractViolation);
 }

@@ -4,6 +4,8 @@
 
 #include <vector>
 
+#include "coord/control_plane.hpp"
+#include "coord/window_driver.hpp"
 #include "nodes/client.hpp"
 #include "nodes/l4_redirector.hpp"
 #include "nodes/l7_redirector.hpp"
@@ -212,6 +214,8 @@ struct L7Fixture {
   sim::Simulator sim;
   Metrics metrics{2};
   FixedRateScheduler scheduler;
+  std::unique_ptr<coord::ControlPlane> plane;
+  std::unique_ptr<coord::SimWindowDriver> driver;
   std::unique_ptr<Server> server0;
   std::unique_ptr<Server> server1;
   ServerPool pool;
@@ -221,6 +225,8 @@ struct L7Fixture {
   explicit L7Fixture(std::vector<double> rates,
                      L7Redirector::Mode mode = L7Redirector::Mode::kCreditBased)
       : scheduler(std::move(rates)) {
+    plane = std::make_unique<coord::ControlPlane>(&scheduler,
+                                                  coord::ControlPlaneConfig{});
     server0 = std::make_unique<Server>(&sim, &metrics,
                                        Server::Config{"s0", 0, 1000.0, {1, 80}});
     server1 = std::make_unique<Server>(&sim, &metrics,
@@ -231,7 +237,7 @@ struct L7Fixture {
     rc.name = "r";
     rc.mode = mode;
     redirector = std::make_unique<L7Redirector>(&sim, &metrics, &pool,
-                                                &scheduler, rc);
+                                                plane->add_member(), rc);
     ClientMachine::Config cc;
     cc.name = "c";
     cc.principal = 0;
@@ -240,7 +246,8 @@ struct L7Fixture {
     cc.exponential_arrivals = false;
     client = std::make_unique<ClientMachine>(&sim, &metrics, redirector.get(),
                                              cc, Rng(6));
-    redirector->start(100 * kMillisecond);
+    driver = std::make_unique<coord::SimWindowDriver>(&sim, plane.get());
+    driver->start(100 * kMillisecond);
   }
 };
 
@@ -292,6 +299,8 @@ struct L4Fixture {
   sim::Simulator sim;
   Metrics metrics{2};
   FixedRateScheduler scheduler;
+  std::unique_ptr<coord::ControlPlane> plane;
+  std::unique_ptr<coord::SimWindowDriver> driver;
   std::unique_ptr<Server> server0;
   std::unique_ptr<Server> server1;
   ServerPool pool;
@@ -300,6 +309,8 @@ struct L4Fixture {
 
   explicit L4Fixture(std::vector<double> rates, std::size_t max_queue = 1 << 16)
       : scheduler(std::move(rates)) {
+    plane = std::make_unique<coord::ControlPlane>(&scheduler,
+                                                  coord::ControlPlaneConfig{});
     server0 = std::make_unique<Server>(&sim, &metrics,
                                        Server::Config{"s0", 0, 1000.0, {1, 80}});
     server1 = std::make_unique<Server>(&sim, &metrics,
@@ -310,7 +321,7 @@ struct L4Fixture {
     rc.name = "r";
     rc.max_queue = max_queue;
     redirector = std::make_unique<L4Redirector>(&sim, &metrics, &pool,
-                                                &scheduler, rc);
+                                                plane->add_member(), rc);
     ClientMachine::Config cc;
     cc.name = "c";
     cc.principal = 0;
@@ -319,7 +330,8 @@ struct L4Fixture {
     cc.exponential_arrivals = false;
     client = std::make_unique<ClientMachine>(&sim, &metrics, redirector.get(),
                                              cc, Rng(7));
-    redirector->start(100 * kMillisecond);
+    driver = std::make_unique<coord::SimWindowDriver>(&sim, plane.get());
+    driver->start(100 * kMillisecond);
   }
 };
 

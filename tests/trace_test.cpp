@@ -1,6 +1,8 @@
 // Tests for request traces and the open-loop TraceClient.
 #include <gtest/gtest.h>
 
+#include "coord/control_plane.hpp"
+#include "coord/window_driver.hpp"
 #include "nodes/l4_redirector.hpp"
 #include "nodes/server.hpp"
 #include "nodes/trace_client.hpp"
@@ -83,8 +85,11 @@ TEST(TraceClient, ReplaysOpenLoopThroughL4) {
   nodes::ServerPool pool;
   pool.add(&server);
   test::FixedRateScheduler scheduler({40.0});
-  nodes::L4Redirector redirector(&sim, &metrics, &pool, &scheduler, {});
-  redirector.start(100 * kMillisecond);
+  coord::ControlPlane plane(&scheduler, {});
+  nodes::L4Redirector redirector(&sim, &metrics, &pool, plane.add_member(),
+                                 {});
+  coord::SimWindowDriver driver(&sim, &plane);
+  driver.start(100 * kMillisecond);
 
   ActivityPlan plan(1);
   plan.always_active(0, seconds(10));
@@ -121,8 +126,11 @@ TEST(TraceClient, IdenticalInputForDifferentSchedulers) {
     nodes::ServerPool pool;
     pool.add(&server);
     test::FixedRateScheduler scheduler({rate});
-    nodes::L4Redirector redirector(&sim, &metrics, &pool, &scheduler, {});
-    redirector.start(100 * kMillisecond);
+    coord::ControlPlane plane(&scheduler, {});
+    nodes::L4Redirector redirector(&sim, &metrics, &pool, plane.add_member(),
+                                   {});
+    coord::SimWindowDriver driver(&sim, &plane);
+    driver.start(100 * kMillisecond);
     nodes::TraceClient client(&sim, &metrics, &redirector, &trace, {},
                               Rng(3));
     client.start();

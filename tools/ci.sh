@@ -39,6 +39,13 @@ else
   echo "=== [debug-tsan] parallel plan solves (worker pool) ==="
   ./build-tsan/tests/sharegrid_tests \
     --gtest_filter='MultiProviderScheduler.*:WorkerPool.*:AuditParallelPlanMatch.*'
+  # The unified control plane is the other concurrency surface: the live
+  # L4/L7 services drive it through the mutex-guarded WallClockAdmission
+  # facade, so rerun the control-plane and live-service tests standalone
+  # under TSan as well (docs/control-plane.md).
+  echo "=== [debug-tsan] control plane + live drivers ==="
+  ./build-tsan/tests/sharegrid_tests \
+    --gtest_filter='ControlPlane.*:ControlPlaneAudit.*:WallClockAdmission.*:L7Service.*:Tcp.*'
 fi
 
 # Opt-in: refresh the checked-in warm-vs-cold LP re-solve numbers (see

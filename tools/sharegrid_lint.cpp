@@ -21,6 +21,11 @@
 //   warnings-linked   every CMakeLists.txt that defines a non-INTERFACE
 //                     target links sharegrid_warnings, so no target escapes
 //                     -Werror or the sanitizer wiring.
+//   coord-owns-windows direct WindowScheduler construction outside
+//                     src/coord/ — enforcement windows must be obtained
+//                     through a coord::ControlPlane member so the sim and
+//                     live drivers keep sharing one window loop
+//                     (DESIGN.md D10); references/pointers are fine.
 //
 // Matching is token-aware, not grep: comments and string/char literals are
 // stripped first, and banned names must start at an identifier boundary.
@@ -178,6 +183,51 @@ const std::vector<TokenRule>& token_rules() {
   return rules;
 }
 
+/// Files allowed to own a WindowScheduler by value: the control plane
+/// (src/coord/) and the class's own definition/test-support files.
+bool may_own_window_scheduler(const fs::path& path) {
+  if (path.filename().string().rfind("window_scheduler", 0) == 0) return true;
+  for (const auto& part : path)
+    if (part == "coord") return true;
+  return false;
+}
+
+/// Flags `WindowScheduler` tokens that are not mere references, pointers, or
+/// qualified-name uses — i.e. by-value declarations and constructor calls —
+/// in files outside src/coord/. Owning a window scheduler directly bypasses
+/// coord::ControlPlane and forks the window loop the sim and live drivers
+/// are meant to share (DESIGN.md D10).
+void lint_window_scheduler_ownership(const fs::path& path,
+                                     const std::vector<std::string>& code,
+                                     const std::vector<std::string>& raw_lines,
+                                     std::vector<Violation>* out) {
+  if (may_own_window_scheduler(path)) return;
+  static const std::string kName = "WindowScheduler";
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    const std::string& line = code[i];
+    bool hit = false;
+    std::size_t pos = 0;
+    while (!hit && (pos = line.find(kName, pos)) != std::string::npos) {
+      const bool boundary = pos == 0 || !is_identifier_char(line[pos - 1]);
+      std::size_t after = pos + kName.size();
+      pos += kName.size();
+      if (!boundary) continue;
+      if (after < line.size() && is_identifier_char(line[after])) continue;
+      while (after < line.size() && line[after] == ' ') ++after;
+      const char next = after < line.size() ? line[after] : '\0';
+      hit = next != '&' && next != '*' && next != ':';
+    }
+    if (!hit) continue;
+    if (i < raw_lines.size() && allows(raw_lines[i], "coord-owns-windows"))
+      continue;
+    out->push_back(
+        {path, i + 1, "coord-owns-windows",
+         "direct WindowScheduler ownership outside src/coord/; obtain "
+         "windows through a coord::ControlPlane member so the sim and live "
+         "drivers keep sharing one window loop (DESIGN.md D10)"});
+  }
+}
+
 void lint_source(const fs::path& path, std::vector<Violation>* out) {
   std::ifstream in(path);
   std::stringstream buffer;
@@ -207,6 +257,8 @@ void lint_source(const fs::path& path, std::vector<Violation>* out) {
       out->push_back({path, i + 1, rule.rule, rule.message});
     }
   }
+
+  lint_window_scheduler_ownership(path, code, raw_lines, out);
 }
 
 /// A CMakeLists.txt that defines a compiled target must link
