@@ -112,10 +112,12 @@ void SocketTransport::attach(std::size_t member, Provider provider,
 void SocketTransport::start() {
   (void)vector_size_;
   throw ContractViolation(
-      "SocketTransport: cross-host snapshot exchange is not implemented yet; "
-      "use InProcessTransport for single-process deployments or "
-      "SimTreeTransport under the simulator (" +
-      std::to_string(options_.peers.size()) + " peers configured)");
+      "SocketTransport: cross-host snapshot exchange is not implemented yet "
+      "— ROADMAP item \"Cross-host control plane: implement "
+      "coord::SocketTransport\"; the supported transports are "
+      "InProcessTransport (single-process deployments) and SimTreeTransport "
+      "(under the simulator). " +
+      std::to_string(options_.peers.size()) + " peer(s) configured.");
 }
 
 void SocketTransport::stop() {}

@@ -46,7 +46,7 @@ void L4Proxy::stop() {
     if (t.joinable()) t.join();
   acceptors_.clear();
   {
-    std::lock_guard<std::mutex> lock(relays_mutex_);
+    const util::MutexLock lock(relays_mutex_);
     for (std::thread& t : relays_)
       if (t.joinable()) t.join();
     relays_.clear();
@@ -75,7 +75,7 @@ void L4Proxy::accept_loop(std::size_t service_index) {
       Socket backend = Socket::connect_loopback(service.backend_port);
       // Pin the connection to its backend for its whole lifetime
       // (affinity) and relay bytes until either side closes.
-      std::lock_guard<std::mutex> lock(relays_mutex_);
+      const util::MutexLock lock(relays_mutex_);
       relays_.emplace_back(
           [client = std::move(client), backend = std::move(backend)]() mutable {
             relay(std::move(client), std::move(backend));

@@ -17,12 +17,12 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "live/tcp.hpp"
 #include "live/wall_clock_admission.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace sharegrid::live {
 
@@ -59,7 +59,7 @@ class L4Proxy {
   std::uint64_t refused() const { return refused_; }
 
  private:
-  void accept_loop(std::size_t service_index);
+  void accept_loop(std::size_t service_index) SHAREGRID_EXCLUDES(relays_mutex_);
   /// Blocking bidirectional byte relay until either side closes.
   static void relay(Socket client, Socket backend);
 
@@ -69,8 +69,9 @@ class L4Proxy {
 
   std::vector<Socket> listeners_;
   std::vector<std::thread> acceptors_;
-  std::vector<std::thread> relays_;
-  std::mutex relays_mutex_;
+  /// Relay threads are spawned by concurrent acceptors and joined by stop().
+  std::vector<std::thread> relays_ SHAREGRID_GUARDED_BY(relays_mutex_);
+  util::Mutex relays_mutex_;
   std::atomic<bool> running_{false};
 
   std::atomic<std::uint64_t> admitted_{0};

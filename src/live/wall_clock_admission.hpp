@@ -14,7 +14,6 @@
 
 #include <chrono>
 #include <cstdint>
-#include <mutex>
 #include <optional>
 #include <vector>
 
@@ -22,6 +21,7 @@
 #include "coord/snapshot_transport.hpp"
 #include "coord/window_driver.hpp"
 #include "sched/scheduler.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace sharegrid::live {
 
@@ -65,8 +65,8 @@ class WallClockAdmission {
       : WallClockAdmission(scheduler, single_node(window_usec)) {}
 
   /// Resets the window clock (call when the service starts serving).
-  void reset_clock() {
-    std::lock_guard<std::mutex> lock(mutex_);
+  void reset_clock() SHAREGRID_EXCLUDES(mutex_) {
+    const util::MutexLock lock(mutex_);
     driver_.reset(now_usec());
   }
 
@@ -75,8 +75,9 @@ class WallClockAdmission {
   /// when out of quota. Out-of-quota requests try the demand-spike fast path
   /// once, within the per-window re-plan budget.
   std::optional<core::PrincipalId> try_admit(std::size_t member_index,
-                                             core::PrincipalId principal) {
-    std::lock_guard<std::mutex> lock(mutex_);
+                                             core::PrincipalId principal)
+      SHAREGRID_EXCLUDES(mutex_) {
+    const util::MutexLock lock(mutex_);
     driver_.poll(now_usec());
     coord::ControlPlane::Member* member = members_[member_index];
     member->record_arrival(principal, 1.0);
@@ -91,14 +92,19 @@ class WallClockAdmission {
   }
 
   std::size_t member_count() const { return members_.size(); }
-  /// Introspection for tests/metrics; do not call concurrently with
-  /// try_admit (the accessors are lock-free snapshots of counters).
+  /// Introspection for tests/metrics. plane() and member() return references
+  /// into control-plane state the mutex protects — read them only while no
+  /// other thread can be inside try_admit.
   const coord::ControlPlane& plane() const { return plane_; }
   const coord::ControlPlane::Member& member(std::size_t i) const {
     return *members_[i];
   }
-  std::uint64_t windows_begun() const { return driver_.windows_begun(); }
-  std::uint64_t snapshot_rounds() const {
+  std::uint64_t windows_begun() const SHAREGRID_EXCLUDES(mutex_) {
+    const util::MutexLock lock(mutex_);
+    return driver_.windows_begun();
+  }
+  std::uint64_t snapshot_rounds() const SHAREGRID_EXCLUDES(mutex_) {
+    const util::MutexLock lock(mutex_);
     return transport_.rounds_completed();
   }
 
@@ -135,11 +141,15 @@ class WallClockAdmission {
         .count();
   }
 
-  std::mutex mutex_;
+  /// Serializes every admission/clock call. transport_, plane_, and the
+  /// Member objects behind members_ are reached through references the
+  /// control plane hands out, so the analysis cannot tie them to the mutex
+  /// (see the accessor caveat above); driver_ is accessed directly and is.
+  mutable util::Mutex mutex_;
   coord::InProcessTransport transport_;
   coord::ControlPlane plane_;
-  coord::WallClockDriver driver_;
-  std::vector<coord::ControlPlane::Member*> members_;
+  coord::WallClockDriver driver_ SHAREGRID_GUARDED_BY(mutex_);
+  std::vector<coord::ControlPlane::Member*> members_;  // set in ctor only
   std::chrono::steady_clock::time_point epoch_;
 };
 

@@ -55,12 +55,12 @@ IncomeScheduler::IncomeScheduler(EntitlementColumns,
 }
 
 void IncomeScheduler::set_solver_options(const lp::SolverOptions& options) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   solver_options_ = options;
 }
 
 lp::SolveStats IncomeScheduler::solver_stats() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   lp::SolveStats total = stage1_context_.stats();
   total += stage2_context_.stats();
   return total;
@@ -84,7 +84,7 @@ Plan IncomeScheduler::plan(const std::vector<double>& demand) const {
   const std::size_t n = prices_.size();
   SHAREGRID_EXPECTS(demand.size() == n);
   for (double d : demand) SHAREGRID_EXPECTS(d >= 0.0);
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
 
   // One variable per principal: the rate admitted to the provider's pool.
   auto build = [&] {

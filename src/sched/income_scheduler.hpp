@@ -9,13 +9,13 @@
 // admitted rate across the provider's servers in proportion to capacity.
 #pragma once
 
-#include <mutex>
 #include <vector>
 
 #include "core/agreement_graph.hpp"
 #include "core/flow.hpp"
 #include "lp/solve_context.hpp"
 #include "sched/scheduler.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace sharegrid::sched {
 
@@ -65,7 +65,8 @@ class IncomeScheduler final : public Scheduler {
   lp::SolveStats solver_stats() const;
 
  private:
-  Plan fallback_plan(std::vector<double> demand) const;
+  Plan fallback_plan(std::vector<double> demand) const
+      SHAREGRID_REQUIRES(mutex_);
 
   core::PrincipalId provider_;
   std::vector<double> prices_;
@@ -73,16 +74,16 @@ class IncomeScheduler final : public Scheduler {
   std::vector<double> mandatory_;  // MC_i
   std::vector<double> optional_;   // OC_i
   double provider_capacity_ = 0.0;
-  lp::SolverOptions solver_options_;
 
   // Warm-start solver caches (see Scheduler doc): per-stage contexts plus
   // the previous plan for iteration-limit fallback, guarded for concurrent
   // plan() callers.
-  mutable std::mutex mutex_;
-  mutable lp::SolveContext stage1_context_;
-  mutable lp::SolveContext stage2_context_;
-  mutable Plan last_plan_;
-  mutable bool has_last_plan_ = false;
+  mutable util::Mutex mutex_;
+  mutable lp::SolverOptions solver_options_ SHAREGRID_GUARDED_BY(mutex_);
+  mutable lp::SolveContext stage1_context_ SHAREGRID_GUARDED_BY(mutex_);
+  mutable lp::SolveContext stage2_context_ SHAREGRID_GUARDED_BY(mutex_);
+  mutable Plan last_plan_ SHAREGRID_GUARDED_BY(mutex_);
+  mutable bool has_last_plan_ SHAREGRID_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace sharegrid::sched

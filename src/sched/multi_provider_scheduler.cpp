@@ -50,13 +50,13 @@ MultiProviderScheduler::MultiProviderScheduler(
 
 void MultiProviderScheduler::set_solver_options(
     const lp::SolverOptions& options) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   for (auto& scheduler : per_provider_) scheduler->set_solver_options(options);
   for (auto& scheduler : shadow_) scheduler->set_solver_options(options);
 }
 
 lp::SolveStats MultiProviderScheduler::solver_stats() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   lp::SolveStats total;
   for (const auto& scheduler : per_provider_) total += scheduler->solver_stats();
   return total;
@@ -66,7 +66,7 @@ Plan MultiProviderScheduler::plan(const std::vector<double>& demand) const {
   const std::size_t n = weights_.rows();
   const std::size_t count = providers_.size();
   SHAREGRID_EXPECTS(demand.size() == n);
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
 
   std::vector<std::vector<double>> split(count,
                                          std::vector<double>(n, 0.0));

@@ -19,7 +19,6 @@
 #pragma once
 
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "core/agreement_graph.hpp"
@@ -27,6 +26,7 @@
 #include "sched/income_scheduler.hpp"
 #include "sched/scheduler.hpp"
 #include "util/matrix.hpp"
+#include "util/thread_annotations.hpp"
 #include "util/worker_pool.hpp"
 
 namespace sharegrid::sched {
@@ -50,7 +50,8 @@ class MultiProviderScheduler final : public Scheduler {
                          std::shared_ptr<WorkerPool> pool = nullptr,
                          bool work_conserving = true);
 
-  Plan plan(const std::vector<double>& demand) const override;
+  Plan plan(const std::vector<double>& demand) const override
+      SHAREGRID_EXCLUDES(mutex_);
   std::size_t size() const override { return weights_.rows(); }
 
   const std::vector<core::PrincipalId>& providers() const {
@@ -61,13 +62,17 @@ class MultiProviderScheduler final : public Scheduler {
   double income(const Plan& plan) const;
 
   /// Overrides the LP solver tuning for every per-provider stage solve.
-  void set_solver_options(const lp::SolverOptions& options);
+  void set_solver_options(const lp::SolverOptions& options)
+      SHAREGRID_EXCLUDES(mutex_);
 
   /// Cumulative warm/cold solver statistics across all providers.
-  lp::SolveStats solver_stats() const;
+  lp::SolveStats solver_stats() const SHAREGRID_EXCLUDES(mutex_);
 
  private:
   std::vector<core::PrincipalId> providers_;
+  /// The per-provider solvers hold their own warm-start state behind their
+  /// own mutexes; mutex_ additionally serializes whole windows (below), so
+  /// the unique_ptr vectors themselves are read-only after construction.
   std::vector<std::unique_ptr<IncomeScheduler>> per_provider_;
   /// Serial shadow solvers fed the identical window sequence; audit builds
   /// compare their plans bitwise against the pooled ones.
@@ -79,7 +84,7 @@ class MultiProviderScheduler final : public Scheduler {
 
   /// Serializes plan() so every window feeds the warm-start contexts in the
   /// same order regardless of caller concurrency.
-  mutable std::mutex mutex_;
+  mutable util::Mutex mutex_;
 };
 
 }  // namespace sharegrid::sched

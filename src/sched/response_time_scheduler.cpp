@@ -26,12 +26,12 @@ ResponseTimeScheduler::ResponseTimeScheduler(const core::AgreementGraph& graph,
 
 void ResponseTimeScheduler::set_solver_options(
     const lp::SolverOptions& options) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   solver_options_ = options;
 }
 
 lp::SolveStats ResponseTimeScheduler::solver_stats() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   lp::SolveStats total = stage1_context_.stats();
   total += retry_context_.stats();
   total += stage2_context_.stats();
@@ -56,7 +56,7 @@ Plan ResponseTimeScheduler::fallback_plan(std::vector<double> demand) const {
 Plan ResponseTimeScheduler::plan(const std::vector<double>& raw_demand) const {
   const std::size_t n = capacities_.size();
   SHAREGRID_EXPECTS(raw_demand.size() == n);
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
 
   // Clamp demands to 100x the total capacity: far above anything real
   // backlogs reach (so demand *ratios*, which drive the max-min split,

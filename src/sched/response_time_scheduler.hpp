@@ -8,7 +8,6 @@
 // idle merely because theta is already pinned by the worst-off principal).
 #pragma once
 
-#include <mutex>
 #include <optional>
 #include <vector>
 
@@ -16,6 +15,7 @@
 #include "core/flow.hpp"
 #include "lp/solve_context.hpp"
 #include "sched/scheduler.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace sharegrid::sched {
 
@@ -50,23 +50,24 @@ class ResponseTimeScheduler final : public Scheduler {
   lp::SolveStats solver_stats() const;
 
  private:
-  Plan fallback_plan(std::vector<double> demand) const;
+  Plan fallback_plan(std::vector<double> demand) const
+      SHAREGRID_REQUIRES(mutex_);
 
   std::vector<double> capacities_;
   core::AccessLevels levels_;
   ResponseTimeOptions options_;
-  lp::SolverOptions solver_options_;
 
   // Warm-start solver caches, one per LP stage so each stage re-enters from
   // its own previous basis (the stage programs have different layouts).
   // plan() stays const — these only affect solve speed and the
   // iteration-limit fallback — and the mutex serializes concurrent callers.
-  mutable std::mutex mutex_;
-  mutable lp::SolveContext stage1_context_;
-  mutable lp::SolveContext retry_context_;
-  mutable lp::SolveContext stage2_context_;
-  mutable Plan last_plan_;
-  mutable bool has_last_plan_ = false;
+  mutable util::Mutex mutex_;
+  mutable lp::SolverOptions solver_options_ SHAREGRID_GUARDED_BY(mutex_);
+  mutable lp::SolveContext stage1_context_ SHAREGRID_GUARDED_BY(mutex_);
+  mutable lp::SolveContext retry_context_ SHAREGRID_GUARDED_BY(mutex_);
+  mutable lp::SolveContext stage2_context_ SHAREGRID_GUARDED_BY(mutex_);
+  mutable Plan last_plan_ SHAREGRID_GUARDED_BY(mutex_);
+  mutable bool has_last_plan_ SHAREGRID_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace sharegrid::sched

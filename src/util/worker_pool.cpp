@@ -10,7 +10,7 @@ WorkerPool::WorkerPool(std::size_t threads) {
 
 WorkerPool::~WorkerPool() {
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const util::MutexLock lock(mutex_);
     stop_ = true;
   }
   wake_.notify_all();
@@ -20,9 +20,9 @@ WorkerPool::~WorkerPool() {
 void WorkerPool::run_indexed(std::size_t count,
                              const std::function<void(std::size_t)>& fn) {
   if (count == 0) return;
-  const std::lock_guard<std::mutex> serialize(run_mutex_);
+  const util::MutexLock serialize(run_mutex_);
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const util::MutexLock lock(mutex_);
     fn_ = &fn;
     count_ = count;
     next_ = 0;
@@ -34,8 +34,8 @@ void WorkerPool::run_indexed(std::size_t count,
   participate();
   std::exception_ptr first;
   {
-    std::unique_lock<std::mutex> lock(mutex_);
-    done_.wait(lock, [this] { return pending_ == 0; });
+    const util::MutexLock lock(mutex_);
+    while (pending_ != 0) done_.wait(mutex_);
     fn_ = nullptr;
     // Rethrow by lowest index, not completion order, so a failing fan-out
     // fails the same way no matter how threads interleaved.
@@ -55,7 +55,7 @@ void WorkerPool::participate() {
     std::size_t index;
     const std::function<void(std::size_t)>* fn;
     {
-      const std::lock_guard<std::mutex> lock(mutex_);
+      const util::MutexLock lock(mutex_);
       if (fn_ == nullptr || next_ >= count_) return;
       index = next_++;
       fn = fn_;
@@ -67,7 +67,7 @@ void WorkerPool::participate() {
       error = std::current_exception();
     }
     {
-      const std::lock_guard<std::mutex> lock(mutex_);
+      const util::MutexLock lock(mutex_);
       if (error != nullptr) errors_[index] = error;
       if (--pending_ == 0) done_.notify_all();
     }
@@ -78,10 +78,11 @@ void WorkerPool::worker_loop() {
   std::uint64_t seen = 0;
   for (;;) {
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      wake_.wait(lock, [&] {
-        return stop_ || (generation_ != seen && fn_ != nullptr);
-      });
+      const util::MutexLock lock(mutex_);
+      // Predicate re-checked inline around wait() so the guarded reads stay
+      // visible to the thread-safety analysis (see CondVar).
+      while (!stop_ && (generation_ == seen || fn_ == nullptr))
+        wake_.wait(mutex_);
       if (stop_) return;
       seen = generation_;
     }

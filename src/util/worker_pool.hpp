@@ -12,13 +12,13 @@
 // and parallel runs.
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/thread_annotations.hpp"
 
 namespace sharegrid {
 
@@ -38,30 +38,33 @@ class WorkerPool {
   /// finished. If callables throw, every index still runs and the exception
   /// from the lowest throwing index is rethrown. Concurrent callers are
   /// serialized.
-  void run_indexed(std::size_t count,
-                   const std::function<void(std::size_t)>& fn);
+  void run_indexed(std::size_t count, const std::function<void(std::size_t)>& fn)
+      SHAREGRID_EXCLUDES(run_mutex_, mutex_);
 
   std::size_t thread_count() const { return workers_.size(); }
 
  private:
-  void worker_loop();
+  void worker_loop() SHAREGRID_EXCLUDES(mutex_);
   /// Claims and runs indexes of the current job until none remain.
-  void participate();
+  void participate() SHAREGRID_EXCLUDES(mutex_);
 
-  std::mutex run_mutex_;  // serializes run_indexed callers
+  util::Mutex run_mutex_;  // serializes run_indexed callers (nothing guarded:
+                           // held across a whole fan-out, never nested inside
+                           // mutex_, hence the EXCLUDES on run_indexed)
 
-  std::mutex mutex_;  // guards everything below
-  std::condition_variable wake_;  // workers: a new job arrived (or stop)
-  std::condition_variable done_;  // caller: all indexes finished
-  const std::function<void(std::size_t)>* fn_ = nullptr;
-  std::size_t count_ = 0;
-  std::size_t next_ = 0;
-  std::size_t pending_ = 0;
-  std::uint64_t generation_ = 0;
-  bool stop_ = false;
-  std::vector<std::exception_ptr> errors_;
+  util::Mutex mutex_;  // guards the job state below
+  util::CondVar wake_;  // workers: a new job arrived (or stop)
+  util::CondVar done_;  // caller: all indexes finished
+  const std::function<void(std::size_t)>* fn_ SHAREGRID_GUARDED_BY(mutex_) =
+      nullptr;
+  std::size_t count_ SHAREGRID_GUARDED_BY(mutex_) = 0;
+  std::size_t next_ SHAREGRID_GUARDED_BY(mutex_) = 0;
+  std::size_t pending_ SHAREGRID_GUARDED_BY(mutex_) = 0;
+  std::uint64_t generation_ SHAREGRID_GUARDED_BY(mutex_) = 0;
+  bool stop_ SHAREGRID_GUARDED_BY(mutex_) = false;
+  std::vector<std::exception_ptr> errors_ SHAREGRID_GUARDED_BY(mutex_);
 
-  std::vector<std::thread> workers_;
+  std::vector<std::thread> workers_;  // written only in ctor/dtor
 };
 
 }  // namespace sharegrid

@@ -389,7 +389,22 @@ TEST(ControlPlane, SocketTransportStubReservesTheSeam) {
   transport.attach(
       0, [] { return std::vector<double>{0.0}; },
       [](std::uint64_t, const std::vector<double>&) {});
-  EXPECT_THROW(transport.start(), ContractViolation);
+  // The stub's message must route the reader somewhere useful: the ROADMAP
+  // item that tracks the work, and the transports that do exist today.
+  try {
+    transport.start();
+    FAIL() << "SocketTransport::start() must throw until implemented";
+  } catch (const ContractViolation& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(
+        msg.find(
+            "Cross-host control plane: implement coord::SocketTransport"),
+        std::string::npos)
+        << msg;
+    EXPECT_NE(msg.find("InProcessTransport"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("SimTreeTransport"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("2 peer(s) configured"), std::string::npos) << msg;
+  }
   EXPECT_EQ(transport.messages_sent(), 0u);
   EXPECT_NO_THROW(transport.stop());
 }

@@ -1,0 +1,154 @@
+#include "analyze/analyzer.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <tuple>
+
+#include "analyze/include_graph.hpp"
+
+namespace sharegrid::analyze {
+
+std::vector<BaselineEntry> parse_baseline(const std::string& text) {
+  std::vector<BaselineEntry> entries;
+  for (const std::string& line : split_lines(text)) {
+    const std::size_t start = line.find_first_not_of(" \t");
+    if (start == std::string::npos || line[start] == '#') continue;
+    const std::size_t space = line.find_first_of(" \t", start);
+    if (space == std::string::npos) continue;  // malformed; ignore
+    const std::size_t path_start = line.find_first_not_of(" \t", space);
+    if (path_start == std::string::npos) continue;
+    const std::size_t path_end = line.find_first_of(" \t", path_start);
+    entries.push_back({line.substr(start, space - start),
+                       line.substr(path_start, path_end == std::string::npos
+                                                   ? std::string::npos
+                                                   : path_end - path_start)});
+  }
+  return entries;
+}
+
+Report analyze(const std::vector<SourceFile>& files,
+               const std::vector<BaselineEntry>& baseline) {
+  Report report;
+  std::vector<AnalyzedFile> parsed;
+  parsed.reserve(files.size());
+  for (const SourceFile& file : files) parsed.push_back(AnalyzedFile::parse(file));
+
+  std::vector<Violation> violations;
+  for (std::size_t i = 0; i < parsed.size(); ++i) {
+    const AnalyzedFile& file = parsed[i];
+    if (file.is_cmake) {
+      check_cmake_rules(file, files[i].content, &violations);
+      ++report.files_scanned;
+    } else if (file.is_header || file.is_source) {
+      check_source_rules(file, &violations);
+      ++report.files_scanned;
+    }
+  }
+  check_layer_dag(parsed, &violations);
+
+  std::sort(violations.begin(), violations.end(),
+            [](const Violation& a, const Violation& b) {
+              return std::tie(a.file, a.line, a.rule) <
+                     std::tie(b.file, b.line, b.rule);
+            });
+
+  // Baseline pass: drop matching violations, then flag entries that matched
+  // nothing (the violation was fixed; the entry must be deleted too).
+  std::vector<bool> used(baseline.size(), false);
+  for (const Violation& violation : violations) {
+    const std::string canonical = canonical_path(violation.file);
+    bool matched = false;
+    for (std::size_t i = 0; i < baseline.size(); ++i) {
+      if (baseline[i].rule == violation.rule &&
+          baseline[i].path == canonical) {
+        used[i] = true;
+        matched = true;
+      }
+    }
+    if (matched)
+      ++report.suppressed;
+    else
+      report.violations.push_back(violation);
+  }
+  for (std::size_t i = 0; i < baseline.size(); ++i)
+    if (!used[i]) report.stale.push_back(baseline[i]);
+  return report;
+}
+
+void write_text(const Report& report, std::ostream& out) {
+  for (const Violation& v : report.violations) {
+    out << v.file << ":" << v.line << ": [" << v.rule << "] " << v.message
+        << "\n";
+  }
+  for (const BaselineEntry& entry : report.stale) {
+    out << "stale baseline entry: '" << entry.rule << " " << entry.path
+        << "' matches no violation — the issue is fixed, delete the entry\n";
+  }
+  if (!report.clean()) {
+    out << report.violations.size() << " violation(s), " << report.stale.size()
+        << " stale baseline entr(ies) in " << report.files_scanned
+        << " file(s)";
+    if (report.suppressed != 0)
+      out << " (" << report.suppressed << " baselined)";
+    out << "\n";
+  } else {
+    out << "sharegrid_analyze: OK (" << report.files_scanned << " files";
+    if (report.suppressed != 0)
+      out << ", " << report.suppressed << " baselined violation(s)";
+    out << ")\n";
+  }
+}
+
+namespace {
+
+void write_json_string(const std::string& s, std::ostream& out) {
+  out << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out << "\\\""; break;
+      case '\\': out << "\\\\"; break;
+      case '\n': out << "\\n"; break;
+      case '\t': out << "\\t"; break;
+      case '\r': out << "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          const char* hex = "0123456789abcdef";
+          out << "\\u00" << hex[(c >> 4) & 0xf] << hex[c & 0xf];
+        } else {
+          out << c;
+        }
+    }
+  }
+  out << '"';
+}
+
+}  // namespace
+
+void write_json(const Report& report, std::ostream& out) {
+  out << "{\"violations\":[";
+  for (std::size_t i = 0; i < report.violations.size(); ++i) {
+    const Violation& v = report.violations[i];
+    if (i != 0) out << ",";
+    out << "{\"file\":";
+    write_json_string(v.file, out);
+    out << ",\"line\":" << v.line << ",\"rule\":";
+    write_json_string(v.rule, out);
+    out << ",\"message\":";
+    write_json_string(v.message, out);
+    out << "}";
+  }
+  out << "],\"stale_baseline\":[";
+  for (std::size_t i = 0; i < report.stale.size(); ++i) {
+    if (i != 0) out << ",";
+    out << "{\"rule\":";
+    write_json_string(report.stale[i].rule, out);
+    out << ",\"path\":";
+    write_json_string(report.stale[i].path, out);
+    out << "}";
+  }
+  out << "],\"files_scanned\":" << report.files_scanned
+      << ",\"suppressed\":" << report.suppressed
+      << ",\"clean\":" << (report.clean() ? "true" : "false") << "}\n";
+}
+
+}  // namespace sharegrid::analyze

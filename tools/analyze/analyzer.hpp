@@ -1,0 +1,55 @@
+// Orchestration layer of sharegrid_analyze: runs every rule over a set of
+// in-memory files, applies the baseline suppressions, and renders the
+// result as text or JSON.
+//
+// The baseline exists so a new rule can land before every violation it
+// finds is fixed: known violations are listed (with a justifying comment)
+// in tools/analyze/baseline.txt and stop failing the gate, while *new*
+// violations of the same rule still do. Stale entries — baseline lines no
+// violation matches any more — fail the run, so the file can only shrink.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "analyze/rules.hpp"
+
+namespace sharegrid::analyze {
+
+/// One baseline suppression: a (rule, canonical path) pair.
+struct BaselineEntry {
+  std::string rule;
+  std::string path;  ///< canonical (src-relative) path
+};
+
+/// Parses baseline text: one `<rule> <path>` entry per line, '#' comments
+/// and blank lines ignored.
+std::vector<BaselineEntry> parse_baseline(const std::string& text);
+
+struct Report {
+  std::vector<Violation> violations;   ///< surviving (non-baselined)
+  std::size_t suppressed = 0;          ///< violations a baseline entry ate
+  std::vector<BaselineEntry> stale;    ///< entries that matched nothing
+  std::size_t files_scanned = 0;
+
+  /// The gate: violations or stale baseline entries fail the run.
+  bool clean() const { return violations.empty() && stale.empty(); }
+};
+
+/// Runs every rule over @p files (sources, headers, CMakeLists.txt) with
+/// @p baseline applied. Violations are sorted by (file, line).
+Report analyze(const std::vector<SourceFile>& files,
+               const std::vector<BaselineEntry>& baseline = {});
+
+/// Human-readable report: one `path:line: [rule] message` per violation,
+/// stale entries, and a trailing summary line.
+void write_text(const Report& report, std::ostream& out);
+
+/// Machine-readable report for editor/CI integration:
+/// {"violations": [{file, line, rule, message}...], "stale_baseline": [...],
+///  "files_scanned": N, "suppressed": N, "clean": bool}.
+void write_json(const Report& report, std::ostream& out);
+
+}  // namespace sharegrid::analyze

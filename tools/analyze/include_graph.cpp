@@ -1,0 +1,140 @@
+#include "analyze/include_graph.hpp"
+
+#include <algorithm>
+
+namespace sharegrid::analyze {
+
+std::string layer_of(const std::string& canonical) {
+  const std::size_t slash = canonical.find('/');
+  if (slash == std::string::npos) return "";
+  const std::string layer = canonical.substr(0, slash);
+  return allowed_layer_deps().count(layer) != 0 ? layer : "";
+}
+
+const std::map<std::string, std::set<std::string>>& allowed_layer_deps() {
+  // Keep this table, the header diagram, and DESIGN.md D11 in sync.
+  static const std::map<std::string, std::set<std::string>> deps = {
+      {"util", {"util"}},
+      {"audit", {"audit", "util"}},
+      {"core", {"core", "audit", "util"}},
+      {"lp", {"lp", "audit", "util"}},
+      {"sim", {"sim", "audit", "util"}},
+      {"http", {"http", "audit", "util"}},
+      {"l4", {"l4", "core", "audit", "util"}},
+      {"workload", {"workload", "core", "audit", "util"}},
+      {"sched", {"sched", "core", "lp", "audit", "util"}},
+      {"coord", {"coord", "sched", "sim", "core", "lp", "audit", "util"}},
+      {"live",
+       {"live", "coord", "sched", "sim", "core", "lp", "http", "l4", "audit",
+        "util"}},
+      {"nodes",
+       {"nodes", "coord", "sched", "sim", "core", "lp", "http", "l4",
+        "workload", "audit", "util"}},
+      {"experiments",
+       {"experiments", "nodes", "live", "coord", "sched", "sim", "core", "lp",
+        "http", "l4", "workload", "audit", "util"}},
+  };
+  return deps;
+}
+
+namespace {
+
+/// DFS state for cycle detection.
+enum class Mark { kUnvisited, kOnStack, kDone };
+
+struct CycleFinder {
+  const std::map<std::string, std::size_t>& index;  // canonical -> file idx
+  const std::vector<AnalyzedFile>& files;
+  std::vector<Mark> marks;
+  std::vector<std::size_t> stack;  // file indices on the current DFS path
+  std::vector<Violation>* out;
+
+  void visit(std::size_t file_index) {
+    marks[file_index] = Mark::kOnStack;
+    stack.push_back(file_index);
+    for (const Include& include : files[file_index].includes) {
+      const auto it = index.find(include.target);
+      if (it == index.end()) continue;  // outside the scanned set
+      const std::size_t next = it->second;
+      if (marks[next] == Mark::kDone) continue;
+      if (marks[next] == Mark::kOnStack) {
+        report(file_index, next, include.line);
+        continue;
+      }
+      visit(next);
+    }
+    stack.pop_back();
+    marks[file_index] = Mark::kDone;
+  }
+
+  /// A back edge from @p from to @p to closes a cycle; print the whole
+  /// chain so the offending edge is obvious without re-tracing by hand.
+  void report(std::size_t from, std::size_t to, std::size_t line) {
+    std::string chain;
+    bool in_cycle = false;
+    for (const std::size_t node : stack) {
+      if (node == to) in_cycle = true;
+      if (!in_cycle) continue;
+      chain += files[node].canonical;
+      chain += " -> ";
+    }
+    chain += files[to].canonical;
+    out->push_back({files[from].path, line, "layer-dag",
+                    "include cycle: " + chain +
+                        "; break the cycle with a forward declaration or by "
+                        "moving the shared piece down a layer"});
+  }
+};
+
+std::string describe_allowed(const std::string& layer) {
+  const auto& allowed = allowed_layer_deps().at(layer);
+  std::string list;
+  for (const std::string& dep : allowed) {
+    if (!list.empty()) list += ", ";
+    list += dep;
+  }
+  return list;
+}
+
+}  // namespace
+
+void check_layer_dag(const std::vector<AnalyzedFile>& files,
+                     std::vector<Violation>* out) {
+  // Edge rule: every quoted include must stay within the including layer's
+  // allowed set.
+  for (const AnalyzedFile& file : files) {
+    const std::string from = layer_of(file.canonical);
+    if (from.empty()) continue;
+    const std::set<std::string>& allowed = allowed_layer_deps().at(from);
+    for (const Include& include : file.includes) {
+      const std::string to = layer_of(include.target);
+      if (to.empty() || allowed.count(to) != 0) continue;
+      if (include.line - 1 < file.raw_lines.size() &&
+          allows(file.raw_lines[include.line - 1], "layer-dag"))
+        continue;
+      out->push_back(
+          {file.path, include.line, "layer-dag",
+           "layer '" + from + "' must not include layer '" + to +
+               "' (offending include chain: " + file.canonical + " -> " +
+               include.target + "); '" + from + "' may only depend on {" +
+               describe_allowed(from) +
+               "} — see the DAG in DESIGN.md D11, and move the shared piece "
+               "down a layer if both sides genuinely need it"});
+    }
+  }
+
+  // Cycle rule: any include cycle among the scanned files, regardless of
+  // layers (a within-layer cycle is just as much a build hazard).
+  std::map<std::string, std::size_t> index;
+  for (std::size_t i = 0; i < files.size(); ++i)
+    if (!files[i].is_cmake) index.emplace(files[i].canonical, i);
+  CycleFinder finder{index, files,
+                     std::vector<Mark>(files.size(), Mark::kUnvisited),
+                     {},
+                     out};
+  for (std::size_t i = 0; i < files.size(); ++i)
+    if (!files[i].is_cmake && finder.marks[i] == Mark::kUnvisited)
+      finder.visit(i);
+}
+
+}  // namespace sharegrid::analyze

@@ -1,0 +1,52 @@
+// Include-graph rules for sharegrid_analyze: the layering DAG and include
+// cycle detection (DESIGN.md D11).
+//
+// The dependency DAG, by layer (a directory directly under src/):
+//
+//           util
+//            │
+//          audit                    (compiled-out hook library)
+//        ┌───┼────┬──────┐
+//      core  lp  sim   http   l4
+//        │    │    │            (l4, workload also sit on core)
+//     workload│    │
+//        └──sched  │
+//             └─ coord
+//          ┌─────┼──────┐
+//        nodes  live    │
+//          └─────┴─ experiments
+//
+// Concretely: util is the bottom; core/lp/sim/http are peers over
+// util+audit; l4 and workload additionally see core; sched builds on
+// core+lp; coord on sched+sim; nodes and live are peer composition roots
+// (nodes: sim-side, live: wall-clock side); experiments tops everything.
+// An include that jumps *up* this order — or sideways between peers — is a
+// layer-dag violation, and any include cycle among the scanned files is
+// reported with the full chain.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analyze/rules.hpp"
+
+namespace sharegrid::analyze {
+
+/// Layer (first path component of the canonical path) when it is one of the
+/// known src/ layers, "" otherwise.
+std::string layer_of(const std::string& canonical);
+
+/// The allowed-dependency map: layer -> set of layers it may include
+/// (always contains itself). Exposed for the documentation test that keeps
+/// DESIGN.md D11 and this table in sync.
+const std::map<std::string, std::set<std::string>>& allowed_layer_deps();
+
+/// layer-dag: checks every quoted include of every file against the DAG and
+/// reports upward or sideways edges; then detects include cycles among the
+/// scanned files and reports each with its full chain.
+void check_layer_dag(const std::vector<AnalyzedFile>& files,
+                     std::vector<Violation>* out);
+
+}  // namespace sharegrid::analyze

@@ -1,0 +1,207 @@
+#include "analyze/source.hpp"
+
+#include <cctype>
+
+namespace sharegrid::analyze {
+
+std::vector<std::string> split_lines(const std::string& text) {
+  std::vector<std::string> lines(1);
+  for (const char c : text) {
+    if (c == '\n')
+      lines.emplace_back();
+    else
+      lines.back() += c;
+  }
+  return lines;
+}
+
+bool is_identifier_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+namespace {
+
+/// True when the quote at @p quote_pos opens a raw string literal: directly
+/// preceded by R (with an optional u8/u/U/L encoding prefix) that is itself
+/// a full token, not the tail of an identifier like FOOBAR".
+bool is_raw_string_opener(const std::string& text, std::size_t quote_pos) {
+  if (quote_pos == 0 || text[quote_pos - 1] != 'R') return false;
+  std::size_t start = quote_pos - 1;  // position of R
+  if (start >= 1) {
+    const char p = text[start - 1];
+    if (p == 'u' || p == 'U' || p == 'L') {
+      start -= 1;
+    } else if (p == '8' && start >= 2 && text[start - 2] == 'u') {
+      start -= 2;
+    }
+  }
+  return start == 0 || !is_identifier_char(text[start - 1]);
+}
+
+/// True when the newline at @p nl is spliced onto the previous line by a
+/// trailing backslash (C++ translation phase 2; tolerates \r\n).
+bool is_line_splice(const std::string& text, std::size_t nl) {
+  if (nl == 0) return false;
+  std::size_t p = nl - 1;
+  if (text[p] == '\r') {
+    if (p == 0) return false;
+    --p;
+  }
+  return text[p] == '\\';
+}
+
+}  // namespace
+
+std::vector<std::string> strip_comments_and_literals(const std::string& text) {
+  enum class State {
+    kCode,
+    kLineComment,
+    kBlockComment,
+    kString,
+    kChar,
+    kRawString
+  };
+  std::vector<std::string> lines(1);
+  State state = State::kCode;
+  // For kRawString: the closing sequence )delim" the scanner is looking for.
+  std::string raw_terminator;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    const char next = i + 1 < text.size() ? text[i + 1] : '\0';
+    if (c == '\n') {
+      // A backslash-newline splice continues a // comment onto the next
+      // physical line; without the check, code after a spliced comment is
+      // scanned as if it were live (and vice versa).
+      if (state == State::kLineComment && !is_line_splice(text, i))
+        state = State::kCode;
+      lines.emplace_back();
+      continue;
+    }
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLineComment;
+          lines.back() += "  ";
+          ++i;
+        } else if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          lines.back() += "  ";
+          ++i;
+        } else if (c == '"' && is_raw_string_opener(text, i)) {
+          // R"delim( ... )delim" — no escapes inside; only the exact
+          // )delim" sequence terminates, so a plain '"' scan would cut the
+          // literal short and leak its tail into the code stream.
+          state = State::kRawString;
+          raw_terminator.assign(1, ')');
+          for (std::size_t j = i + 1;
+               j < text.size() && text[j] != '(' && text[j] != '\n' &&
+               raw_terminator.size() <= 17;  // delimiters are <= 16 chars
+               ++j)
+            raw_terminator += text[j];
+          raw_terminator += '"';
+          lines.back() += '"';
+        } else if (c == '"') {
+          state = State::kString;
+          lines.back() += '"';
+        } else if (c == '\'') {
+          state = State::kChar;
+          lines.back() += '\'';
+        } else {
+          lines.back() += c;
+        }
+        break;
+      case State::kLineComment:
+        lines.back() += ' ';
+        break;
+      case State::kBlockComment:
+        if (c == '*' && next == '/') {
+          state = State::kCode;
+          lines.back() += "  ";
+          ++i;
+        } else {
+          lines.back() += ' ';
+        }
+        break;
+      case State::kString:
+      case State::kChar: {
+        const char quote = state == State::kString ? '"' : '\'';
+        if (c == '\\') {
+          lines.back() += "  ";
+          if (next != '\n') ++i;
+        } else if (c == quote) {
+          state = State::kCode;
+          lines.back() += quote;
+        } else {
+          lines.back() += ' ';
+        }
+        break;
+      }
+      case State::kRawString:
+        if (text.compare(i, raw_terminator.size(), raw_terminator) == 0) {
+          // Blank the ) and delimiter, keep the closing quote visible.
+          lines.back().append(raw_terminator.size() - 1, ' ');
+          lines.back() += '"';
+          i += raw_terminator.size() - 1;
+          state = State::kCode;
+        } else {
+          lines.back() += ' ';
+        }
+        break;
+    }
+  }
+  return lines;
+}
+
+bool has_token(const std::string& line, const std::string& name, char follow,
+               bool reject_member_access) {
+  std::size_t pos = 0;
+  while ((pos = line.find(name, pos)) != std::string::npos) {
+    const std::size_t start = pos;
+    const bool boundary = pos == 0 || !is_identifier_char(line[pos - 1]);
+    std::size_t after = pos + name.size();
+    pos += name.size();
+    if (!boundary) continue;
+    if (reject_member_access && start > 0) {
+      if (line[start - 1] == '.') continue;
+      if (start > 1 && line[start - 2] == '-' && line[start - 1] == '>')
+        continue;
+    }
+    if (follow == '\0') {
+      // Right boundary too: `steady_clock` must not match `steady_clocks`.
+      if (after >= line.size() || !is_identifier_char(line[after]))
+        return true;
+      continue;
+    }
+    while (after < line.size() && line[after] == ' ') ++after;
+    if (after < line.size() && line[after] == follow) return true;
+  }
+  return false;
+}
+
+bool allows(const std::string& raw_line, const std::string& rule) {
+  for (const char* marker :
+       {"sharegrid-analyze: allow(", "sharegrid-lint: allow("}) {
+    const std::size_t pos = raw_line.find(marker);
+    if (pos == std::string::npos) continue;
+    const std::size_t open = raw_line.find('(', pos);
+    const std::size_t close = raw_line.find(')', open);
+    if (close == std::string::npos) continue;
+    if (raw_line.substr(open + 1, close - open - 1) == rule) return true;
+  }
+  return false;
+}
+
+std::string canonical_path(const std::string& path) {
+  // Find the last "src" path component and return everything after it.
+  std::size_t best = std::string::npos;
+  std::size_t pos = 0;
+  while ((pos = path.find("src", pos)) != std::string::npos) {
+    const bool starts = pos == 0 || path[pos - 1] == '/';
+    const bool ends = pos + 3 == path.size() || path[pos + 3] == '/';
+    if (starts && ends && pos + 3 < path.size()) best = pos + 4;
+    pos += 3;
+  }
+  return best == std::string::npos ? path : path.substr(best);
+}
+
+}  // namespace sharegrid::analyze

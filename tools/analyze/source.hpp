@@ -1,0 +1,54 @@
+// Source-text core of sharegrid_analyze: line splitting, comment/literal
+// stripping, token matching, and suppression parsing.
+//
+// Everything operates on in-memory text so tests can feed fixture snippets
+// without touching the filesystem (tests/analyze_test.cpp); the tool binary
+// loads files and hands them to analyze() in tools/analyze/analyzer.hpp.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace sharegrid::analyze {
+
+/// One file handed to the analyzer: a path (used for layer assignment,
+/// exemptions, and reporting) plus its full text.
+struct SourceFile {
+  std::string path;
+  std::string content;
+};
+
+/// @p text split on newlines (no trailing-newline special case: "a\n" is
+/// one line "a" plus one empty line, matching the stripper's output shape).
+std::vector<std::string> split_lines(const std::string& text);
+
+/// Per-line source text with comments and literal contents blanked out
+/// (replaced by spaces) so token scans cannot match inside them. Handles
+/// line and block comments, string/char literals with escapes, raw string
+/// literals (R"delim(...)delim", including encoding prefixes u8/u/U/L), and
+/// backslash-newline splices that continue a // comment onto the next line.
+std::vector<std::string> strip_comments_and_literals(const std::string& text);
+
+bool is_identifier_char(char c);
+
+/// True when @p name occurs in @p line starting at an identifier boundary
+/// and followed (after optional spaces) by @p follow ('\0' = any). With
+/// @p reject_member_access, occurrences qualified by `.` or `->` are
+/// skipped (so a `time()` ban does not hit `event.time()`).
+bool has_token(const std::string& line, const std::string& name, char follow,
+               bool reject_member_access = false);
+
+/// The raw (unstripped) line may carry an inline suppression for @p rule:
+/// a trailing `// sharegrid-analyze: allow(<rule>)`. The historical
+/// `sharegrid-lint: allow(<rule>)` spelling is honoured too.
+bool allows(const std::string& raw_line, const std::string& rule);
+
+/// Project-relative path used for layer assignment, rule exemptions, and
+/// baseline matching: the components after the last "src" path component
+/// ("/root/repo/src/live/tcp.hpp" -> "live/tcp.hpp"). Paths with no "src"
+/// component are returned unchanged, so fixture paths like "sched/a.hpp"
+/// work as-is.
+std::string canonical_path(const std::string& path);
+
+}  // namespace sharegrid::analyze

@@ -3,8 +3,9 @@
 # ASan/UBSan and TSan with the runtime invariant auditor compiled in.
 # See docs/static-analysis.md. Usage:
 #
-#   tools/ci.sh                      # all three stages
+#   tools/ci.sh                      # all stages
 #   SHAREGRID_CI_SKIP_TSAN=1 tools/ci.sh   # skip the (slow) TSan stage
+#   SHAREGRID_CI_SKIP_CLANG=1 tools/ci.sh  # skip the Clang -Wthread-safety stage
 #   SHAREGRID_CI_QUICK_BENCH=1 tools/ci.sh # also refresh BENCH_lp.json
 set -euo pipefail
 
@@ -27,8 +28,31 @@ run_stage() {
   ctest --preset "${preset}"
 }
 
-run_stage relwithdebinfo   # -Werror + lint + figure shapes
+run_stage relwithdebinfo   # -Werror + sharegrid_analyze + figure shapes
 run_stage debug-asan       # ASan+UBSan, SHAREGRID_AUDIT=ON
+
+# Clang thread-safety stage: the SHAREGRID_GUARDED_BY/REQUIRES/EXCLUDES
+# annotations (util/thread_annotations.hpp) are no-ops under GCC, so only a
+# Clang build actually checks the locking discipline. CMake adds
+# -Wthread-safety to sharegrid_warnings whenever the compiler is Clang, so a
+# plain warnings-as-errors build is the whole stage.
+if [[ "${SHAREGRID_CI_SKIP_CLANG:-0}" == "1" ]]; then
+  echo "=== [clang-thread-safety] skipped (SHAREGRID_CI_SKIP_CLANG=1) ==="
+elif ! command -v clang++ >/dev/null 2>&1; then
+  echo "=== [clang-thread-safety] FAILED: clang++ not found ===" >&2
+  echo "Install clang to run the -Wthread-safety analysis, or set" >&2
+  echo "SHAREGRID_CI_SKIP_CLANG=1 to acknowledge skipping it. The" >&2
+  echo "annotations are unchecked under GCC, so skipping silently would" >&2
+  echo "let locking-discipline regressions through." >&2
+  exit 1
+else
+  echo
+  echo "=== [clang-thread-safety] configure + build (clang++, -Wthread-safety) ==="
+  cmake -B build-clang -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DCMAKE_C_COMPILER=clang -DCMAKE_CXX_COMPILER=clang++
+  cmake --build build-clang -j "${JOBS}"
+fi
 
 if [[ "${SHAREGRID_CI_SKIP_TSAN:-0}" == "1" ]]; then
   echo "=== [debug-tsan] skipped (SHAREGRID_CI_SKIP_TSAN=1) ==="

@@ -1,0 +1,123 @@
+// sharegrid_analyze: include-graph-aware static analysis for project
+// conventions (the successor to the old per-line sharegrid_lint).
+//
+// Usage:
+//   sharegrid_analyze [--format=text|json] [--baseline=FILE] <root>...
+//
+// Roots are files or directories (the ctest registration passes the repo's
+// src/ plus the checked-in baseline). Exit status 0 = clean, 1 = violations
+// or stale baseline entries, 2 = usage or I/O error.
+//
+// Rule logic lives in the tools/analyze/ library so tests can run every
+// rule on in-memory fixtures (tests/analyze_test.cpp); this binary only
+// loads files, parses flags, and prints. See docs/static-analysis.md for
+// the rule table, the baseline workflow, and the Clang/GCC gating matrix.
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analyze/analyzer.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+using sharegrid::analyze::SourceFile;
+
+bool read_file(const fs::path& path, std::string* out) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  *out = buffer.str();
+  return true;
+}
+
+bool wants_file(const fs::path& path) {
+  const std::string ext = path.extension().string();
+  return ext == ".hpp" || ext == ".cpp" ||
+         path.filename().string() == "CMakeLists.txt";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<fs::path> roots;
+  std::string format = "text";
+  std::string baseline_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--format=", 0) == 0) {
+      format = arg.substr(9);
+      if (format != "text" && format != "json") {
+        std::cerr << "sharegrid_analyze: unknown format '" << format
+                  << "' (expected text or json)\n";
+        return 2;
+      }
+    } else if (arg.rfind("--baseline=", 0) == 0) {
+      baseline_path = arg.substr(11);
+    } else if (arg.rfind("--", 0) == 0) {
+      std::cerr << "sharegrid_analyze: unknown flag '" << arg
+                << "'\nusage: sharegrid_analyze [--format=text|json] "
+                   "[--baseline=FILE] <root>...\n";
+      return 2;
+    } else {
+      roots.emplace_back(arg);
+    }
+  }
+  if (roots.empty()) roots.emplace_back("src");
+
+  std::vector<SourceFile> files;
+  for (const fs::path& root : roots) {
+    std::error_code ec;
+    if (fs::is_directory(root, ec)) {
+      for (const auto& entry : fs::recursive_directory_iterator(root)) {
+        if (!entry.is_regular_file() || !wants_file(entry.path())) continue;
+        SourceFile file{entry.path().string(), {}};
+        if (!read_file(entry.path(), &file.content)) {
+          std::cerr << "sharegrid_analyze: cannot read " << entry.path()
+                    << "\n";
+          return 2;
+        }
+        files.push_back(std::move(file));
+      }
+    } else if (fs::is_regular_file(root, ec)) {
+      SourceFile file{root.string(), {}};
+      if (!read_file(root, &file.content)) {
+        std::cerr << "sharegrid_analyze: cannot read " << root << "\n";
+        return 2;
+      }
+      files.push_back(std::move(file));
+    } else {
+      std::cerr << "sharegrid_analyze: cannot read " << root << "\n";
+      return 2;
+    }
+  }
+  // Scan order must not depend on directory iteration order.
+  std::sort(files.begin(), files.end(),
+            [](const SourceFile& a, const SourceFile& b) {
+              return a.path < b.path;
+            });
+
+  std::vector<sharegrid::analyze::BaselineEntry> baseline;
+  if (!baseline_path.empty()) {
+    std::string text;
+    if (!read_file(baseline_path, &text)) {
+      std::cerr << "sharegrid_analyze: cannot read baseline "
+                << baseline_path << "\n";
+      return 2;
+    }
+    baseline = sharegrid::analyze::parse_baseline(text);
+  }
+
+  const sharegrid::analyze::Report report =
+      sharegrid::analyze::analyze(files, baseline);
+  if (format == "json")
+    write_json(report, std::cout);
+  else
+    write_text(report, std::cout);
+  return report.clean() ? 0 : 1;
+}
