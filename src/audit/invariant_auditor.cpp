@@ -136,6 +136,117 @@ void audit_warm_start_entry(const Matrix& a, const std::vector<double>& rhs,
   audit_simplex_basis(a, rhs, basis, upper, tol);
 }
 
+void audit_basic_values(const std::vector<double>& rhs,
+                        const std::vector<std::size_t>& basis,
+                        const std::vector<double>& upper, double tol) {
+  require(basis.size() == rhs.size(), "simplex.basis-shape", [&] {
+    return std::to_string(rhs.size()) + " basic values but " +
+           std::to_string(basis.size()) + " basis entries";
+  });
+  double scale = 1.0;
+  for (const double r : rhs) scale = std::max(scale, std::abs(r));
+  for (std::size_t i = 0; i < rhs.size(); ++i) {
+    const std::size_t col = basis[i];
+    require(col < upper.size(), "simplex.basis-column-range", [&] {
+      return "row " + std::to_string(i) + " claims basic column " +
+             std::to_string(col) + " of " + std::to_string(upper.size());
+    });
+    require(rhs[i] >= -tol * scale, "simplex.primal-infeasible-rhs", [&] {
+      return "rhs[" + std::to_string(i) + "] = " + num(rhs[i]) +
+             " went negative mid-solve; the ratio test admitted a pivot "
+             "that left the basic solution infeasible";
+    });
+    const double ub = upper[col];
+    require(!std::isfinite(ub) || rhs[i] <= ub + tol * scale,
+            "simplex.primal-above-upper", [&] {
+              return "rhs[" + std::to_string(i) + "] = " + num(rhs[i]) +
+                     " exceeds the basic variable's upper bound " + num(ub) +
+                     "; the bounded ratio test missed the upper-bound "
+                     "leaving candidate and the basic solution violates a "
+                     "box constraint";
+            });
+  }
+}
+
+void audit_unit_column(std::size_t row, const std::vector<double>& ftran_image,
+                       double tol) {
+  for (std::size_t r = 0; r < ftran_image.size(); ++r) {
+    const double expected = r == row ? 1.0 : 0.0;
+    require(std::abs(ftran_image[r] - expected) <= tol,
+            "simplex.basis-not-unit", [&] {
+              return "basic column of row " + std::to_string(row) +
+                     " FTRANs to " + num(ftran_image[r]) + " at row " +
+                     std::to_string(r) + " (expected " + num(expected) +
+                     "); the eta file no longer inverts the basis and the "
+                     "basic solution read off the rhs is meaningless";
+            });
+  }
+}
+
+void audit_reduced_cost_sync(const std::vector<double>& incremental,
+                             const std::vector<double>& reference, double tol) {
+  require(incremental.size() == reference.size(),
+          "simplex.reduced-cost-shape", [&] {
+            return "maintained reduced costs have " +
+                   std::to_string(incremental.size()) +
+                   " entries but the recomputation has " +
+                   std::to_string(reference.size());
+          });
+  // Scale per entry: income LPs price columns in currency units that can
+  // dwarf the rate-scale tolerances, and degenerate-coefficient problems
+  // produce reduced costs around 1e12 whose from-scratch recomputation
+  // itself carries relative rounding error.
+  for (std::size_t j = 0; j < incremental.size(); ++j) {
+    const double scale =
+        1.0 + std::max(std::abs(incremental[j]), std::abs(reference[j]));
+    require(std::abs(incremental[j] - reference[j]) <= tol * scale,
+            "simplex.reduced-cost-drift", [&] {
+              return "column " + std::to_string(j) +
+                     ": maintained reduced cost " + num(incremental[j]) +
+                     " but recomputation gives " + num(reference[j]) +
+                     "; the per-pivot eta update diverged from the "
+                     "factorization and pricing decisions are no longer "
+                     "trustworthy";
+            });
+  }
+}
+
+void audit_no_artificial_basic(const std::vector<std::size_t>& basis,
+                               std::size_t first_artificial) {
+  for (std::size_t i = 0; i < basis.size(); ++i) {
+    require(basis[i] < first_artificial, "simplex.warm-artificial-basic", [&] {
+      return "row " + std::to_string(i) + " enters a warm start with basic "
+             "column " + std::to_string(basis[i]) + " >= first artificial " +
+             std::to_string(first_artificial) +
+             "; the cached basis was not clean and must not be reused";
+    });
+  }
+}
+
+void audit_eta_consistency(const std::vector<double>& eta_values,
+                           const std::vector<double>& fresh_values,
+                           double tol) {
+  require(eta_values.size() == fresh_values.size(), "simplex.eta-rhs-shape",
+          [&] {
+            return std::to_string(eta_values.size()) +
+                   " eta-updated basic values but " +
+                   std::to_string(fresh_values.size()) + " recomputed ones";
+          });
+  double scale = 1.0;
+  for (const double v : fresh_values) scale = std::max(scale, std::abs(v));
+  for (std::size_t i = 0; i < eta_values.size(); ++i) {
+    require(std::abs(eta_values[i] - fresh_values[i]) <= tol * scale,
+            "simplex.eta-rhs-drift", [&] {
+              return "basic value " + std::to_string(i) +
+                     " carried across pivots as " + num(eta_values[i]) +
+                     " but recomputing B^-1 b from scratch at the "
+                     "refactorization gives " + num(fresh_values[i]) +
+                     "; the product-form eta updates drifted from the basis "
+                     "they claim to invert";
+            });
+  }
+}
+
 void audit_window_conservation(const Matrix& quota, const Matrix& consumed,
                                const Matrix& debt, const Matrix& slices,
                                double tol) {

@@ -112,6 +112,54 @@ void audit_warm_start_entry(const Matrix& a, const std::vector<double>& rhs,
                             const std::vector<double>& upper,
                             std::size_t first_artificial, double tol);
 
+// ---------------------------------------------------------------------------
+// lp/solve_context: revised-simplex (eta-file) consistency. These mirror the
+// tableau checks above for a solver that stores no tableau: basis coherence
+// is checked one FTRAN image at a time, and the product-form inverse is
+// cross-checked against a from-scratch rebuild at every refactorization.
+// ---------------------------------------------------------------------------
+
+/// Checks that every basic value lies within its variable's bounds: at least
+/// 0, and at most upper[basis[i]] where finite — the primal-feasibility half
+/// of the old tableau check, usable without any tableau. The tolerance
+/// scales by the largest |rhs| entry (conservative-mode LPs carry saturated
+/// demands around 1e9, where rounding dwarfs any absolute epsilon).
+void audit_basic_values(const std::vector<double>& rhs,
+                        const std::vector<std::size_t>& basis,
+                        const std::vector<double>& upper, double tol);
+
+/// Checks that @p ftran_image — the FTRAN of the column basic in @p row
+/// through the current eta file — is that row's unit vector: 1 in its own
+/// row, 0 elsewhere. This is the revised-simplex statement of "basic columns
+/// are eliminated"; drift here means the eta file no longer inverts the
+/// basis and every ratio test is reading garbage.
+void audit_unit_column(std::size_t row, const std::vector<double>& ftran_image,
+                       double tol);
+
+/// Checks the incrementally-maintained reduced costs against a from-scratch
+/// BTRAN recomputation (the caller supplies both vectors; the solver applies
+/// an eta update per pivot instead of recomputing, and drift silently
+/// mis-prices entering columns). Comparison is entrywise with the tolerance
+/// scaled per entry by the magnitudes involved.
+void audit_reduced_cost_sync(const std::vector<double>& incremental,
+                             const std::vector<double>& reference, double tol);
+
+/// Checks that no artificial column is basic — the warm re-entry
+/// precondition. Artificials are meaningless outside phase 1; a basic
+/// artificial means the solver is about to optimize a point that never
+/// satisfied the original constraints.
+void audit_no_artificial_basic(const std::vector<std::size_t>& basis,
+                               std::size_t first_artificial);
+
+/// Cross-checks the eta-updated basic values carried across pivots against
+/// values recomputed from scratch (B^-1 b minus the at-upper columns) at a
+/// refactorization, aligned per basic variable. Divergence beyond the
+/// scaled tolerance means the product-form updates drifted from the matrix
+/// they claim to invert — plans produced between refactorizations would be
+/// quietly wrong.
+void audit_eta_consistency(const std::vector<double>& eta_values,
+                           const std::vector<double>& fresh_values, double tol);
+
 /// Cross-checks a SolveContext's cumulative counters (duck-typed over
 /// lp::SolveStats to keep this header dependency-free). Every solve is
 /// either warm or cold — exactly one of the two counters moves per solve()

@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <utility>
 
-#include "lp/simplex.hpp"
+#include "lp/solve_context.hpp"
 #include "util/assert.hpp"
 
 namespace sharegrid::sched {

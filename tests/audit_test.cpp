@@ -18,7 +18,6 @@
 #include "experiments/paper_figures.hpp"
 #include "l4/packet.hpp"
 #include "lp/problem.hpp"
-#include "lp/simplex.hpp"
 #include "lp/solve_context.hpp"
 #include "util/assert.hpp"
 
@@ -316,6 +315,103 @@ TEST(AuditSimplex, BlandRegressionFires) {
       violation_message([&] { audit::audit_bland_progress(10.0, 9.0, 1e-9); });
   EXPECT_NE(msg.find("simplex.bland-regress"), std::string::npos);
   EXPECT_NE(msg.find("termination"), std::string::npos);
+}
+
+TEST(AuditSimplex, BasicValuesFeasiblePasses) {
+  const std::vector<double> rhs = {3.0, 1.0};
+  const std::vector<std::size_t> basis = {0, 1};
+  const std::vector<double> upper = {
+      std::numeric_limits<double>::infinity(),
+      std::numeric_limits<double>::infinity()};
+  EXPECT_NO_THROW(audit::audit_basic_values(rhs, basis, upper, 1e-9));
+}
+
+TEST(AuditSimplex, NegativeBasicValueFires) {
+  const std::vector<double> rhs = {3.0, -1.0};
+  const std::vector<std::size_t> basis = {0, 1};
+  const std::vector<double> upper = {
+      std::numeric_limits<double>::infinity(),
+      std::numeric_limits<double>::infinity()};
+  const std::string msg = violation_message(
+      [&] { audit::audit_basic_values(rhs, basis, upper, 1e-9); });
+  EXPECT_NE(msg.find("simplex.primal-infeasible-rhs"), std::string::npos);
+}
+
+TEST(AuditSimplex, BasicValueAboveUpperFires) {
+  const std::vector<double> rhs = {3.0, 1.0};
+  const std::vector<std::size_t> basis = {0, 1};
+  const std::vector<double> upper = {2.0, 2.0};
+  const std::string msg = violation_message(
+      [&] { audit::audit_basic_values(rhs, basis, upper, 1e-9); });
+  EXPECT_NE(msg.find("simplex.primal-above-upper"), std::string::npos);
+}
+
+TEST(AuditSimplex, UnitColumnPasses) {
+  EXPECT_NO_THROW(audit::audit_unit_column(1, {0.0, 1.0, 0.0}, 1e-9));
+}
+
+TEST(AuditSimplex, NonUnitColumnFires) {
+  const std::string msg = violation_message(
+      [&] { audit::audit_unit_column(1, {0.5, 1.0, 0.0}, 1e-9); });
+  EXPECT_NE(msg.find("simplex.basis-not-unit"), std::string::npos);
+}
+
+TEST(AuditSimplex, ReducedCostSyncPasses) {
+  const std::vector<double> incremental = {1.0, -2.0, 0.0};
+  const std::vector<double> reference = {1.0, -2.0, 1e-15};
+  EXPECT_NO_THROW(
+      audit::audit_reduced_cost_sync(incremental, reference, 1e-9));
+}
+
+TEST(AuditSimplex, ReducedCostDriftFires) {
+  const std::vector<double> incremental = {1.0, -2.0, 0.0};
+  const std::vector<double> reference = {1.0, -2.5, 0.0};
+  const std::string msg = violation_message(
+      [&] { audit::audit_reduced_cost_sync(incremental, reference, 1e-9); });
+  EXPECT_NE(msg.find("simplex.reduced-cost-drift"), std::string::npos);
+}
+
+TEST(AuditSimplex, ReducedCostShapeFires) {
+  const std::vector<double> incremental = {1.0, -2.0};
+  const std::vector<double> reference = {1.0, -2.0, 0.0};
+  const std::string msg = violation_message(
+      [&] { audit::audit_reduced_cost_sync(incremental, reference, 1e-9); });
+  EXPECT_NE(msg.find("simplex.reduced-cost-shape"), std::string::npos);
+}
+
+TEST(AuditSimplex, NoArtificialBasicPasses) {
+  const std::vector<std::size_t> basis = {0, 3, 4};
+  EXPECT_NO_THROW(audit::audit_no_artificial_basic(basis, 5));
+}
+
+TEST(AuditSimplex, ArtificialBasicFires) {
+  const std::vector<std::size_t> basis = {0, 6, 4};
+  const std::string msg = violation_message(
+      [&] { audit::audit_no_artificial_basic(basis, 5); });
+  EXPECT_NE(msg.find("simplex.warm-artificial-basic"), std::string::npos);
+}
+
+TEST(AuditSimplex, EtaConsistencyPasses) {
+  const std::vector<double> eta_values = {4.0, 2.0, 0.5};
+  const std::vector<double> fresh_values = {4.0, 2.0, 0.5 + 1e-12};
+  EXPECT_NO_THROW(
+      audit::audit_eta_consistency(eta_values, fresh_values, 1e-6));
+}
+
+TEST(AuditSimplex, EtaDriftFires) {
+  const std::vector<double> eta_values = {4.0, 2.0, 0.5};
+  const std::vector<double> fresh_values = {4.0, 2.1, 0.5};
+  const std::string msg = violation_message(
+      [&] { audit::audit_eta_consistency(eta_values, fresh_values, 1e-6); });
+  EXPECT_NE(msg.find("simplex.eta-rhs-drift"), std::string::npos);
+}
+
+TEST(AuditSimplex, EtaShapeFires) {
+  const std::vector<double> eta_values = {4.0, 2.0};
+  const std::vector<double> fresh_values = {4.0, 2.0, 0.5};
+  const std::string msg = violation_message(
+      [&] { audit::audit_eta_consistency(eta_values, fresh_values, 1e-6); });
+  EXPECT_NE(msg.find("simplex.eta-rhs-shape"), std::string::npos);
 }
 
 // ---------------------------------------------------------------------------

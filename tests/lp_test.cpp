@@ -1,5 +1,5 @@
 // Unit tests for the two-phase simplex solver.
-#include "lp/simplex.hpp"
+#include "lp/solve_context.hpp"
 
 #include <gtest/gtest.h>
 
@@ -9,7 +9,6 @@
 #include <vector>
 
 #include "audit/invariant_auditor.hpp"
-#include "lp/solve_context.hpp"
 #include "util/assert.hpp"
 #include "util/rng.hpp"
 

@@ -10,7 +10,7 @@
 #include "core/flow.hpp"
 #include "experiments/scenario.hpp"
 #include "lp/problem.hpp"
-#include "lp/simplex.hpp"
+#include "lp/solve_context.hpp"
 #include "sched/response_time_scheduler.hpp"
 #include "sched/window_scheduler.hpp"
 #include "util/rng.hpp"

@@ -7,7 +7,7 @@
 
 #include "core/flow.hpp"
 #include "http/message.hpp"
-#include "lp/simplex.hpp"
+#include "lp/solve_context.hpp"
 #include "util/ini.hpp"
 #include "util/rng.hpp"
 

@@ -84,10 +84,23 @@ if [[ "${SHAREGRID_CI_QUICK_BENCH:-0}" == "1" ]]; then
   # regresses below the checked-in baseline.
   LP_JSON="$(mktemp -t lp_bench.XXXXXX.json)"
   TMP_FILES+=("${LP_JSON}")
+  # The unfiltered BM_LpResolve sweep includes the n = 64 and n = 128
+  # revised-simplex scaling points; update_lp_bench.py fails the stage if any
+  # recorded benchmark is missing from the run or a warm-hit rate regresses
+  # below the checked-in sections (baseline *and* previous current).
   ./build-relwithdebinfo/bench/micro_lp \
     --benchmark_filter='BM_LpResolve|BM_LpCold' \
     --benchmark_out="${LP_JSON}" --benchmark_out_format=json
   python3 tools/update_lp_bench.py "${LP_JSON}" --section current
+
+  echo
+  echo "=== [quick-bench] LP suite under ASan (eta-file audits armed) ==="
+  # Timing numbers only count if the engine that produced them is clean:
+  # rerun the LP-facing tests in the audit-enabled ASan build alongside the
+  # bench refresh, so a refactorization or warm-path bug can't slip into
+  # BENCH_lp.json on a machine that skipped the full debug-asan stage.
+  ./build-asan/tests/sharegrid_tests \
+    --gtest_filter='Simplex.*:RevisedSimplex.*:SolveContext.*:Problem.*:AuditSimplex.*:SchedulerWarmStart.*:Regression.*'
 
   echo
   echo "=== [quick-bench] micro_sim event-engine throughput ==="

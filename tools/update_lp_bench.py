@@ -42,6 +42,17 @@ WARM_LABEL = re.compile(r"(\d+)/(\d+) warm solves")
 
 def condense(raw):
     """Keeps just the fields a before/after comparison needs."""
+    for key in ("context", "benchmarks"):
+        if key not in raw:
+            raise SystemExit(
+                f"update_lp_bench: fresh JSON has no '{key}' section — is "
+                "this really --benchmark_out of bench/micro_lp?")
+    nameless = sum(1 for b in raw["benchmarks"] if "name" not in b)
+    if nameless:
+        raise SystemExit(
+            f"update_lp_bench: {nameless} benchmark entr"
+            f"{'y' if nameless == 1 else 'ies'} in the fresh JSON carry no "
+            "'name' field; refusing to fold an unattributable run")
     return {
         "context": {k: raw["context"][k]
                     for k in KEEP_CONTEXT if k in raw["context"]},
@@ -49,6 +60,23 @@ def condense(raw):
                        for b in raw["benchmarks"]
                        if b.get("run_type", "iteration") == "iteration"],
     }
+
+
+def check_coverage(fresh, reference, section):
+    """The fresh run must measure every benchmark the checked-in section
+    records: a silently dropped BM_* point (renamed benchmark, filtered run,
+    crashed binary) would otherwise vanish from BENCH_lp.json without anyone
+    noticing. Returns a list of messages naming each absent entry."""
+    fresh_names = {b["name"] for b in fresh.get("benchmarks", [])}
+    problems = []
+    for b in reference.get("benchmarks", []):
+        name = b.get("name")
+        if name is not None and name not in fresh_names:
+            problems.append(
+                f"benchmark '{name}' is recorded in the checked-in "
+                f"'{section}' section but absent from the fresh run — "
+                "run bench/micro_lp unfiltered or drop the entry on purpose")
+    return problems
 
 
 def warm_rates(section):
@@ -94,12 +122,20 @@ def main():
         "(bounded-variable simplex, implicit bounds); see "
         "docs/lp-performance.md")
 
-    if args.section == "current" and "baseline" in doc:
-        problems = check_warm_rate(fresh, doc["baseline"])
-        if problems:
-            for p in problems:
-                print(f"update_lp_bench: {p}", file=sys.stderr)
-            return 1
+    problems = []
+    if args.section in doc:
+        problems += check_coverage(fresh, doc[args.section], args.section)
+    if args.section == "current":
+        # Gate warm-hit rates against the frozen baseline *and* the previous
+        # current section: the baseline predates the larger problem sizes, so
+        # without the second check their rates would never be gated at all.
+        for reference in ("baseline", "current"):
+            if reference in doc:
+                problems += check_warm_rate(fresh, doc[reference])
+    if problems:
+        for p in problems:
+            print(f"update_lp_bench: {p}", file=sys.stderr)
+        return 1
 
     doc[args.section] = fresh
 
