@@ -174,4 +174,37 @@ void BM_ScenarioL4(benchmark::State& state) {
 }
 BENCHMARK(BM_ScenarioL4);
 
+/// Cluster-partitioned runner at 1/2/4/8 worker lanes: 8 clusters of the
+/// community workload, ~26k requests per run, with the star exchange on
+/// 50 ms links. The /1 point is the serial oracle every other point must
+/// match bitwise (and does — audited); on multi-core hosts the others show
+/// the lane speedup, on a single hardware thread they show the lanes
+/// timeslicing (barrier + handoff overhead only). See
+/// docs/sim-performance.md for the recorded ratios.
+void BM_ScenarioSharded(benchmark::State& state) {
+  core::AgreementGraph g;
+  const auto a = g.add_principal("A", 0.0);
+  const auto b = g.add_principal("B", 0.0);
+  g.set_agreement(a, b, 0.3, 1.0);
+  g.set_agreement(b, a, 0.3, 1.0);
+
+  ScenarioConfig c;
+  c.graph = g;
+  c.layer = Layer::kL4;
+  c.servers = {{"A", 200.0}, {"B", 200.0}};
+  c.clients = {{"CA", "A", 0, 240.0, {{0.0, 10.0}}},
+               {"CB", "B", 0, 160.0, {{2.0, 9.0}}}};
+  c.phases = {{"steady", 1.0, 10.0}};
+  c.duration_sec = 10.0;
+  c.tree_link_delay = 50 * kMillisecond;
+  c.clusters = 8;
+  c.sim_shards = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) benchmark::DoNotOptimize(run_scenario(c));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          8 * 3280);
+}
+// Wall-clock, not per-thread CPU: the work runs on pool lanes the harness's
+// CPU counter never sees, so CPU-time rates would overstate lane scaling.
+BENCHMARK(BM_ScenarioSharded)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
+
 }  // namespace

@@ -10,6 +10,7 @@
 
 #include "experiments/scenario.hpp"
 #include "experiments/scenario_ini.hpp"
+#include "util/metrics_registry.hpp"
 
 int main(int argc, char** argv) {
   using namespace sharegrid;
@@ -38,6 +39,8 @@ int main(int argc, char** argv) {
     std::cout << "\ncoordination messages: " << result.coordination_messages
               << ", peak server backlog: "
               << TextTable::num(result.server_backlog_sec.max(), 3) << " s\n";
+    std::cout << "\n";
+    util::global_metrics().report(std::cout);
   } catch (const ContractViolation& error) {
     std::cerr << "error: " << error.what() << '\n';
     return 1;

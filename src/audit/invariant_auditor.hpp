@@ -545,6 +545,92 @@ void audit_connection_table(const FlowMap& table, const FlowMap& affinity) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// experiments/sharded_scenario: sharded run matches the serial oracle.
+// ---------------------------------------------------------------------------
+
+/// A cluster-partitioned scenario run with sim_shards > 1 must be *bitwise*
+/// equal to the same scenario re-run with sim_shards = 1 — the serial run IS
+/// the oracle. The engine promises shard-count invariance by construction
+/// (conservative lookahead + source-ordered barrier delivery, DESIGN.md
+/// D13); any mismatch here means an event leaked across an epoch boundary,
+/// a barrier delivered out of order, or the per-cluster merge ran in a
+/// nondeterministic order. Duck-typed over ScenarioResult.
+template <class Result>
+void audit_shard_merge_match(const Result& sharded, const Result& serial) {
+  require(sharded.total_admitted == serial.total_admitted &&
+              sharded.total_rejected_or_queued ==
+                  serial.total_rejected_or_queued &&
+              sharded.coordination_messages == serial.coordination_messages,
+          "shard.total-divergence", [&] {
+            return "admitted " + std::to_string(sharded.total_admitted) + "/" +
+                   std::to_string(serial.total_admitted) + ", rejected " +
+                   std::to_string(sharded.total_rejected_or_queued) + "/" +
+                   std::to_string(serial.total_rejected_or_queued) +
+                   ", coordination " +
+                   std::to_string(sharded.coordination_messages) + "/" +
+                   std::to_string(serial.coordination_messages) +
+                   " (sharded/serial); the lanes dropped or duplicated work";
+          });
+  const std::size_t principals = serial.metrics.principal_count();
+  require(sharded.metrics.principal_count() == principals,
+          "shard.metrics-shape", [&] {
+            return "sharded run reports " +
+                   std::to_string(sharded.metrics.principal_count()) +
+                   " principals, serial " + std::to_string(principals);
+          });
+  for (std::size_t p = 0; p < principals; ++p) {
+    const auto compare_series = [&](const auto& lhs, const auto& rhs,
+                                    const char* what) {
+      const std::size_t bins = std::max(lhs.bin_count(), rhs.bin_count());
+      for (std::size_t b = 0; b < bins; ++b) {
+        require(lhs.events_in_bin(b) == rhs.events_in_bin(b),
+                "shard.series-divergence", [&] {
+                  return std::string(what) + "[principal " +
+                         std::to_string(p) + "] bin " + std::to_string(b) +
+                         ": " + std::to_string(lhs.events_in_bin(b)) +
+                         " sharded but " + std::to_string(rhs.events_in_bin(b)) +
+                         " serial; some cluster saw a different event stream";
+                });
+      }
+    };
+    compare_series(sharded.metrics.offered(p), serial.metrics.offered(p),
+                   "offered");
+    compare_series(sharded.metrics.served(p), serial.metrics.served(p),
+                   "served");
+    compare_series(sharded.metrics.rejected(p), serial.metrics.rejected(p),
+                   "rejected");
+    compare_series(sharded.metrics.reply_bytes(p),
+                   serial.metrics.reply_bytes(p), "reply_bytes");
+    const auto& lat_s = sharded.metrics.latency(p);
+    const auto& lat_o = serial.metrics.latency(p);
+    require(lat_s.count() == lat_o.count() && lat_s.mean() == lat_o.mean() &&
+                lat_s.min() == lat_o.min() && lat_s.max() == lat_o.max(),
+            "shard.latency-divergence", [&] {
+              return "latency[principal " + std::to_string(p) + "]: n=" +
+                     std::to_string(lat_s.count()) + " mean=" +
+                     num(lat_s.mean()) + " sharded but n=" +
+                     std::to_string(lat_o.count()) + " mean=" +
+                     num(lat_o.mean()) +
+                     " serial; the per-cluster merge order is not fixed";
+            });
+  }
+  require(sharded.server_backlog_sec.count() ==
+                  serial.server_backlog_sec.count() &&
+              sharded.server_backlog_sec.mean() ==
+                  serial.server_backlog_sec.mean() &&
+              sharded.server_backlog_sec.max() ==
+                  serial.server_backlog_sec.max(),
+          "shard.backlog-divergence", [&] {
+            return "backlog probe: n=" +
+                   std::to_string(sharded.server_backlog_sec.count()) +
+                   " max=" + num(sharded.server_backlog_sec.max()) +
+                   " sharded but n=" +
+                   std::to_string(serial.server_backlog_sec.count()) +
+                   " max=" + num(serial.server_backlog_sec.max()) + " serial";
+          });
+}
+
 }  // namespace sharegrid::audit
 
 // Expands audit calls only in SHAREGRID_AUDIT builds; in normal builds the

@@ -17,6 +17,23 @@ CombiningTree::CombiningTree(sim::Simulator* sim, TreeTopology topology,
   children_ = topology_.children();
   nodes_.resize(topology_.size());
   failed_.assign(topology_.size(), false);
+  // A round holds slots only during its up phase, which lasts at most
+  // depth * link_delay; with one round starting per period, at most
+  // ceil(depth * link_delay / period) + 1 rounds hold slots at once. Double
+  // the bound for slack around equal-time boundaries — begin_round asserts
+  // the bucket it reclaims has actually drained, so an undersized ring is a
+  // loud failure, not corruption.
+  const std::uint64_t up_phase =
+      static_cast<std::uint64_t>(topology_.depth()) *
+      static_cast<std::uint64_t>(config_.link_delay);
+  const std::size_t in_flight =
+      static_cast<std::size_t>(up_phase / static_cast<std::uint64_t>(config_.period)) + 1;
+  rounds_.resize(2 * in_flight + 2);
+  for (RoundFrame& frame : rounds_) {
+    frame.slots.resize(topology_.size());
+    for (RoundSlot& slot : frame.slots)
+      slot.sum.reserve(config_.vector_size);
+  }
 }
 
 void CombiningTree::set_node_failed(std::size_t node, bool failed) {
@@ -59,8 +76,14 @@ void CombiningTree::begin_round(std::uint64_t round) {
   // Every node samples its provider simultaneously at round start, then
   // reports race up the tree; an interior node forwards once its own sample
   // and all children's reports are in.
+  RoundFrame& frame = rounds_[round % rounds_.size()];
+  SHAREGRID_ASSERT(!frame.live);  // ring sized to bound in-flight rounds
+  frame.round = round;
+  frame.live = true;
+  frame.live_slots = nodes_.size();
   for (std::size_t node = 0; node < nodes_.size(); ++node) {
-    RoundSlot& slot = slots_[{round, node}];
+    RoundSlot& slot = frame.slots[node];
+    slot.live = true;
     slot.sum.assign(config_.vector_size, 0.0);
     slot.reports_pending = children_[node].size();
     if (nodes_[node].provider) {
@@ -74,31 +97,39 @@ void CombiningTree::begin_round(std::uint64_t round) {
 
 void CombiningTree::deliver_report(std::uint64_t round, std::size_t node,
                                    const std::vector<double>& value) {
-  auto it = slots_.find({round, node});
-  SHAREGRID_ASSERT(it != slots_.end());
-  RoundSlot& slot = it->second;
+  RoundFrame& frame = rounds_[round % rounds_.size()];
+  SHAREGRID_ASSERT(frame.live && frame.round == round);
+  RoundSlot& slot = frame.slots[node];
+  SHAREGRID_ASSERT(slot.live);
   for (std::size_t i = 0; i < value.size(); ++i) slot.sum[i] += value[i];
   SHAREGRID_ASSERT(slot.reports_pending > 0);
   if (--slot.reports_pending == 0) forward_up(round, node);
 }
 
 void CombiningTree::forward_up(std::uint64_t round, std::size_t node) {
-  auto it = slots_.find({round, node});
-  SHAREGRID_ASSERT(it != slots_.end());
-  const std::vector<double> sum = std::move(it->second.sum);
-  slots_.erase(it);
+  RoundFrame& frame = rounds_[round % rounds_.size()];
+  SHAREGRID_ASSERT(frame.live && frame.round == round);
+  RoundSlot& slot = frame.slots[node];
+  SHAREGRID_ASSERT(slot.live);
+  // Retire the slot but keep its sum buffer in place (capacity is reused on
+  // the next round through this bucket); the buffer stays readable below
+  // because nothing re-enters this frame synchronously.
+  slot.live = false;
+  SHAREGRID_ASSERT(frame.live_slots > 0);
+  if (--frame.live_slots == 0) frame.live = false;
 
   const std::size_t parent = topology_.parent[node];
   if (parent == kNoParent) {
     // Root: the aggregate is complete; broadcast it back down.
     ++rounds_completed_;
-    broadcast_down(round, node, sum);
+    broadcast_down(round, node, slot.sum);
     return;
   }
   ++messages_sent_;
-  sim_->schedule_after(config_.link_delay, [this, round, parent, sum] {
-    deliver_report(round, parent, sum);
-  });
+  sim_->schedule_after(config_.link_delay,
+                       [this, round, parent, sum = slot.sum] {
+                         deliver_report(round, parent, sum);
+                       });
 }
 
 void CombiningTree::broadcast_down(std::uint64_t round, std::size_t node,

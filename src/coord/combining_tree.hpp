@@ -11,7 +11,6 @@
 
 #include <cstdint>
 #include <functional>
-#include <map>
 #include <vector>
 
 #include "coord/topology.hpp"
@@ -79,6 +78,22 @@ class CombiningTree {
   struct RoundSlot {
     std::vector<double> sum;
     std::size_t reports_pending = 0;
+    /// Created at round start, cleared when the node forwards its partial
+    /// sum; replaces the old map erase.
+    bool live = false;
+  };
+  /// All per-node slots of one in-flight round, stored in a ring bucket
+  /// (`round % rounds_.size()`). The ring replaces a
+  /// `std::map<(round, node), RoundSlot>` whose node churn dominated every
+  /// snapshot exchange: slot vectors are now allocated once and reused, and
+  /// lookup is two indexed loads. Capacity bounds the number of live rounds
+  /// — a round holds slots only during its up phase (≤ depth * link_delay),
+  /// and begin_round asserts the reclaimed bucket has drained.
+  struct RoundFrame {
+    std::uint64_t round = 0;
+    bool live = false;
+    std::size_t live_slots = 0;
+    std::vector<RoundSlot> slots;  // indexed by node
   };
 
   void begin_round(std::uint64_t round);
@@ -93,8 +108,8 @@ class CombiningTree {
   std::vector<std::vector<std::size_t>> children_;
   TreeConfig config_;
   std::vector<NodeState> nodes_;
-  // (round, node) -> partial sums; erased when the node forwards.
-  std::map<std::pair<std::uint64_t, std::size_t>, RoundSlot> slots_;
+  // Ring of in-flight rounds; see RoundFrame.
+  std::vector<RoundFrame> rounds_;
   std::unique_ptr<sim::PeriodicTask> task_;
   std::vector<bool> failed_;
   std::uint64_t next_round_ = 0;

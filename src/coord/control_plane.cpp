@@ -7,8 +7,22 @@
 #include "audit/invariant_auditor.hpp"
 #include "util/assert.hpp"
 #include "util/matrix.hpp"
+#include "util/metrics_registry.hpp"
 
 namespace sharegrid::coord {
+
+namespace {
+util::MetricCounter& windows_counter() {
+  static util::MetricCounter& counter = util::global_metrics().counter(
+      "coord.windows", "scheduling windows begun (one plan each)");
+  return counter;
+}
+util::MetricCounter& replans_counter() {
+  static util::MetricCounter& counter = util::global_metrics().counter(
+      "coord.spike_replans", "mid-window spike re-plans taken");
+  return counter;
+}
+}  // namespace
 
 ControlPlane::ControlPlane(const sched::Scheduler* scheduler,
                            ControlPlaneConfig config)
@@ -113,6 +127,7 @@ bool ControlPlane::Member::spike_replan() {
   }
   ++replans_used_;
   ++spike_replans_;
+  replans_counter().add();
   if (plane_->config_.on_spike_replan) plane_->config_.on_spike_replan();
 
   // The window's quota came from the previous window's estimates, which
@@ -136,6 +151,7 @@ void ControlPlane::Member::end_window() {
 }
 
 void ControlPlane::Member::begin_window(SimTime now) {
+  windows_counter().add();
   last_local_demand_ = local_demand();
   window_.begin_window(last_local_demand_, global_);
   // Refill the spike-replan budget: integer re-plans released from the

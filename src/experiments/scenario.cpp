@@ -17,6 +17,7 @@
 #include "sched/swappable_scheduler.hpp"
 #include "sim/simulator.hpp"
 #include "util/assert.hpp"
+#include "util/metrics_registry.hpp"
 #include "util/rng.hpp"
 #include "util/worker_pool.hpp"
 
@@ -80,10 +81,15 @@ TextTable ScenarioResult::phase_table() const {
 }
 
 ScenarioResult run_scenario(const ScenarioConfig& config) {
+  if (config.clusters > 0) return run_clustered_scenario(config);
   SHAREGRID_EXPECTS(!config.servers.empty());
   SHAREGRID_EXPECTS(!config.clients.empty());
   SHAREGRID_EXPECTS(config.redirector_count >= 1);
   SHAREGRID_EXPECTS(config.duration_sec > 0.0);
+
+  // Always-on telemetry is reported per run: zero the process-wide registry
+  // so the totals printed afterwards cover exactly this scenario.
+  util::global_metrics().reset();
 
   // --- Agreement analysis ------------------------------------------------
   core::AgreementGraph graph = config.graph;
@@ -213,28 +219,36 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
   // One shared WebBench-style size model; per-client RNG streams keep runs
   // deterministic regardless of event interleaving.
   const workload::ReplySizeDistribution reply_sizes;
+  SHAREGRID_EXPECTS(config.client_scale >= 1);
   std::vector<std::unique_ptr<nodes::ClientMachine>> clients;
+  // client_scale replicates every declared machine; at the default of 1 the
+  // loop degenerates to the historical one-machine-per-spec build (same
+  // indices, same names, same RNG split order — byte-identical runs).
   for (std::size_t c = 0; c < config.clients.size(); ++c) {
     const ClientSpec& spec = config.clients[c];
     SHAREGRID_EXPECTS(spec.redirector < redirectors.size());
-    nodes::ClientMachine::Config cc;
-    cc.name = spec.name;
-    cc.principal = resolve(graph, spec.principal);
-    cc.index = c;
-    cc.rate = spec.rate;
-    cc.retry_delay_sec = config.retry_delay_sec;
-    cc.max_outstanding = config.max_outstanding;
-    cc.exponential_arrivals = config.exponential_arrivals;
-    cc.net_delay = config.net_delay;
-    cc.weighted_requests = config.weighted_admission;
-    clients.push_back(std::make_unique<nodes::ClientMachine>(
-        &sim, &metrics, redirectors[spec.redirector], cc, master.split(),
-        &reply_sizes));
-    nodes::ClientMachine* machine = clients.back().get();
-    for (const auto& [start, end] : spec.active_sec) {
-      SHAREGRID_EXPECTS(end > start);
-      sim.schedule_at(seconds(start), [machine] { machine->set_active(true); });
-      sim.schedule_at(seconds(end), [machine] { machine->set_active(false); });
+    for (std::size_t rep = 0; rep < config.client_scale; ++rep) {
+      nodes::ClientMachine::Config cc;
+      cc.name = config.client_scale == 1
+                    ? spec.name
+                    : spec.name + "#" + std::to_string(rep);
+      cc.principal = resolve(graph, spec.principal);
+      cc.index = clients.size();
+      cc.rate = spec.rate;
+      cc.retry_delay_sec = config.retry_delay_sec;
+      cc.max_outstanding = config.max_outstanding;
+      cc.exponential_arrivals = config.exponential_arrivals;
+      cc.net_delay = config.net_delay;
+      cc.weighted_requests = config.weighted_admission;
+      clients.push_back(std::make_unique<nodes::ClientMachine>(
+          &sim, &metrics, redirectors[spec.redirector], cc, master.split(),
+          &reply_sizes));
+      nodes::ClientMachine* machine = clients.back().get();
+      for (const auto& [start, end] : spec.active_sec) {
+        SHAREGRID_EXPECTS(end > start);
+        sim.schedule_at(seconds(start), [machine] { machine->set_active(true); });
+        sim.schedule_at(seconds(end), [machine] { machine->set_active(false); });
+      }
     }
   }
 

@@ -78,6 +78,23 @@ struct ScenarioConfig {
   std::size_t redirector_count = 1;
   std::vector<ServerSpec> servers;
   std::vector<ClientSpec> clients;
+
+  /// Cluster-partitioned mode (DESIGN.md D13): when > 0, the declared
+  /// servers/clients describe ONE cluster, replicated this many times. Each
+  /// cluster runs in its own simulation domain with one redirector + one
+  /// control-plane member planning a 1/clusters slice of the global
+  /// agreements; the only cross-cluster traffic is the star snapshot
+  /// exchange, whose `tree_link_delay` (required > 0) is the conservative
+  /// lookahead the sharded engine steps by. 0 = classic single-domain path
+  /// (byte-identical to previous behaviour).
+  std::size_t clusters = 0;
+  /// Worker lanes running the cluster domains (1 = serial oracle). Results
+  /// are bitwise-identical for any value — audited against the serial rerun
+  /// in SHAREGRID_AUDIT builds. Ignored when clusters == 0.
+  std::size_t sim_shards = 1;
+  /// Replicates every declared client machine this many times (applies in
+  /// both modes) — the scale knob for the million-client scenarios.
+  std::size_t client_scale = 1;
   std::vector<PhaseSpec> phases;
   std::vector<CapacityEvent> capacity_events;
 
@@ -149,7 +166,15 @@ struct ScenarioResult {
 };
 
 /// Builds every node, wires the combining tree, applies the client phase
-/// schedule, runs the simulation for `duration_sec`, and reports.
+/// schedule, runs the simulation for `duration_sec`, and reports. Dispatches
+/// to run_clustered_scenario() when `config.clusters > 0`.
 ScenarioResult run_scenario(const ScenarioConfig& config);
+
+/// Cluster-partitioned runner (sharded_scenario.cpp): one simulation domain
+/// per cluster on a conservatively synchronized ShardedSimulator, metrics
+/// merged in cluster order. Requires layer == kL4, redirector_count == 1,
+/// tree_link_delay > 0, tree_fanout == 0, no capacity events, and serial
+/// plan solves; see ScenarioConfig::clusters.
+ScenarioResult run_clustered_scenario(const ScenarioConfig& config);
 
 }  // namespace sharegrid::experiments

@@ -83,6 +83,21 @@ ScenarioConfig scenario_from_ini(const IniDocument& doc) {
     config.redirector_count = static_cast<std::size_t>(*redirectors);
   if (const auto delay = g.get_double("tree_link_delay"))
     config.tree_link_delay = seconds(*delay);
+  // Cluster-partitioned mode: replicate the declared site `clusters` times,
+  // one simulation domain each, run on `sim_shards` worker lanes;
+  // `client_scale` multiplies every declared client machine (both modes).
+  if (const auto clusters = g.get_double("clusters")) {
+    if (*clusters < 0.0) fail("clusters must be >= 0");
+    config.clusters = static_cast<std::size_t>(*clusters);
+  }
+  if (const auto shards = g.get_double("sim_shards")) {
+    if (*shards < 1.0) fail("sim_shards must be >= 1");
+    config.sim_shards = static_cast<std::size_t>(*shards);
+  }
+  if (const auto scale = g.get_double("client_scale")) {
+    if (*scale < 1.0) fail("client_scale must be >= 1");
+    config.client_scale = static_cast<std::size_t>(*scale);
+  }
   if (const auto policy = g.get_string("stale_policy")) {
     if (*policy == "conservative")
       config.stale_policy = sched::StalePolicy::kConservative;

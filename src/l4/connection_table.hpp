@@ -10,11 +10,12 @@
 #pragma once
 
 #include <cstddef>
-#include <map>
+#include <cstdint>
 #include <optional>
 #include <utility>
 
 #include "l4/packet.hpp"
+#include "util/flat_map.hpp"
 
 namespace sharegrid::l4 {
 
@@ -54,8 +55,25 @@ class ConnectionTable {
 
  private:
   using FlowKey = std::pair<Endpoint, Endpoint>;  // (client, vip)
-  std::map<FlowKey, Endpoint> table_;
-  std::map<FlowKey, Endpoint> affinity_;
+  /// Endpoints pack into 48 bits each; mixing the packed pair gives a full
+  /// 64-bit hash without touching per-field std::hash.
+  struct FlowKeyHash {
+    std::size_t operator()(const FlowKey& key) const {
+      const auto pack = [](const Endpoint& ep) {
+        return (static_cast<std::uint64_t>(ep.host) << 16) | ep.port;
+      };
+      return static_cast<std::size_t>(
+          util::hash_combine(util::mix64(pack(key.first)), pack(key.second)));
+    }
+  };
+  /// Flat open-addressing tables (util/flat_map.hpp): the NAT forward path
+  /// does one find per packet and one insert/erase per connection, and at
+  /// million-client scale the node-based std::map spent the packet budget
+  /// chasing tree pointers (micro_flow's BM_FlowTable* pair records the
+  /// before/after).
+  using FlowMap = util::FlatHashMap<FlowKey, Endpoint, FlowKeyHash>;
+  FlowMap table_;
+  FlowMap affinity_;
 };
 
 }  // namespace sharegrid::l4

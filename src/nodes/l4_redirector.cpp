@@ -4,8 +4,25 @@
 #include <utility>
 
 #include "util/assert.hpp"
+#include "util/metrics_registry.hpp"
 
 namespace sharegrid::nodes {
+
+namespace {
+// Redirector packet-path counters (util/metrics_registry.hpp). Admitted and
+// dropped totals are flushed as per-window deltas, keeping the per-packet
+// path free of shared atomics that sharded lanes would contend on.
+util::MetricCounter& admitted_counter() {
+  static util::MetricCounter& counter = util::global_metrics().counter(
+      "l4.admitted", "connections admitted and redirected to a server");
+  return counter;
+}
+util::MetricCounter& dropped_counter() {
+  static util::MetricCounter& counter = util::global_metrics().counter(
+      "l4.dropped", "SYNs dropped with the kernel queue full");
+  return counter;
+}
+}  // namespace
 
 L4Redirector::L4Redirector(sim::Simulator* sim, Metrics* metrics,
                            ServerPool* servers,
@@ -151,7 +168,15 @@ void L4Redirector::forward_to(const Held& held, Server* server) {
   });
 }
 
+void L4Redirector::flush_metrics() {
+  admitted_counter().add(admitted_ - flushed_admitted_);
+  dropped_counter().add(drops_ - flushed_drops_);
+  flushed_admitted_ = admitted_;
+  flushed_drops_ = drops_;
+}
+
 void L4Redirector::on_window_begun(SimTime now) {
+  flush_metrics();
   const std::size_t n = queues_.size();
   if (config_.trace != nullptr) {
     const sched::WindowScheduler& window = member_->window_scheduler();

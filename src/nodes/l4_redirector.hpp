@@ -50,7 +50,10 @@ class L4Redirector final : public RedirectorBase {
   ///               belong to exactly one node.
   L4Redirector(sim::Simulator* sim, Metrics* metrics, ServerPool* servers,
                coord::ControlPlane::Member* member, Config config);
-  ~L4Redirector() override { *alive_ = false; }
+  ~L4Redirector() override {
+    flush_metrics();  // counts since the last window boundary
+    *alive_ = false;
+  }
 
   /// Virtual service endpoint for a principal's service (what clients dial).
   static l4::Endpoint vip(core::PrincipalId principal) {
@@ -83,6 +86,10 @@ class L4Redirector final : public RedirectorBase {
   };
 
   void on_window_begun(SimTime now);
+  /// Flushes admitted/dropped deltas to the global metrics registry; called
+  /// at window boundaries and on destruction so the per-packet path never
+  /// touches a shared atomic.
+  void flush_metrics();
   /// Admission decision for a SYN; true when forwarded.
   bool try_forward(const Held& held);
   void forward_to(const Held& held, Server* server);
@@ -103,6 +110,8 @@ class L4Redirector final : public RedirectorBase {
 
   std::uint64_t drops_ = 0;
   std::uint64_t admitted_ = 0;
+  std::uint64_t flushed_drops_ = 0;
+  std::uint64_t flushed_admitted_ = 0;
   std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
 };
 

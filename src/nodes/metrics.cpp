@@ -36,6 +36,20 @@ void Metrics::on_reply_bytes(core::PrincipalId p, SimTime t, double bytes) {
   bytes_[p].record(t, static_cast<std::uint64_t>(bytes));
 }
 
+void Metrics::merge_from(const Metrics& other) {
+  SHAREGRID_EXPECTS(other.principal_count() == principal_count());
+  for (std::size_t p = 0; p < served_.size(); ++p) {
+    offered_[p].merge_from(other.offered_[p]);
+    served_[p].merge_from(other.served_[p]);
+    rejected_[p].merge_from(other.rejected_[p]);
+    latency_[p].merge_from(other.latency_[p]);
+    bytes_[p].merge_from(other.bytes_[p]);
+  }
+  plan_fallbacks_ += other.plan_fallbacks_;
+  spike_replans_ += other.spike_replans_;
+  replans_suppressed_ += other.replans_suppressed_;
+}
+
 const RateSeries& Metrics::offered(core::PrincipalId p) const {
   check(p);
   return offered_[p];

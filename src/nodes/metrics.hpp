@@ -43,6 +43,14 @@ class Metrics {
   /// bounced on the existing quota instead of re-solving the LP.
   void on_replan_suppressed() { ++replans_suppressed_; }
 
+  /// Folds another Metrics (same principal count and bin width) into this
+  /// one — used by the cluster-partitioned scenarios to combine per-cluster
+  /// measurement hubs into one global report. Rate series add integer bin
+  /// counts (order-independent); latency stats use the parallel Welford
+  /// combination, so callers merge clusters in index order to keep the
+  /// floating-point result reproducible.
+  void merge_from(const Metrics& other);
+
   const RateSeries& offered(core::PrincipalId p) const;
   const RateSeries& served(core::PrincipalId p) const;
   const RateSeries& rejected(core::PrincipalId p) const;

@@ -3,8 +3,20 @@
 #include <utility>
 
 #include "audit/invariant_auditor.hpp"
+#include "util/metrics_registry.hpp"
 
 namespace sharegrid::sim {
+
+namespace {
+/// Process-wide event counter (util/metrics_registry.hpp). Deltas are
+/// flushed once per run_until/run_all call, not per event, so sharded lanes
+/// don't contend on the counter's cache line in the dispatch loop.
+util::MetricCounter& events_counter() {
+  static util::MetricCounter& counter = util::global_metrics().counter(
+      "sim.events", "events dispatched across all simulators");
+  return counter;
+}
+}  // namespace
 
 EventNode* Simulator::grow() {
   arena_.push_back(std::make_unique<EventNode[]>(kChunk));
@@ -28,11 +40,13 @@ void Simulator::dispatch(EventNode* node) {
 
 void Simulator::run_until(SimTime deadline) {
   SHAREGRID_EXPECTS(deadline >= now_);
+  const std::uint64_t before = events_processed_;
   while (EventNode* node = wheel_.pop_next(deadline)) {
     SHAREGRID_AUDIT_HOOK(audit::audit_sim_clock_monotone(now_, node->time));
     now_ = node->time;
     dispatch(node);
   }
+  events_counter().add(events_processed_ - before);
   now_ = deadline;
   // Remaining events are strictly later than the deadline, so the cursor may
   // move all the way up without passing any of them.
@@ -41,11 +55,13 @@ void Simulator::run_until(SimTime deadline) {
 }
 
 void Simulator::run_all() {
+  const std::uint64_t before = events_processed_;
   while (EventNode* node = wheel_.pop_next(TimingWheel::kNoEvent)) {
     SHAREGRID_AUDIT_HOOK(audit::audit_sim_clock_monotone(now_, node->time));
     now_ = node->time;
     dispatch(node);
   }
+  events_counter().add(events_processed_ - before);
   SHAREGRID_AUDIT_HOOK(wheel_.audit_consistency(next_seq_, events_processed_));
 }
 

@@ -11,6 +11,13 @@ class RunningStats {
  public:
   void add(double x);
 
+  /// Folds another accumulator into this one (Chan et al.'s parallel
+  /// variance combination). Deterministic for a fixed merge order; merging
+  /// in a different order than samples arrived gives an equally valid but
+  /// not bit-identical m2, so callers wanting reproducibility must fix the
+  /// order (e.g. cluster index).
+  void merge_from(const RunningStats& other);
+
   std::size_t count() const { return n_; }
   double mean() const { return n_ > 0 ? mean_ : 0.0; }
   /// Sample variance (n-1 denominator); 0 when fewer than two samples.

@@ -56,6 +56,16 @@ class RateSeries {
 
   std::uint64_t total_events() const;
 
+  /// Adds @p other's bins into this series (bin widths must match). Counts
+  /// are integers, so merging per-cluster series in any grouping yields the
+  /// same totals — bit-exactness for free.
+  void merge_from(const RateSeries& other) {
+    SHAREGRID_EXPECTS(other.bin_width_ == bin_width_);
+    if (other.bins_.size() > bins_.size()) bins_.resize(other.bins_.size(), 0);
+    for (std::size_t i = 0; i < other.bins_.size(); ++i)
+      bins_[i] += other.bins_[i];
+  }
+
  private:
   SimDuration bin_width_;
   std::vector<std::uint64_t> bins_;

@@ -70,6 +70,15 @@ else
   echo "=== [debug-tsan] control plane + live drivers ==="
   ./build-tsan/tests/sharegrid_tests \
     --gtest_filter='ControlPlane.*:ControlPlaneAudit.*:WallClockAdmission.*:L7Service.*:Tcp.*'
+  # The sharded simulation engine runs cluster domains on worker-pool lanes
+  # with hand-rolled epoch barriers — exactly the code TSan exists for.
+  # Rerun the engine and the cluster-partitioned scenario tests standalone;
+  # the scenario tests also exercise the serial-as-oracle audit rerun
+  # (SHAREGRID_AUDIT is ON in this build), so a racy lane would show up both
+  # as a TSan report and as a bitwise divergence.
+  echo "=== [debug-tsan] sharded simulation lanes ==="
+  ./build-tsan/tests/sharegrid_tests \
+    --gtest_filter='ShardedSimulator.*:ClusteredScenario.*'
 fi
 
 # Opt-in: refresh the checked-in warm-vs-cold LP re-solve numbers (see
@@ -103,15 +112,29 @@ if [[ "${SHAREGRID_CI_QUICK_BENCH:-0}" == "1" ]]; then
     --gtest_filter='Simplex.*:RevisedSimplex.*:SolveContext.*:Problem.*:AuditSimplex.*:SchedulerWarmStart.*:Regression.*'
 
   echo
-  echo "=== [quick-bench] micro_sim event-engine throughput ==="
-  # Same split for BENCH_sim.json: 'current' is the timing wheel, the frozen
-  # priority-queue 'baseline' section stays for comparison.
+  echo "=== [quick-bench] micro_sim event-engine + sharded scenario ==="
+  # Same split for BENCH_sim.json: 'current' is the timing wheel + sharded
+  # runner + flat flow tables, the frozen priority-queue 'baseline' section
+  # stays for comparison. The BM_Scenario filter picks up BM_ScenarioSharded
+  # (1/2/4/8 lanes) alongside the classic L4/L7 points.
   SIM_JSON="$(mktemp -t sim_bench.XXXXXX.json)"
   TMP_FILES+=("${SIM_JSON}")
   ./build-relwithdebinfo/bench/micro_sim \
     --benchmark_filter='BM_Simulator|BM_Scenario' \
     --benchmark_out="${SIM_JSON}" --benchmark_out_format=json
-  python3 tools/update_sim_bench.py "${SIM_JSON}" --section current
+
+  echo
+  echo "=== [quick-bench] micro_flow NAT-table map-vs-flat churn ==="
+  # The connection-table container swap (std::map -> open-addressing
+  # FlatHashMap) is recorded in the same section; update_sim_bench.py's
+  # coverage gate keeps both pairs from silently vanishing.
+  FLOW_JSON="$(mktemp -t flow_bench.XXXXXX.json)"
+  TMP_FILES+=("${FLOW_JSON}")
+  ./build-relwithdebinfo/bench/micro_flow \
+    --benchmark_filter='BM_FlowTable' \
+    --benchmark_out="${FLOW_JSON}" --benchmark_out_format=json
+  python3 tools/update_sim_bench.py "${SIM_JSON}" "${FLOW_JSON}" \
+    --section current
 fi
 
 echo

@@ -1,13 +1,21 @@
 #!/usr/bin/env python3
-"""Folds a fresh google-benchmark JSON run of bench/micro_sim into
-BENCH_sim.json, which keeps two sections side by side:
+"""Folds fresh google-benchmark JSON runs into BENCH_sim.json, which keeps
+two sections side by side:
 
   baseline : the pre-timing-wheel engine (std::priority_queue of
              std::function events), frozen for before/after comparison
-  current  : the timing-wheel engine, refreshed by
-             SHAREGRID_CI_QUICK_BENCH=1 tools/ci.sh
+  current  : the timing-wheel engine + sharded scenario runner + flat
+             flow tables, refreshed by SHAREGRID_CI_QUICK_BENCH=1 tools/ci.sh
 
-Usage: tools/update_sim_bench.py FRESH_JSON [--section current|baseline]
+Multiple FRESH_JSON files concatenate (micro_sim and micro_flow are separate
+binaries but share the section); the context is taken from the first file.
+
+The update is coverage-gated: every benchmark name already recorded in the
+target section must appear in the fresh runs, so a renamed benchmark, an
+over-narrow --benchmark_filter, or a crashed binary cannot silently drop a
+measurement from the checked-in history.
+
+Usage: tools/update_sim_bench.py FRESH_JSON... [--section current|baseline]
 """
 import argparse
 import json
@@ -34,15 +42,36 @@ def condense(raw):
     }
 
 
+def check_coverage(fresh, reference, section):
+    """Every benchmark recorded in the checked-in section must be present in
+    the fresh runs. Returns a list of messages naming each absent entry."""
+    fresh_names = {b["name"] for b in fresh.get("benchmarks", [])}
+    problems = []
+    for b in reference.get("benchmarks", []):
+        name = b.get("name")
+        if name is not None and name not in fresh_names:
+            problems.append(
+                f"benchmark '{name}' is recorded in the checked-in "
+                f"'{section}' section but absent from the fresh runs — "
+                "run the benches unfiltered or drop the entry on purpose")
+    return problems
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("fresh", type=pathlib.Path)
+    parser.add_argument("fresh", type=pathlib.Path, nargs="+")
     parser.add_argument("--section", default="current",
                         choices=("current", "baseline"))
     args = parser.parse_args()
 
-    with open(args.fresh) as f:
-        fresh = condense(json.load(f))
+    fresh = None
+    for path in args.fresh:
+        with open(path) as f:
+            part = condense(json.load(f))
+        if fresh is None:
+            fresh = part
+        else:
+            fresh["benchmarks"] += part["benchmarks"]
 
     doc = {}
     if BENCH.exists():
@@ -52,6 +81,13 @@ def main():
         "comment",
         "Simulator event-engine throughput, before (priority-queue engine) "
         "and after (hierarchical timing wheel); see docs/sim-performance.md")
+
+    if args.section in doc:
+        problems = check_coverage(fresh, doc[args.section], args.section)
+        if problems:
+            for p in problems:
+                print(f"update_sim_bench: {p}", file=sys.stderr)
+            return 1
     doc[args.section] = fresh
 
     with open(BENCH, "w") as f:
