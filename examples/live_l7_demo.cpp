@@ -15,7 +15,7 @@
 #include "core/flow.hpp"
 #include "http/message.hpp"
 #include "live/l7_service.hpp"
-#include "live/tcp.hpp"
+#include "net/tcp.hpp"
 #include "sched/response_time_scheduler.hpp"
 #include "util/table.hpp"
 
@@ -24,10 +24,10 @@ using namespace sharegrid;
 namespace {
 
 /// Trivial backend: answers every request with 200 OK.
-void backend_loop(live::Socket* listener, std::atomic<bool>* running) {
+void backend_loop(net::Socket* listener, std::atomic<bool>* running) {
   while (running->load()) {
     try {
-      live::Socket conn = listener->accept();
+      net::Socket conn = listener->accept();
       if (!running->load()) break;
       conn.read_http_head();
       http::Response ok;
@@ -41,7 +41,7 @@ void backend_loop(live::Socket* listener, std::atomic<bool>* running) {
 
 /// One GET; returns the redirect Location (empty when not a 302).
 std::string get_location(std::uint16_t port, const std::string& target) {
-  live::Socket conn = live::Socket::connect_loopback(port);
+  net::Socket conn = net::Socket::connect_loopback(port);
   http::Request req;
   req.target = target;
   conn.write_all(req.serialize());
@@ -66,7 +66,7 @@ int main() {
 
   // Real backend server on an ephemeral loopback port.
   std::atomic<bool> running{true};
-  live::Socket backend_listener = live::Socket::listen_on_loopback();
+  net::Socket backend_listener = net::Socket::listen_on_loopback();
   const std::uint16_t backend_port = backend_listener.local_port();
   std::thread backend(backend_loop, &backend_listener, &running);
 
@@ -110,7 +110,7 @@ int main() {
   service.stop();
   running.store(false);
   try {
-    live::Socket::connect_loopback(backend_port);  // unblock the backend
+    net::Socket::connect_loopback(backend_port);  // unblock the backend
   } catch (const ContractViolation&) {
   }
   backend.join();

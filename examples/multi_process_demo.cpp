@@ -1,0 +1,403 @@
+// Cross-process control plane over loopback TCP (coord::SocketTransport).
+//
+// The launcher forks one OS process per redirector declared in the scenario
+// (transport = socket). Each child hosts one coord::ControlPlane member and
+// joins the star exchange: the root (process 0) paces rounds, the leaves
+// report their demand vectors, and every process advances its scheduling
+// window from the transport's on_round_start hook, so the whole fleet steps
+// window boundaries on the same round tags.
+//
+// Two phases, both asserted:
+//
+//   1. Convergence — every child drives K windows over the wire, then
+//      replays the identical schedule on a single-process
+//      InProcessTransport fleet and requires its per-window plans, quotas
+//      and demand vectors to match *bitwise*. The lockstep wire protocol
+//      sums reports in the same member order with the same floating-point
+//      order, so "close" is not accepted — equality is.
+//
+//   2. Degradation — the highest-index child exits abruptly mid-run. The
+//      survivors' rounds hit the deadline, no fresh aggregate arrives, the
+//      staleness threshold trips, and each surviving member must drop back
+//      to the conservative 1/R regime (global().valid == false) — the
+//      paper's no-snapshot posture — within the staleness budget.
+//
+// Usage: multi_process_demo <scenario.ini>   (see scenarios/multi_process.ini)
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "coord/control_plane.hpp"
+#include "coord/snapshot_transport.hpp"
+#include "coord/socket_transport.hpp"
+#include "core/flow.hpp"
+#include "experiments/scenario.hpp"
+#include "experiments/scenario_ini.hpp"
+#include "net/tcp.hpp"
+#include "sched/response_time_scheduler.hpp"
+#include "util/assert.hpp"
+#include "util/time.hpp"
+
+namespace {
+
+using sharegrid::experiments::ScenarioConfig;
+
+constexpr int kWindows = 8;  // windows compared bitwise in phase 1
+
+std::int64_t now_usec() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// The scheduler run_scenario would build for this config: capacities come
+/// from the declared machines, then one ResponseTimeScheduler over the
+/// analyzed access levels. The demo keeps to the response-time objective —
+/// the transport under test is indifferent to the LP on top of it.
+std::unique_ptr<sharegrid::sched::Scheduler> build_scheduler(
+    const ScenarioConfig& config, sharegrid::core::AgreementGraph* graph_out) {
+  SHAREGRID_EXPECTS(config.scheduler ==
+                    sharegrid::experiments::SchedulerKind::kResponseTime);
+  sharegrid::core::AgreementGraph graph = config.graph;
+  for (sharegrid::core::PrincipalId p = 0; p < graph.size(); ++p)
+    graph.set_capacity(p, 0.0);
+  for (const auto& spec : config.servers) {
+    const sharegrid::core::PrincipalId owner = graph.find(spec.owner);
+    SHAREGRID_EXPECTS(owner != sharegrid::core::kNoPrincipal);
+    graph.set_capacity(owner, graph.capacity(owner) + spec.capacity);
+  }
+  *graph_out = graph;
+  sharegrid::sched::ResponseTimeOptions options;
+  if (!config.locality_caps.empty()) options.locality_caps = config.locality_caps;
+  return std::make_unique<sharegrid::sched::ResponseTimeScheduler>(
+      *graph_out, sharegrid::core::compute_access_levels(*graph_out), options);
+}
+
+sharegrid::coord::ControlPlaneConfig plane_config(const ScenarioConfig& config) {
+  sharegrid::coord::ControlPlaneConfig cp;
+  cp.window = config.window;
+  cp.redirector_count = config.redirector_count;
+  cp.stale_policy = config.stale_policy;
+  cp.spike_replan_limit = config.spike_replan_limit;
+  return cp;
+}
+
+/// Deterministic offered load for member `m`, window `k` (1-based): the
+/// scenario's client rates scaled by a small per-window pattern, so the
+/// demand estimators actually move and the plans differ window to window.
+void inject_arrivals(const ScenarioConfig& config,
+                     sharegrid::coord::ControlPlane::Member* member,
+                     std::size_t m, int k) {
+  const double window_sec = sharegrid::to_seconds(config.window);
+  for (const auto& client : config.clients) {
+    if (client.redirector != m) continue;
+    const sharegrid::core::PrincipalId p = config.graph.find(client.principal);
+    SHAREGRID_EXPECTS(p != sharegrid::core::kNoPrincipal);
+    const double scale =
+        0.5 + 0.5 * static_cast<double>((static_cast<std::size_t>(k) + m) % 3);
+    member->record_arrival(p, client.rate * window_sec * scale);
+  }
+}
+
+/// Everything one window boundary decided, captured bitwise.
+struct WindowRecord {
+  std::vector<double> demand;  // last_local_demand at begin_window
+  std::vector<double> quota;   // remaining quota per principal
+  std::vector<double> plan;    // full plan rate matrix, row-major
+  bool global_valid = false;
+
+  bool operator==(const WindowRecord& o) const {
+    return demand == o.demand && quota == o.quota && plan == o.plan &&
+           global_valid == o.global_valid;
+  }
+};
+
+WindowRecord snapshot(const sharegrid::coord::ControlPlane::Member& member) {
+  WindowRecord rec;
+  rec.demand = member.last_local_demand();
+  const std::size_t n = member.size();
+  for (std::size_t i = 0; i < n; ++i)
+    rec.quota.push_back(member.window_scheduler().remaining_quota(i));
+  const auto& plan = member.window_scheduler().last_plan();
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j)
+      rec.plan.push_back(plan.rate.rows() == 0 ? 0.0 : plan.rate(i, j));
+  rec.global_valid = member.global().valid;
+  return rec;
+}
+
+/// Attaches a single-member plane at its global slot on the shared
+/// InProcessTransport. Each forked process registers its one member at
+/// member_offset on the wire; the baseline mirrors that addressing.
+class OffsetTransport final : public sharegrid::coord::SnapshotTransport {
+ public:
+  OffsetTransport(sharegrid::coord::InProcessTransport* inner,
+                  std::size_t offset)
+      : inner_(inner), offset_(offset) {}
+  void attach(std::size_t member, Provider provider,
+              Receiver receiver) override {
+    inner_->attach(offset_ + member, std::move(provider), std::move(receiver));
+  }
+  void start() override {}
+  void stop() override {}
+  std::uint64_t messages_sent() const override { return 0; }
+
+ private:
+  sharegrid::coord::InProcessTransport* inner_;
+  std::size_t offset_;
+};
+
+/// One full-fleet run on the synchronous in-process transport — the oracle
+/// the socket fleet must match. Window k plans against the aggregate of
+/// round k-1, exactly like the wire protocol's lockstep schedule. Each
+/// member gets its own plane and scheduler, just like the per-process fleet:
+/// the LP solver carries warm-start state between solves, so a scheduler
+/// shared across members would see solve sequences no child process does.
+std::vector<std::vector<WindowRecord>> run_baseline(
+    const ScenarioConfig& config) {
+  const std::size_t r = config.redirector_count;
+  sharegrid::coord::InProcessTransport transport(r, config.graph.size());
+  std::vector<sharegrid::core::AgreementGraph> graphs(r);
+  std::vector<std::unique_ptr<sharegrid::sched::Scheduler>> schedulers;
+  std::vector<std::unique_ptr<sharegrid::coord::ControlPlane>> planes;
+  std::vector<sharegrid::coord::ControlPlane::Member*> members;
+  std::vector<OffsetTransport> adapters;
+  adapters.reserve(r);
+  for (std::size_t m = 0; m < r; ++m) {
+    schedulers.push_back(build_scheduler(config, &graphs[m]));
+    planes.push_back(std::make_unique<sharegrid::coord::ControlPlane>(
+        schedulers[m].get(), plane_config(config)));
+    members.push_back(planes[m]->add_member());
+    adapters.emplace_back(&transport, m);
+    planes[m]->connect(&adapters[m]);
+  }
+  transport.start();
+
+  std::vector<std::vector<WindowRecord>> records(r);
+  for (int k = 1; k <= kWindows; ++k) {
+    for (std::size_t m = 0; m < r; ++m) {
+      if (k == 1) {
+        planes[m]->begin_windows(0);
+      } else {
+        planes[m]->end_windows();
+        planes[m]->begin_windows(static_cast<sharegrid::SimTime>(k - 1) *
+                                 config.window);
+      }
+      inject_arrivals(config, members[m], m, k);
+      records[m].push_back(snapshot(*members[m]));
+    }
+    transport.exchange();
+  }
+  transport.stop();
+  return records;
+}
+
+enum class Phase { kConverge, kDegrade };
+
+/// Body of one forked redirector process.
+int run_child(const ScenarioConfig& config, std::size_t index,
+              std::uint16_t root_port, Phase phase) {
+  sharegrid::core::AgreementGraph graph;
+  const auto scheduler = build_scheduler(config, &graph);
+  sharegrid::coord::ControlPlane plane(scheduler.get(), plane_config(config));
+  sharegrid::coord::ControlPlane::Member* member = plane.add_member();
+
+  int windows_begun = 0;
+  bool round_gap = false;
+  std::vector<WindowRecord> records;
+
+  sharegrid::coord::SocketTransport::Options options;
+  options.peers = config.socket_peers;
+  options.peers[0] = "127.0.0.1:" + std::to_string(root_port);
+  options.process_index = index;
+  options.member_offset = index;
+  options.fleet_size = config.redirector_count;
+  options.round_period_usec = 2000;
+  options.dial_retry_usec = 5000;
+  options.io_timeout_ms = 20;
+  if (phase == Phase::kConverge) {
+    // A deadline generous enough that an abandoned round means something is
+    // genuinely wrong (and the bitwise comparison would be void anyway).
+    options.round_deadline_usec = 5'000'000;
+    options.stale_after_usec = 600'000'000;
+  } else {
+    options.round_deadline_usec = 40'000;
+    options.stale_after_usec = 120'000;
+  }
+  options.on_round_start = [&](std::uint64_t round) {
+    ++windows_begun;
+    if (round != static_cast<std::uint64_t>(windows_begun)) round_gap = true;
+    if (windows_begun == 1) {
+      plane.begin_windows(0);
+    } else {
+      plane.end_windows();
+      plane.begin_windows(static_cast<sharegrid::SimTime>(windows_begun - 1) *
+                          config.window);
+    }
+    inject_arrivals(config, member, index, windows_begun);
+    if (windows_begun <= kWindows) records.push_back(snapshot(*member));
+  };
+
+  sharegrid::coord::SocketTransport transport(
+      /*local_member_count=*/1, graph.size(), std::move(options));
+  plane.connect(&transport);
+  transport.start();
+
+  const std::int64_t hard_stop = now_usec() + 30'000'000;  // loaded-CI cap
+  const bool victim =
+      phase == Phase::kDegrade && index == config.redirector_count - 1;
+  bool degraded = false;
+  for (;;) {
+    transport.poll(now_usec());
+    if (phase == Phase::kConverge && windows_begun > kWindows) break;
+    if (victim && windows_begun >= 3) break;  // simulated crash, mid-fleet
+    if (phase == Phase::kDegrade && !victim &&
+        transport.stale_fallbacks() >= 1 && !member->global().valid) {
+      degraded = true;
+      break;
+    }
+    if (now_usec() > hard_stop) {
+      std::fprintf(stderr, "member %zu: timed out (windows=%d stale=%llu)\n",
+                   index, windows_begun,
+                   static_cast<unsigned long long>(transport.stale_fallbacks()));
+      transport.stop();
+      return 3;
+    }
+    usleep(300);
+  }
+  transport.stop();
+
+  if (phase == Phase::kDegrade) {
+    if (victim) {
+      std::printf("member %zu: exited after window 3 (simulated crash)\n",
+                  index);
+      return 0;
+    }
+    if (!degraded) return 3;
+    // The next window must plan from the conservative no-snapshot posture.
+    plane.end_windows();
+    plane.begin_windows(static_cast<sharegrid::SimTime>(windows_begun) *
+                        config.window);
+    if (member->global().valid) {
+      std::fprintf(stderr, "member %zu: global still valid after fallback\n",
+                   index);
+      return 3;
+    }
+    std::printf(
+        "member %zu: degraded to the conservative 1/R regime after peer loss "
+        "(stale_fallbacks=%llu rounds_abandoned=%llu)\n",
+        index, static_cast<unsigned long long>(transport.stale_fallbacks()),
+        static_cast<unsigned long long>(transport.rounds_abandoned()));
+    return 0;
+  }
+
+  // Phase 1: replay the fleet in-process and demand bitwise equality.
+  if (round_gap || transport.rounds_abandoned() != 0) {
+    std::fprintf(stderr, "member %zu: round abandoned during convergence\n",
+                 index);
+    return 2;
+  }
+  if (transport.frames_rejected() != 0) {
+    std::fprintf(stderr, "member %zu: rejected frames on a clean run: %s\n",
+                 index, transport.last_reject_reason().c_str());
+    return 2;
+  }
+  const auto baseline = run_baseline(config);
+  if (records.size() != static_cast<std::size_t>(kWindows) ||
+      records != baseline[index]) {
+    std::fprintf(stderr,
+                 "member %zu: socket plans diverge from InProcessTransport\n",
+                 index);
+    return 1;
+  }
+  std::printf(
+      "member %zu: %d windows over TCP, plans bitwise-identical to the "
+      "in-process baseline (messages_sent=%llu)\n",
+      index, kWindows,
+      static_cast<unsigned long long>(transport.messages_sent()));
+  return 0;
+}
+
+/// Grabs an ephemeral loopback port. A tiny bind race remains between close
+/// and the root child's re-bind, but SO_REUSEADDR plus the kernel's
+/// ephemeral-port rotation make it vanishingly unlikely.
+std::uint16_t pick_port() {
+  return sharegrid::net::Socket::listen_on_loopback(0).local_port();
+}
+
+/// Forks the fleet (root first) and waits for every child to exit cleanly.
+bool run_phase(const ScenarioConfig& config, Phase phase, const char* name) {
+  const std::uint16_t port = pick_port();
+  std::fflush(stdout);
+  std::vector<pid_t> children;
+  for (std::size_t i = 0; i < config.redirector_count; ++i) {
+    const pid_t pid = fork();
+    if (pid < 0) {
+      std::perror("fork");
+      return false;
+    }
+    if (pid == 0) {
+      int code = 4;
+      try {
+        code = run_child(config, i, port, phase);
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "member %zu: %s\n", i, e.what());
+      }
+      std::fflush(stdout);
+      std::_Exit(code);
+    }
+    children.push_back(pid);
+  }
+  bool ok = true;
+  for (const pid_t pid : children) {
+    int status = 0;
+    if (waitpid(pid, &status, 0) != pid ||
+        !WIFEXITED(status) || WEXITSTATUS(status) != 0)
+      ok = false;
+  }
+  std::printf("phase %s: %s\n", name, ok ? "ok" : "FAILED");
+  return ok;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: %s <scenario.ini>\n", argv[0]);
+    return 64;
+  }
+  ScenarioConfig config;
+  try {
+    config = sharegrid::experiments::load_scenario_file(argv[1]);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 64;
+  }
+  if (config.transport != ScenarioConfig::TransportKind::kSocket) {
+    std::fprintf(stderr,
+                 "%s: scenario must set [control_plane] transport = socket\n",
+                 argv[1]);
+    return 64;
+  }
+  if (config.redirector_count < 2) {
+    std::fprintf(stderr, "need at least 2 redirector processes\n");
+    return 64;
+  }
+
+  std::printf("forking %zu redirector processes over loopback TCP\n",
+              config.redirector_count);
+  const bool converged = run_phase(config, Phase::kConverge, "convergence");
+  const bool degraded = converged && run_phase(config, Phase::kDegrade,
+                                              "degradation");
+  if (!(converged && degraded)) return 1;
+  std::printf(
+      "multi_process_demo: plan-convergence: ok; degradation-to-1/R: ok\n");
+  return 0;
+}

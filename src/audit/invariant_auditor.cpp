@@ -320,6 +320,17 @@ void audit_control_plane_snapshot(bool has_previous,
   });
 }
 
+void audit_round_tag_monotone(bool has_previous, std::uint64_t previous_round,
+                              std::uint64_t round) {
+  if (!has_previous) return;
+  require(round > previous_round, "coord.round-tag-monotone", [&] {
+    return "transport about to deliver round tag " + std::to_string(round) +
+           " after already delivering " + std::to_string(previous_round) +
+           "; the wire-side round filter let a replayed or reordered "
+           "aggregate through";
+  });
+}
+
 void audit_control_plane_member_slices(const Matrix& slices,
                                        const Matrix& plan_rate,
                                        double share_cap, double window_sec,

@@ -278,6 +278,14 @@ void audit_control_plane_snapshot(bool has_previous,
                                   std::uint64_t previous_round,
                                   std::uint64_t round);
 
+/// Round tags a transport is about to deliver must be strictly increasing
+/// per process (the wire-level twin of audit_control_plane_snapshot): the
+/// SocketTransport rejects stale/duplicate round tags before delivery, and
+/// this hook pins that the filter actually held — a violation means the
+/// validation path let a replayed or reordered aggregate through.
+void audit_round_tag_monotone(bool has_previous, std::uint64_t previous_round,
+                              std::uint64_t round);
+
 /// One member's window slices against its own plan: every cell must satisfy
 /// 0 <= slice(i, k) <= plan_rate(i, k) * share_cap * window_sec. share_cap
 /// is 1/R in the conservative no-snapshot phase (§5.1 phase 1: nobody may

@@ -54,6 +54,8 @@ void ControlPlane::connect(SnapshotTransport* transport) {
         [member](std::uint64_t round, const std::vector<double>& aggregate) {
           member->receive_global(round, aggregate);
         });
+    transport->attach_stale_handler(member->index(),
+                                    [member] { member->invalidate_global(); });
   }
 }
 

@@ -102,6 +102,12 @@ class ControlPlane {
     void receive_global(std::uint64_t round,
                         const std::vector<double>& aggregate);
 
+    /// Drops back to the no-snapshot regime (SnapshotTransport stale
+    /// handler): the next begin_window plans against the conservative 1/R
+    /// share until a fresh aggregate arrives. Round-monotonicity state is
+    /// kept, so a late aggregate from before the fallback still audits.
+    void invalidate_global() { global_.valid = false; }
+
     /// Current local demand estimate (SnapshotTransport provider): estimator
     /// rates plus whatever the owner's extra_demand hook adds.
     std::vector<double> local_demand() const;

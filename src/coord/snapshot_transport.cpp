@@ -92,34 +92,4 @@ void InProcessTransport::exchange() {
   ++rounds_completed_;
 }
 
-SocketTransport::SocketTransport(std::size_t member_count,
-                                 std::size_t vector_size, Options options)
-    : vector_size_(vector_size),
-      options_(std::move(options)),
-      providers_(member_count),
-      receivers_(member_count) {
-  SHAREGRID_EXPECTS(member_count >= 1);
-  SHAREGRID_EXPECTS(vector_size >= 1);
-}
-
-void SocketTransport::attach(std::size_t member, Provider provider,
-                             Receiver receiver) {
-  SHAREGRID_EXPECTS(member < providers_.size());
-  providers_[member] = std::move(provider);
-  receivers_[member] = std::move(receiver);
-}
-
-void SocketTransport::start() {
-  (void)vector_size_;
-  throw ContractViolation(
-      "SocketTransport: cross-host snapshot exchange is not implemented yet "
-      "— ROADMAP item \"Cross-host control plane: implement "
-      "coord::SocketTransport\"; the supported transports are "
-      "InProcessTransport (single-process deployments) and SimTreeTransport "
-      "(under the simulator). " +
-      std::to_string(options_.peers.size()) + " peer(s) configured.");
-}
-
-void SocketTransport::stop() {}
-
 }  // namespace sharegrid::coord

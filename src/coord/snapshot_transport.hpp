@@ -11,8 +11,9 @@
 //  * InProcessTransport — a synchronous in-memory combining tree for live
 //    multi-redirector deployments sharing one process (mutex-serialized by
 //    the wall-clock driver above it);
-//  * SocketTransport   — a stub reserving the interface for cross-host
-//    exchange; start() throws until the wire protocol lands.
+//  * SocketTransport   — cross-process exchange over loopback TCP
+//    (coord/socket_transport.hpp): round-tagged demand vectors in a star,
+//    with deadline-abandoned rounds and a staleness fallback to 1/R.
 #pragma once
 
 #include <cstdint>
@@ -42,6 +43,16 @@ class SnapshotTransport {
   /// Registers member @p member's sample/deliver hooks. Call before start().
   virtual void attach(std::size_t member, Provider provider,
                       Receiver receiver) = 0;
+
+  /// Registers a callback fired when the transport declares its aggregate
+  /// stream stale — no fresh aggregate within its staleness budget — so the
+  /// member can drop back to the conservative no-snapshot 1/R regime.
+  /// Transports that cannot lose peers keep this default no-op.
+  virtual void attach_stale_handler(std::size_t member,
+                                    std::function<void()> on_stale) {
+    (void)member;
+    (void)on_stale;
+  }
 
   /// Begins exchange rounds (periodic on the sim transport; explicit via
   /// InProcessTransport::exchange() on the wall-clock path).
@@ -120,32 +131,8 @@ class InProcessTransport final : public SnapshotTransport {
   std::uint64_t messages_sent_ = 0;
 };
 
-/// Cross-host transport stub: holds the peer list and the attach surface so
-/// deployments can be described today, but start() throws until the wire
-/// protocol exists. Kept in-tree so the interface is exercised by tests and
-/// the socket implementation cannot drift from the seam.
-class SocketTransport final : public SnapshotTransport {
- public:
-  struct Options {
-    /// host:port of every peer redirector, index-aligned with members.
-    std::vector<std::string> peers;
-    std::uint16_t listen_port = 0;
-  };
-
-  SocketTransport(std::size_t member_count, std::size_t vector_size,
-                  Options options);
-
-  void attach(std::size_t member, Provider provider,
-              Receiver receiver) override;
-  [[noreturn]] void start() override;
-  void stop() override;
-  std::uint64_t messages_sent() const override { return 0; }
-
- private:
-  std::size_t vector_size_;
-  Options options_;
-  std::vector<Provider> providers_;
-  std::vector<Receiver> receivers_;
-};
+// The cross-process SocketTransport lives in coord/socket_transport.hpp —
+// it pulls in real sockets and threads, which nothing sim-only should pay
+// for transitively.
 
 }  // namespace sharegrid::coord

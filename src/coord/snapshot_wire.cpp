@@ -1,0 +1,101 @@
+#include "coord/snapshot_wire.hpp"
+
+#include <cstring>
+
+namespace sharegrid::coord::wire {
+namespace {
+
+constexpr std::size_t kHeaderBytes = 24;
+
+void put_u16(std::string* out, std::uint16_t v) {
+  out->push_back(static_cast<char>(v & 0xff));
+  out->push_back(static_cast<char>((v >> 8) & 0xff));
+}
+
+void put_u32(std::string* out, std::uint32_t v) {
+  put_u16(out, static_cast<std::uint16_t>(v & 0xffff));
+  put_u16(out, static_cast<std::uint16_t>(v >> 16));
+}
+
+void put_u64(std::string* out, std::uint64_t v) {
+  put_u32(out, static_cast<std::uint32_t>(v & 0xffffffffu));
+  put_u32(out, static_cast<std::uint32_t>(v >> 32));
+}
+
+std::uint32_t get_u32(std::string_view bytes, std::size_t at) {
+  const auto b = [&](std::size_t i) {
+    return static_cast<std::uint32_t>(static_cast<unsigned char>(bytes[at + i]));
+  };
+  return b(0) | (b(1) << 8) | (b(2) << 16) | (b(3) << 24);
+}
+
+std::uint16_t get_u16(std::string_view bytes, std::size_t at) {
+  const auto b = [&](std::size_t i) {
+    return static_cast<std::uint16_t>(static_cast<unsigned char>(bytes[at + i]));
+  };
+  return static_cast<std::uint16_t>(b(0) | (b(1) << 8));
+}
+
+std::uint64_t get_u64(std::string_view bytes, std::size_t at) {
+  return static_cast<std::uint64_t>(get_u32(bytes, at)) |
+         (static_cast<std::uint64_t>(get_u32(bytes, at + 4)) << 32);
+}
+
+}  // namespace
+
+const char* to_string(DecodeStatus status) {
+  switch (status) {
+    case DecodeStatus::kOk: return "ok";
+    case DecodeStatus::kTruncated: return "truncated";
+    case DecodeStatus::kBadMagic: return "bad-magic";
+    case DecodeStatus::kBadVersion: return "bad-version";
+    case DecodeStatus::kBadType: return "bad-type";
+    case DecodeStatus::kSizeMismatch: return "size-mismatch";
+  }
+  return "unknown";
+}
+
+std::string encode(const Frame& frame) {
+  std::string out;
+  out.reserve(kHeaderBytes + 8 * frame.values.size());
+  put_u32(&out, kMagic);
+  put_u16(&out, kVersion);
+  put_u16(&out, static_cast<std::uint16_t>(frame.type));
+  put_u64(&out, frame.round);
+  put_u32(&out, frame.member);
+  put_u32(&out, static_cast<std::uint32_t>(frame.values.size()));
+  // Doubles travel as their IEEE-754 bit pattern, little-endian. Every
+  // platform this builds on is little-endian IEEE (the loopback peers are
+  // literally the same binary), so memcpy of the u64 image is exact — and
+  // exactness is the point: the multi-process demo pins plans *bitwise*
+  // against the in-process baseline.
+  for (const double v : frame.values) {
+    std::uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(v));
+    std::memcpy(&bits, &v, sizeof(bits));
+    put_u64(&out, bits);
+  }
+  return out;
+}
+
+DecodeStatus decode(std::string_view bytes, Frame* out) {
+  if (bytes.size() < kHeaderBytes) return DecodeStatus::kTruncated;
+  if (get_u32(bytes, 0) != kMagic) return DecodeStatus::kBadMagic;
+  if (get_u16(bytes, 4) != kVersion) return DecodeStatus::kBadVersion;
+  const std::uint16_t raw_type = get_u16(bytes, 6);
+  if (raw_type < 1 || raw_type > 3) return DecodeStatus::kBadType;
+  const std::uint32_t count = get_u32(bytes, 20);
+  if (bytes.size() != kHeaderBytes + 8 * static_cast<std::size_t>(count))
+    return DecodeStatus::kSizeMismatch;
+  out->type = static_cast<FrameType>(raw_type);
+  out->round = get_u64(bytes, 8);
+  out->member = get_u32(bytes, 16);
+  out->values.resize(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const std::uint64_t bits = get_u64(bytes, kHeaderBytes + 8 * i);
+    std::memcpy(&out->values[i], &bits, sizeof(double));
+  }
+  return DecodeStatus::kOk;
+}
+
+}  // namespace sharegrid::coord::wire

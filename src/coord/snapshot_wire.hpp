@@ -1,0 +1,66 @@
+// Wire format for cross-process snapshot exchange (SocketTransport).
+//
+// One frame per message, carried inside a net::Socket::write_frame /
+// net::FrameReader length-prefixed envelope:
+//
+//   offset  size  field
+//        0     4  magic   0x53475354 ("SGST", little-endian u32)
+//        4     2  version (currently 1)
+//        6     2  type    1 = round-start, 2 = report, 3 = aggregate
+//        8     8  round   round tag (the CombiningTree epoch), u64
+//       16     4  member  global member index (reports; 0 otherwise)
+//       20     4  count   number of doubles that follow
+//       24  8*c   values  demand vector, IEEE-754 binary64 little-endian
+//
+// All integers are little-endian. The codec is pure functions over byte
+// strings — no sockets — so the malformed-frame table tests can hit every
+// rejection path without a peer. Decoding never throws: a bad frame is a
+// status, because on the receive path "reject and count it" is the correct
+// response to garbage, not a crash (the sender may be a confused peer, not
+// our own bug).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sharegrid::coord::wire {
+
+inline constexpr std::uint32_t kMagic = 0x53475354;  // "SGST"
+inline constexpr std::uint16_t kVersion = 1;
+
+enum class FrameType : std::uint16_t {
+  kRoundStart = 1,  ///< root -> leaves: sample your demand for this round
+  kReport = 2,      ///< leaf -> root: one member's demand vector
+  kAggregate = 3,   ///< root -> leaves: the completed round's sum
+};
+
+struct Frame {
+  FrameType type = FrameType::kRoundStart;
+  std::uint64_t round = 0;
+  std::uint32_t member = 0;      ///< global member index (kReport only)
+  std::vector<double> values;    ///< empty for kRoundStart
+};
+
+enum class DecodeStatus {
+  kOk,
+  kTruncated,     ///< shorter than the fixed header
+  kBadMagic,
+  kBadVersion,
+  kBadType,
+  kSizeMismatch,  ///< count disagrees with the actual payload length
+};
+
+/// Human-readable status for logs and reject counters.
+const char* to_string(DecodeStatus status);
+
+/// Serializes @p frame to the byte layout above (no length prefix; the
+/// socket envelope adds that).
+std::string encode(const Frame& frame);
+
+/// Parses one complete frame. On any status other than kOk, *out is left
+/// unspecified and the frame must be dropped.
+DecodeStatus decode(std::string_view bytes, Frame* out);
+
+}  // namespace sharegrid::coord::wire

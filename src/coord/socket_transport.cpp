@@ -1,0 +1,439 @@
+#include "coord/socket_transport.hpp"
+
+#include <utility>
+
+#include "audit/invariant_auditor.hpp"
+#include "util/assert.hpp"
+#include "util/metrics_registry.hpp"
+
+namespace sharegrid::coord {
+namespace {
+
+util::MetricCounter& rejected_counter() {
+  static util::MetricCounter& counter = util::global_metrics().counter(
+      "coord.socket.frames_rejected",
+      "malformed or unexpected control-plane frames dropped");
+  return counter;
+}
+util::MetricCounter& abandoned_counter() {
+  static util::MetricCounter& counter = util::global_metrics().counter(
+      "coord.socket.rounds_abandoned",
+      "snapshot rounds abandoned at the deadline with reports missing");
+  return counter;
+}
+util::MetricCounter& stale_counter() {
+  static util::MetricCounter& counter = util::global_metrics().counter(
+      "coord.socket.stale_fallbacks",
+      "staleness threshold hits that dropped members to the 1/R regime");
+  return counter;
+}
+
+/// Parses the port of a "host:port" peer entry, enforcing the loopback-only
+/// contract of net::Socket.
+std::uint16_t parse_loopback_port(const std::string& peer) {
+  const std::size_t colon = peer.find_last_of(':');
+  if (colon == std::string::npos || colon + 1 >= peer.size())
+    throw ContractViolation("SocketTransport: peer '" + peer +
+                            "' must look like 'host:port'");
+  const std::string host = peer.substr(0, colon);
+  if (host != "127.0.0.1" && host != "localhost")
+    throw ContractViolation(
+        "SocketTransport: peer '" + peer +
+        "' is not loopback; the control plane's sockets are loopback-only "
+        "by design (src/net/tcp.hpp)");
+  int port = 0;
+  try {
+    port = std::stoi(peer.substr(colon + 1));
+  } catch (const std::exception&) {
+    port = -1;
+  }
+  if (port < 0 || port > 65535)
+    throw ContractViolation("SocketTransport: peer '" + peer +
+                            "' has an invalid port");
+  return static_cast<std::uint16_t>(port);
+}
+
+}  // namespace
+
+SocketTransport::SocketTransport(std::size_t local_member_count,
+                                 std::size_t vector_size, Options options)
+    : local_member_count_(local_member_count),
+      vector_size_(vector_size),
+      options_(std::move(options)),
+      fleet_size_(options_.fleet_size != 0 ? options_.fleet_size
+                                           : options_.peers.size()),
+      providers_(local_member_count),
+      receivers_(local_member_count),
+      stale_handlers_(local_member_count) {
+  SHAREGRID_EXPECTS(local_member_count >= 1);
+  SHAREGRID_EXPECTS(vector_size >= 1);
+  SHAREGRID_EXPECTS(!options_.peers.empty());
+  SHAREGRID_EXPECTS(options_.process_index < options_.peers.size());
+  SHAREGRID_EXPECTS(options_.member_offset + local_member_count <=
+                    fleet_size_);
+  SHAREGRID_EXPECTS(options_.round_period_usec > 0);
+  SHAREGRID_EXPECTS(options_.round_deadline_usec > 0);
+  SHAREGRID_EXPECTS(options_.dial_retry_usec > 0);
+  SHAREGRID_EXPECTS(options_.io_timeout_ms > 0);
+  // Every peer entry must parse up front, not when first dialed.
+  for (const std::string& peer : options_.peers) parse_loopback_port(peer);
+}
+
+SocketTransport::~SocketTransport() { stop(); }
+
+void SocketTransport::attach(std::size_t member, Provider provider,
+                             Receiver receiver) {
+  SHAREGRID_EXPECTS(member < local_member_count_);
+  providers_[member] = std::move(provider);
+  receivers_[member] = std::move(receiver);
+}
+
+void SocketTransport::attach_stale_handler(std::size_t member,
+                                           std::function<void()> on_stale) {
+  SHAREGRID_EXPECTS(member < local_member_count_);
+  stale_handlers_[member] = std::move(on_stale);
+}
+
+void SocketTransport::start() {
+  SHAREGRID_EXPECTS(!running_.load());
+  round_open_ = false;
+  current_round_ = 0;
+  next_round_start_usec_ = 0;
+  has_delivered_ = false;
+  last_delivered_round_ = 0;
+  stale_fired_ = false;
+  dialed_ = false;
+  next_dial_usec_ = 0;
+  report_slots_.assign(fleet_size_, {});
+  report_seen_.assign(fleet_size_, false);
+  reports_pending_ = 0;
+  running_.store(true);
+  if (is_root()) {
+    const std::uint16_t port = options_.listen_port != 0
+                                   ? options_.listen_port
+                                   : parse_loopback_port(options_.peers[0]);
+    listener_ = net::Socket::listen_on_loopback(port);
+    listener_.set_read_timeout_ms(options_.io_timeout_ms);
+    listen_port_ = listener_.local_port();
+    acceptor_ = std::thread([this] { accept_loop(); });
+  }
+  // Leaves dial from poll(): start() stays clock-free, and a root that is
+  // not up yet is a retry, not a failure.
+}
+
+void SocketTransport::stop() {
+  if (!running_.exchange(false)) return;
+  // Wake every blocked syscall first, then join outside the lock: a reader
+  // that is mid-push into the inbox needs the mutex to finish exiting.
+  if (listener_.valid()) listener_.shutdown();
+  std::vector<std::unique_ptr<Conn>> conns;
+  {
+    const util::MutexLock lock(mutex_);
+    for (const auto& conn : conns_) conn->sock.shutdown();
+    conns.swap(conns_);
+  }
+  if (acceptor_.joinable()) acceptor_.join();
+  for (const auto& conn : conns)
+    if (conn->reader.joinable()) conn->reader.join();
+  listener_.close();
+  const util::MutexLock lock(mutex_);
+  inbox_.clear();
+}
+
+void SocketTransport::accept_loop() {
+  while (running_.load()) {
+    net::Socket sock;
+    try {
+      sock = listener_.try_accept();
+    } catch (const ContractViolation&) {
+      if (!running_.load()) break;
+      continue;  // transient accept failure; keep listening
+    }
+    if (!sock.valid()) continue;  // timeout or shutdown wake-up
+    if (!running_.load()) break;
+    sock.set_read_timeout_ms(options_.io_timeout_ms);
+    const util::MutexLock lock(mutex_);
+    auto conn = std::make_unique<Conn>();
+    conn->sock = std::move(sock);
+    Conn* raw = conn.get();
+    const std::size_t index = conns_.size();
+    conns_.push_back(std::move(conn));
+    raw->reader = std::thread([this, raw, index] { reader_loop(raw, index); });
+    peers_connected_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void SocketTransport::reader_loop(Conn* conn, std::size_t conn_index) {
+  // Dumb pump: bytes -> frames -> inbox. No protocol state lives here; a
+  // reader cannot race the round logic because poll() owns all of it.
+  net::FrameReader frames(/*max_frame_bytes=*/1 << 20);
+  bool abort = false;
+  while (!abort && running_.load()) {
+    const net::ReadResult result = conn->sock.read_some();
+    if (result.status == net::ReadStatus::kTimedOut) continue;
+    if (result.status == net::ReadStatus::kClosed) break;
+    frames.feed(result.data);
+    std::string payload;
+    while (!abort) {
+      const net::FrameReader::Event event = frames.next(&payload);
+      if (event == net::FrameReader::Event::kNeedMore) break;
+      if (event == net::FrameReader::Event::kOversized) {
+        // Framing is unrecoverable: count it and drop the connection.
+        reject_frame("oversized length prefix");
+        conn->sock.shutdown();
+        abort = true;
+        break;
+      }
+      wire::Frame frame;
+      const wire::DecodeStatus status = wire::decode(payload, &frame);
+      if (status != wire::DecodeStatus::kOk) {
+        reject_frame(wire::to_string(status));
+        continue;
+      }
+      const util::MutexLock lock(mutex_);
+      inbox_.push_back({conn_index, false, std::move(frame)});
+    }
+  }
+  conn->closed.store(true);
+  const util::MutexLock lock(mutex_);
+  inbox_.push_back({conn_index, true, {}});
+}
+
+void SocketTransport::reject_frame(const char* why) {
+  frames_rejected_.fetch_add(1, std::memory_order_relaxed);
+  rejected_counter().add();
+  const util::MutexLock lock(mutex_);
+  last_reject_reason_ = why;
+}
+
+std::vector<SocketTransport::Inbound> SocketTransport::take_inbox() {
+  const util::MutexLock lock(mutex_);
+  std::vector<Inbound> taken;
+  taken.swap(inbox_);
+  return taken;
+}
+
+void SocketTransport::send_to_conn(std::size_t conn_index,
+                                   const std::string& bytes) {
+  const util::MutexLock lock(mutex_);
+  if (conn_index >= conns_.size()) return;
+  Conn* conn = conns_[conn_index].get();
+  if (conn->closed.load()) return;
+  try {
+    conn->sock.write_frame(bytes);
+  } catch (const ContractViolation&) {
+    conn->closed.store(true);  // peer died mid-send; readers notice too
+  }
+}
+
+void SocketTransport::broadcast(const std::string& bytes) {
+  const util::MutexLock lock(mutex_);
+  for (const auto& conn : conns_) {
+    if (conn->closed.load()) continue;
+    try {
+      conn->sock.write_frame(bytes);
+    } catch (const ContractViolation&) {
+      conn->closed.store(true);
+    }
+  }
+}
+
+void SocketTransport::poll(std::int64_t now_usec) {
+  if (!running_.load()) return;
+  if (is_root())
+    poll_root(now_usec);
+  else
+    poll_leaf(now_usec);
+  check_staleness(now_usec);
+}
+
+void SocketTransport::poll_root(std::int64_t now_usec) {
+  for (Inbound& in : take_inbox()) {
+    if (in.disconnected) continue;  // missing reports will hit the deadline
+    if (in.frame.type != wire::FrameType::kReport) {
+      reject_frame("unexpected frame type at root");
+      continue;
+    }
+    if (!round_open_ || in.frame.round != current_round_) {
+      reject_frame("stale round tag");
+      continue;
+    }
+    if (in.frame.member >= fleet_size_) {
+      reject_frame("member index out of range");
+      continue;
+    }
+    if (report_seen_[in.frame.member]) {
+      reject_frame("duplicate member report");
+      continue;
+    }
+    if (in.frame.values.size() != vector_size_) {
+      reject_frame("report vector size mismatch");
+      continue;
+    }
+    report_seen_[in.frame.member] = true;
+    report_slots_[in.frame.member] = std::move(in.frame.values);
+    --reports_pending_;
+  }
+
+  if (round_open_ && reports_pending_ == 0) {
+    // Sum in global member order — the same floating-point order
+    // InProcessTransport::exchange uses, so the aggregates (and therefore
+    // the plans) match it bitwise.
+    std::vector<double> sum(vector_size_, 0.0);
+    for (std::size_t m = 0; m < fleet_size_; ++m)
+      for (std::size_t i = 0; i < vector_size_; ++i)
+        sum[i] += report_slots_[m][i];
+    round_open_ = false;
+    rounds_completed_.fetch_add(1, std::memory_order_relaxed);
+    // Star accounting: one logical broadcast down per member.
+    messages_sent_.fetch_add(fleet_size_, std::memory_order_relaxed);
+    deliver_aggregate(current_round_, sum, now_usec);
+    wire::Frame down;
+    down.type = wire::FrameType::kAggregate;
+    down.round = current_round_;
+    down.values = std::move(sum);
+    broadcast(wire::encode(down));
+  }
+
+  if (round_open_ &&
+      now_usec - round_started_usec_ >= options_.round_deadline_usec) {
+    round_open_ = false;
+    rounds_abandoned_.fetch_add(1, std::memory_order_relaxed);
+    abandoned_counter().add();
+  }
+
+  // Hold round 1 until the whole fleet has connected once, so a slow peer
+  // start-up shows as a later first round, not a gap.
+  const bool fleet_assembled =
+      peers_connected_.load(std::memory_order_relaxed) + 1 >=
+      options_.peers.size();
+  if (!round_open_ && fleet_assembled && now_usec >= next_round_start_usec_) {
+    ++current_round_;
+    round_open_ = true;
+    round_started_usec_ = now_usec;
+    next_round_start_usec_ = now_usec + options_.round_period_usec;
+    report_seen_.assign(fleet_size_, false);
+    reports_pending_ = fleet_size_;
+    if (options_.on_round_start) options_.on_round_start(current_round_);
+    sample_local_members(current_round_);
+    wire::Frame kick;
+    kick.type = wire::FrameType::kRoundStart;
+    kick.round = current_round_;
+    broadcast(wire::encode(kick));
+  }
+}
+
+void SocketTransport::poll_leaf(std::int64_t now_usec) {
+  if (!dialed_ && now_usec >= next_dial_usec_) {
+    try {
+      net::Socket sock =
+          net::Socket::connect_loopback(parse_loopback_port(options_.peers[0]));
+      sock.set_read_timeout_ms(options_.io_timeout_ms);
+      const util::MutexLock lock(mutex_);
+      auto conn = std::make_unique<Conn>();
+      conn->sock = std::move(sock);
+      Conn* raw = conn.get();
+      const std::size_t index = conns_.size();
+      conns_.push_back(std::move(conn));
+      raw->reader =
+          std::thread([this, raw, index] { reader_loop(raw, index); });
+      leaf_conn_index_ = index;
+      dialed_ = true;
+    } catch (const ContractViolation&) {
+      next_dial_usec_ = now_usec + options_.dial_retry_usec;
+    }
+  }
+
+  for (Inbound& in : take_inbox()) {
+    if (in.disconnected) continue;  // staleness handles a dead root
+    switch (in.frame.type) {
+      case wire::FrameType::kRoundStart: {
+        // current_round_ doubles as "highest round-start seen" on a leaf.
+        if (in.frame.round <= current_round_) {
+          reject_frame("stale round tag");
+          break;
+        }
+        current_round_ = in.frame.round;
+        if (options_.on_round_start) options_.on_round_start(current_round_);
+        sample_local_members(current_round_);
+        break;
+      }
+      case wire::FrameType::kAggregate: {
+        if (in.frame.values.size() != vector_size_) {
+          reject_frame("aggregate vector size mismatch");
+          break;
+        }
+        if (has_delivered_ && in.frame.round <= last_delivered_round_) {
+          reject_frame("stale round tag");
+          break;
+        }
+        deliver_aggregate(in.frame.round, in.frame.values, now_usec);
+        break;
+      }
+      default:
+        reject_frame("unexpected frame type at leaf");
+        break;
+    }
+  }
+}
+
+void SocketTransport::sample_local_members(std::uint64_t round) {
+  for (std::size_t m = 0; m < local_member_count_; ++m) {
+    // An unattached member contributes zeros, like InProcessTransport
+    // skipping a null provider — the round must still complete.
+    std::vector<double> local = providers_[m]
+                                    ? providers_[m]()
+                                    : std::vector<double>(vector_size_, 0.0);
+    SHAREGRID_ASSERT(local.size() == vector_size_);
+    const std::size_t global = options_.member_offset + m;
+    messages_sent_.fetch_add(1, std::memory_order_relaxed);  // report up
+    if (is_root()) {
+      report_seen_[global] = true;
+      report_slots_[global] = std::move(local);
+      --reports_pending_;
+    } else {
+      wire::Frame up;
+      up.type = wire::FrameType::kReport;
+      up.round = round;
+      up.member = static_cast<std::uint32_t>(global);
+      up.values = std::move(local);
+      send_to_conn(leaf_conn_index_, wire::encode(up));
+    }
+  }
+}
+
+void SocketTransport::deliver_aggregate(std::uint64_t round,
+                                        const std::vector<double>& sum,
+                                        std::int64_t now_usec) {
+  SHAREGRID_AUDIT_HOOK(audit::audit_round_tag_monotone(
+      has_delivered_, last_delivered_round_, round));
+  has_delivered_ = true;
+  last_delivered_round_ = round;
+  last_delivery_usec_ = now_usec;
+  stale_fired_ = false;  // a fresh aggregate re-arms the staleness trip
+  for (std::size_t m = 0; m < local_member_count_; ++m)
+    if (receivers_[m]) receivers_[m](round, sum);
+}
+
+void SocketTransport::check_staleness(std::int64_t now_usec) {
+  // Nothing delivered yet = the members never left the conservative regime;
+  // there is nothing to fall back from.
+  if (!has_delivered_ || stale_fired_) return;
+  const std::int64_t stale_after =
+      options_.stale_after_usec > 0
+          ? options_.stale_after_usec
+          : options_.round_period_usec + options_.round_deadline_usec;
+  if (now_usec - last_delivery_usec_ < stale_after) return;
+  stale_fired_ = true;
+  stale_fallbacks_.fetch_add(1, std::memory_order_relaxed);
+  stale_counter().add();
+  for (const auto& handler : stale_handlers_)
+    if (handler) handler();
+}
+
+std::string SocketTransport::last_reject_reason() const {
+  const util::MutexLock lock(mutex_);
+  return last_reject_reason_;
+}
+
+}  // namespace sharegrid::coord

@@ -1,0 +1,223 @@
+// Cross-process snapshot transport: the SnapshotTransport seam over real
+// loopback TCP (ROADMAP "cross-host control plane"; docs/control-plane.md).
+//
+// Topology is a star, mirroring the flat CombiningTree: the process hosting
+// global member 0 (process_index 0) is the root; every other process dials
+// it once and keeps the connection for the run. A round is three phases:
+//
+//   1. root:   round-start(round k) to every leaf, sample local members
+//   2. leaves: sample local members, report(k, member, demand) to the root
+//   3. root:   when all R member reports are in, sum them in member order
+//              and send aggregate(k, sum) to every leaf + deliver locally
+//
+// Rounds are lockstep — the root opens round k+1 only after round k either
+// completed or hit its deadline — which is what makes the multi-process
+// demo's plans bitwise-comparable to the InProcessTransport baseline (the
+// sim tree's overlapping rounds are a generality this first wire transport
+// deliberately skips). Round tags are the CombiningTree epochs: receivers
+// see a strictly increasing round number, with gaps where a deadline
+// abandoned an incomplete round.
+//
+// Failure semantics: an abandoned round is counted and skipped; when no
+// aggregate has been delivered for `stale_after_usec`, the stale handlers
+// registered via attach_stale_handler fire once (re-armed by the next
+// delivery), dropping the control-plane members back to the conservative
+// 1/R regime exactly as before their first snapshot.
+//
+// Threading: background threads only pump bytes — the root's acceptor and
+// one reader per connection parse frames and queue them in a mutex-guarded
+// inbox. Everything with semantics (validation, round pacing, deadlines,
+// sends, receiver delivery) happens inside poll(), which the caller must
+// invoke from one thread with its own monotonic clock, same contract as
+// WallClockDriver::poll. The transport itself never reads a clock, so the
+// deadline and staleness paths are deterministic under test-supplied time.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "coord/snapshot_transport.hpp"
+#include "coord/snapshot_wire.hpp"
+#include "net/tcp.hpp"
+#include "util/thread_annotations.hpp"
+
+namespace sharegrid::coord {
+
+/// Star-topology snapshot exchange between N processes over loopback TCP.
+class SocketTransport final : public SnapshotTransport {
+ public:
+  struct Options {
+    /// host:port of every process in the fleet, index-aligned with
+    /// process_index; peers[0] is the root every leaf dials. Loopback only.
+    std::vector<std::string> peers;
+    /// Which peers[] entry this process is.
+    std::size_t process_index = 0;
+    /// Root only: overrides the port parsed from peers[0] (0 = use peers[0];
+    /// tests pass 0 in peers[0] too and read the ephemeral listen_port()).
+    std::uint16_t listen_port = 0;
+    /// First global member index hosted by this process. Global members are
+    /// assigned contiguously per process; with the default one-member-per-
+    /// process fleet this equals process_index.
+    std::size_t member_offset = 0;
+    /// Total members across the fleet, R (0 = one per process).
+    std::size_t fleet_size = 0;
+    /// Root: minimum spacing between round starts, in caller-clock usec.
+    std::int64_t round_period_usec = 100000;
+    /// Root: an incomplete round is abandoned this long after it started.
+    std::int64_t round_deadline_usec = 100000;
+    /// No aggregate for this long after the last delivery -> stale handlers
+    /// fire (0 = round_period_usec + round_deadline_usec).
+    std::int64_t stale_after_usec = 0;
+    /// Leaf: retry spacing for dialing a root that is not up yet.
+    std::int64_t dial_retry_usec = 20000;
+    /// Socket receive timeout for the background pumps; bounds stop() join
+    /// latency and how often readers re-check the running flag.
+    int io_timeout_ms = 50;
+    /// Fired from poll() when a round opens here (root: before sampling;
+    /// leaf: on round-start receipt, before sampling). The multi-process
+    /// demo advances its windows in this hook so every process advances on
+    /// the same round boundaries.
+    std::function<void(std::uint64_t round)> on_round_start;
+  };
+
+  SocketTransport(std::size_t local_member_count, std::size_t vector_size,
+                  Options options);
+  ~SocketTransport() override;
+
+  void attach(std::size_t member, Provider provider,
+              Receiver receiver) override;
+  void attach_stale_handler(std::size_t member,
+                            std::function<void()> on_stale) override;
+
+  /// Root: binds the listen port and starts the acceptor. Leaf: arms the
+  /// dial state; the actual connect happens in poll() so start() needs no
+  /// clock. Frames flow only while poll() is being called.
+  void start() override;
+  void stop() override;
+
+  /// Advances the protocol against the caller's monotonic clock. Must be
+  /// called from one thread (the window driver's); receivers and
+  /// on_round_start run synchronously inside it.
+  void poll(std::int64_t now_usec);
+
+  /// Logical star messages (reports up from local members + aggregate
+  /// broadcasts down at the root), so the fleet-wide sum per completed
+  /// round is 2R — comparable with InProcessTransport / CombiningTree.
+  std::uint64_t messages_sent() const override {
+    return messages_sent_.load(std::memory_order_relaxed);
+  }
+
+  bool is_root() const { return options_.process_index == 0; }
+  /// Root: the bound port (after start()); valid with ephemeral binds.
+  std::uint16_t listen_port() const { return listen_port_; }
+  /// Root: how many distinct peer connections have ever been accepted.
+  std::size_t peers_connected() const {
+    return peers_connected_.load(std::memory_order_relaxed);
+  }
+
+  std::uint64_t rounds_completed() const {
+    return rounds_completed_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t rounds_abandoned() const {
+    return rounds_abandoned_.load(std::memory_order_relaxed);
+  }
+  /// Frames dropped for any reason: undecodable bytes, unknown round or
+  /// member, duplicates, wrong direction. Mirrored into the metrics
+  /// registry as coord.socket.frames_rejected.
+  std::uint64_t frames_rejected() const {
+    return frames_rejected_.load(std::memory_order_relaxed);
+  }
+  /// Times the staleness threshold fired and handlers were invoked.
+  std::uint64_t stale_fallbacks() const {
+    return stale_fallbacks_.load(std::memory_order_relaxed);
+  }
+  /// Why the most recent frame was rejected ("" if none yet) — a debugging
+  /// and test aid alongside the frames_rejected() count.
+  std::string last_reject_reason() const SHAREGRID_EXCLUDES(mutex_);
+
+ private:
+  /// One live connection: the root owns one per accepted leaf, a leaf owns
+  /// exactly one (to the root). Reader threads hold a stable Conn*.
+  struct Conn {
+    net::Socket sock;
+    std::thread reader;
+    std::atomic<bool> closed{false};
+  };
+
+  /// A parsed frame (or a disconnect note) queued by a reader thread for
+  /// poll() to act on.
+  struct Inbound {
+    std::size_t conn_index = 0;
+    bool disconnected = false;
+    wire::Frame frame;
+  };
+
+  void accept_loop() SHAREGRID_EXCLUDES(mutex_);
+  void reader_loop(Conn* conn, std::size_t conn_index)
+      SHAREGRID_EXCLUDES(mutex_);
+  void reject_frame(const char* why) SHAREGRID_EXCLUDES(mutex_);
+
+  // poll()-thread only ----------------------------------------------------
+  std::vector<Inbound> take_inbox() SHAREGRID_EXCLUDES(mutex_);
+  void send_to_conn(std::size_t conn_index, const std::string& bytes)
+      SHAREGRID_EXCLUDES(mutex_);
+  void broadcast(const std::string& bytes) SHAREGRID_EXCLUDES(mutex_);
+  void poll_root(std::int64_t now_usec);
+  void poll_leaf(std::int64_t now_usec);
+  void sample_local_members(std::uint64_t round);
+  void deliver_aggregate(std::uint64_t round, const std::vector<double>& sum,
+                         std::int64_t now_usec);
+  void check_staleness(std::int64_t now_usec);
+
+  std::size_t local_member_count_;
+  std::size_t vector_size_;
+  Options options_;
+  std::size_t fleet_size_;  ///< R (resolved from options)
+
+  std::vector<Provider> providers_;
+  std::vector<Receiver> receivers_;
+  std::vector<std::function<void()>> stale_handlers_;
+
+  // Shared between poll(), the acceptor, and the readers.
+  mutable util::Mutex mutex_;
+  std::vector<std::unique_ptr<Conn>> conns_ SHAREGRID_GUARDED_BY(mutex_);
+  std::vector<Inbound> inbox_ SHAREGRID_GUARDED_BY(mutex_);
+  std::string last_reject_reason_ SHAREGRID_GUARDED_BY(mutex_);
+
+  net::Socket listener_;  ///< root only; shutdown() wakes the acceptor
+  std::thread acceptor_;  ///< root only
+  std::atomic<bool> running_{false};
+  std::uint16_t listen_port_ = 0;
+  std::atomic<std::size_t> peers_connected_{0};
+
+  // Round state, touched only by the poll() thread.
+  bool round_open_ = false;
+  std::uint64_t current_round_ = 0;   ///< round ids start at 1
+  std::int64_t round_started_usec_ = 0;
+  std::int64_t next_round_start_usec_ = 0;
+  std::vector<std::vector<double>> report_slots_;  ///< [global member]
+  std::vector<bool> report_seen_;
+  std::size_t reports_pending_ = 0;
+  // Leaf delivery / staleness state (poll() thread).
+  bool has_delivered_ = false;
+  std::uint64_t last_delivered_round_ = 0;
+  std::int64_t last_delivery_usec_ = 0;
+  bool stale_fired_ = false;
+  // Leaf dial state (poll() thread).
+  bool dialed_ = false;
+  std::int64_t next_dial_usec_ = 0;
+  std::size_t leaf_conn_index_ = 0;
+
+  std::atomic<std::uint64_t> messages_sent_{0};
+  std::atomic<std::uint64_t> rounds_completed_{0};
+  std::atomic<std::uint64_t> rounds_abandoned_{0};
+  std::atomic<std::uint64_t> frames_rejected_{0};
+  std::atomic<std::uint64_t> stale_fallbacks_{0};
+};
+
+}  // namespace sharegrid::coord

@@ -81,6 +81,12 @@ TextTable ScenarioResult::phase_table() const {
 }
 
 ScenarioResult run_scenario(const ScenarioConfig& config) {
+  if (config.transport == ScenarioConfig::TransportKind::kSocket)
+    throw ContractViolation(
+        "scenario: control_plane.transport = socket describes a "
+        "multi-process deployment (one OS process per redirector over "
+        "loopback TCP) and cannot run under the simulator — drive it with "
+        "examples/multi_process_demo, or use transport = sim_tree here");
   if (config.clusters > 0) return run_clustered_scenario(config);
   SHAREGRID_EXPECTS(!config.servers.empty());
   SHAREGRID_EXPECTS(!config.clients.empty());

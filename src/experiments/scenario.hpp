@@ -111,6 +111,17 @@ struct ScenarioConfig {
   /// both contribute and combine, as in the paper's §3.2).
   std::size_t tree_fanout = 0;
 
+  /// Which SnapshotTransport the control plane rides on. kSimTree runs under
+  /// the simulator (everything above); kSocket describes a multi-process
+  /// deployment — one OS process per redirector exchanging round-tagged
+  /// demand vectors over loopback TCP (coord::SocketTransport). Socket
+  /// scenarios are driven by examples/multi_process_demo, not run_scenario.
+  enum class TransportKind { kSimTree, kSocket };
+  TransportKind transport = TransportKind::kSimTree;
+  /// host:port per redirector process, index-aligned; entry 0 is the
+  /// aggregation root. Required (and only meaningful) for kSocket.
+  std::vector<std::string> socket_peers;
+
   // Client behaviour.
   double retry_delay_sec = 0.2;
   std::size_t max_outstanding = 128;

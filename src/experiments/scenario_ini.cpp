@@ -148,6 +148,42 @@ ScenarioConfig scenario_from_ini(const IniDocument& doc) {
              std::to_string(*limit));
       config.spike_replan_limit = *limit;
     }
+    if (const auto transport = cp.get_string("transport")) {
+      if (*transport == "sim_tree")
+        config.transport = ScenarioConfig::TransportKind::kSimTree;
+      else if (*transport == "socket")
+        config.transport = ScenarioConfig::TransportKind::kSocket;
+      else
+        fail("control_plane.transport must be 'sim_tree' or 'socket', got '" +
+             *transport + "'");
+    }
+    // Comma-separated host:port list, index-aligned with the redirector
+    // processes; entry 0 is the aggregation root.
+    if (const auto peers = cp.get_string("peers")) {
+      std::stringstream ss(*peers);
+      std::string token;
+      while (std::getline(ss, token, ',')) {
+        const std::size_t first = token.find_first_not_of(" \t");
+        if (first == std::string::npos) continue;
+        const std::size_t last = token.find_last_not_of(" \t");
+        const std::string peer = token.substr(first, last - first + 1);
+        if (peer.find(':') == std::string::npos)
+          fail("control_plane.peers entry '" + peer +
+               "' must look like 'host:port'");
+        config.socket_peers.push_back(peer);
+      }
+      if (config.socket_peers.empty()) fail("control_plane.peers is empty");
+    }
+  }
+  if (config.transport == ScenarioConfig::TransportKind::kSocket) {
+    if (config.socket_peers.empty())
+      fail("control_plane.transport = socket requires control_plane.peers");
+    if (config.socket_peers.size() != config.redirector_count)
+      fail("control_plane.peers lists " +
+           std::to_string(config.socket_peers.size()) +
+           " process(es) but redirectors = " +
+           std::to_string(config.redirector_count) +
+           "; the socket control plane runs one process per redirector");
   }
 
   // --- Principals + prices --------------------------------------------------

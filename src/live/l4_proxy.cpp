@@ -27,7 +27,7 @@ void L4Proxy::start() {
   SHAREGRID_EXPECTS(!running_.load());
   listeners_.reserve(config_.services.size());
   for (std::size_t i = 0; i < config_.services.size(); ++i)
-    listeners_.push_back(Socket::listen_on_loopback());
+    listeners_.push_back(net::Socket::listen_on_loopback());
   admission_.reset_clock();
   running_.store(true);
   for (std::size_t i = 0; i < config_.services.size(); ++i)
@@ -36,9 +36,9 @@ void L4Proxy::start() {
 
 void L4Proxy::stop() {
   if (!running_.exchange(false)) return;
-  for (const Socket& listener : listeners_) {
+  for (const net::Socket& listener : listeners_) {
     try {
-      Socket::connect_loopback(listener.local_port());  // unblock accept()
+      net::Socket::connect_loopback(listener.local_port());  // unblock accept()
     } catch (const ContractViolation&) {
     }
   }
@@ -63,7 +63,7 @@ void L4Proxy::accept_loop(std::size_t service_index) {
   const Service& service = config_.services[service_index];
   while (running_.load()) {
     try {
-      Socket client = listeners_[service_index].accept();
+      net::Socket client = listeners_[service_index].accept();
       if (!running_.load()) break;
 
       // The SYN analogue: admit or refuse the whole connection.
@@ -72,7 +72,7 @@ void L4Proxy::accept_loop(std::size_t service_index) {
         continue;  // closing the socket tells the client to retry
       }
       ++admitted_;
-      Socket backend = Socket::connect_loopback(service.backend_port);
+      net::Socket backend = net::Socket::connect_loopback(service.backend_port);
       // Pin the connection to its backend for its whole lifetime
       // (affinity) and relay bytes until either side closes.
       const util::MutexLock lock(relays_mutex_);
@@ -86,16 +86,18 @@ void L4Proxy::accept_loop(std::size_t service_index) {
   }
 }
 
-void L4Proxy::relay(Socket client, Socket backend) {
+void L4Proxy::relay(net::Socket client, net::Socket backend) {
   // Half-duplex request/response pump: enough for the HTTP-style workloads
-  // the paper targets, with no application-layer parsing whatsoever.
+  // the paper targets, with no application-layer parsing whatsoever. A
+  // relay ends on close *or* timeout: a connection idle past the receive
+  // timeout is torn down rather than parked forever.
   while (true) {
-    const std::string request = client.read_some();
-    if (request.empty()) break;
-    backend.write_all(request);
-    const std::string reply = backend.read_some();
-    if (reply.empty()) break;
-    client.write_all(reply);
+    const net::ReadResult request = client.read_some();
+    if (request.status != net::ReadStatus::kData) break;
+    backend.write_all(request.data);
+    const net::ReadResult reply = backend.read_some();
+    if (reply.status != net::ReadStatus::kData) break;
+    client.write_all(reply.data);
   }
 }
 

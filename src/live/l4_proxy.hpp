@@ -20,8 +20,8 @@
 #include <thread>
 #include <vector>
 
-#include "live/tcp.hpp"
 #include "live/wall_clock_admission.hpp"
+#include "net/tcp.hpp"
 #include "util/thread_annotations.hpp"
 
 namespace sharegrid::live {
@@ -61,13 +61,13 @@ class L4Proxy {
  private:
   void accept_loop(std::size_t service_index) SHAREGRID_EXCLUDES(relays_mutex_);
   /// Blocking bidirectional byte relay until either side closes.
-  static void relay(Socket client, Socket backend);
+  static void relay(net::Socket client, net::Socket backend);
 
   const sched::Scheduler* scheduler_;
   Config config_;
   WallClockAdmission admission_;
 
-  std::vector<Socket> listeners_;
+  std::vector<net::Socket> listeners_;
   std::vector<std::thread> acceptors_;
   /// Relay threads are spawned by concurrent acceptors and joined by stop().
   std::vector<std::thread> relays_ SHAREGRID_GUARDED_BY(relays_mutex_);

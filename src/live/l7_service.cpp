@@ -25,7 +25,7 @@ L7Service::~L7Service() { stop(); }
 
 void L7Service::start() {
   SHAREGRID_EXPECTS(!running_.load());
-  listener_ = Socket::listen_on_loopback();
+  listener_ = net::Socket::listen_on_loopback();
   port_ = listener_.local_port();
   admission_.reset_clock();
   running_.store(true);
@@ -36,7 +36,7 @@ void L7Service::stop() {
   if (!running_.exchange(false)) return;
   // Poke the blocking accept() with a throwaway connection, then join.
   try {
-    Socket::connect_loopback(port_);
+    net::Socket::connect_loopback(port_);
   } catch (const ContractViolation&) {
     // Listener already gone; the acceptor will exit via its own error path.
   }
@@ -47,7 +47,7 @@ void L7Service::stop() {
 void L7Service::accept_loop() {
   while (running_.load()) {
     try {
-      Socket connection = listener_.accept();
+      net::Socket connection = listener_.accept();
       if (!running_.load()) break;  // the stop() poke
       serve(std::move(connection));
     } catch (const ContractViolation&) {
@@ -57,7 +57,7 @@ void L7Service::accept_loop() {
   }
 }
 
-void L7Service::serve(Socket connection) {
+void L7Service::serve(net::Socket connection) {
   const std::string head = connection.read_http_head();
   const auto request = http::parse_request(head);
   const std::string self_host = "127.0.0.1:" + std::to_string(port_);

@@ -22,8 +22,8 @@
 #include <vector>
 
 #include "core/agreement_graph.hpp"
-#include "live/tcp.hpp"
 #include "live/wall_clock_admission.hpp"
+#include "net/tcp.hpp"
 
 namespace sharegrid::live {
 
@@ -66,14 +66,14 @@ class L7Service {
 
  private:
   void accept_loop();
-  void serve(Socket connection);
+  void serve(net::Socket connection);
 
   const sched::Scheduler* scheduler_;
   core::AgreementGraph graph_;
   Config config_;
   WallClockAdmission admission_;
 
-  Socket listener_;
+  net::Socket listener_;
   std::thread acceptor_;
   std::atomic<bool> running_{false};
   std::uint16_t port_ = 0;

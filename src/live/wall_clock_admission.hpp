@@ -6,7 +6,7 @@
 // thin live-side driver: it owns the steady_clock, serializes every call
 // behind one mutex, rolls elapsed windows through a WallClockDriver, and
 // runs multi-redirector snapshot exchange over an InProcessTransport (the
-// cross-host SocketTransport is stubbed behind the same seam). A demand-
+// cross-process coord::SocketTransport plugs into the same seam). A demand-
 // spike fast path re-plans the current window when a cold estimator would
 // otherwise starve a principal whose load just appeared, bounded by the
 // control plane's per-window re-plan budget.

@@ -1,0 +1,237 @@
+#include "net/tcp.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "util/assert.hpp"
+
+namespace sharegrid::net {
+namespace {
+
+[[noreturn]] void fail(const std::string& what) {
+  throw ContractViolation("tcp: " + what + ": " + std::strerror(errno));
+}
+
+sockaddr_in loopback(std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  return addr;
+}
+
+/// recv() with the EINTR retry every blocking syscall here needs: a signal
+/// delivered mid-read (tests fire SIGALRM on purpose) must not masquerade
+/// as a peer close.
+ssize_t recv_retry(int fd, char* buf, std::size_t len) {
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, len, 0);
+    if (n >= 0 || errno != EINTR) return n;
+  }
+}
+
+/// Disable Nagle on connected sockets. Control-plane traffic is tiny
+/// latency-sensitive frames, often two back-to-back on one socket (aggregate
+/// then next round-start); with Nagle on, the second write stalls ~40 ms
+/// behind the peer's delayed ACK, which is longer than a snapshot deadline.
+void set_nodelay(int fd) {
+  const int one = 1;
+  setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+}  // namespace
+
+Socket::~Socket() { close(); }
+
+Socket::Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Socket::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void Socket::shutdown() const {
+  // Failure (e.g. ENOTCONN on an already-reset peer) is harmless: the goal
+  // is only to wake any blocked reader, and a dead connection already does.
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+void Socket::set_read_timeout(int fd) {
+  timeval tv{};
+  tv.tv_sec = 5;  // generous for loopback; prevents test hangs
+  setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+}
+
+void Socket::set_read_timeout_ms(int timeout_ms) const {
+  SHAREGRID_EXPECTS(valid());
+  SHAREGRID_EXPECTS(timeout_ms > 0);
+  timeval tv{};
+  tv.tv_sec = timeout_ms / 1000;
+  tv.tv_usec = (timeout_ms % 1000) * 1000;
+  setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+}
+
+Socket Socket::listen_on_loopback(std::uint16_t port, int backlog) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) fail("socket");
+  const int one = 1;
+  setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr = loopback(port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    fail("bind");
+  }
+  if (::listen(fd, backlog) != 0) {
+    ::close(fd);
+    fail("listen");
+  }
+  set_read_timeout(fd);
+  return Socket(fd);
+}
+
+Socket Socket::connect_loopback(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) fail("socket");
+  sockaddr_in addr = loopback(port);
+  int rc;
+  do {
+    rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0) {
+    ::close(fd);
+    fail("connect");
+  }
+  set_read_timeout(fd);
+  set_nodelay(fd);
+  return Socket(fd);
+}
+
+Socket Socket::accept() const {
+  SHAREGRID_EXPECTS(valid());
+  int fd;
+  do {
+    fd = ::accept(fd_, nullptr, nullptr);
+  } while (fd < 0 && errno == EINTR);
+  if (fd < 0) fail("accept");
+  set_read_timeout(fd);
+  set_nodelay(fd);
+  return Socket(fd);
+}
+
+Socket Socket::try_accept() const {
+  SHAREGRID_EXPECTS(valid());
+  int fd;
+  do {
+    fd = ::accept(fd_, nullptr, nullptr);
+  } while (fd < 0 && errno == EINTR);
+  if (fd < 0) {
+    // EAGAIN/EWOULDBLOCK: the listener's SO_RCVTIMEO expired. EINVAL: the
+    // listener was shutdown() to stop an accept loop. Both are expected
+    // wake-ups, not errors.
+    if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINVAL)
+      return Socket();
+    fail("accept");
+  }
+  set_read_timeout(fd);
+  set_nodelay(fd);
+  return Socket(fd);
+}
+
+std::uint16_t Socket::local_port() const {
+  SHAREGRID_EXPECTS(valid());
+  sockaddr_in addr{};
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&addr), &len) != 0)
+    fail("getsockname");
+  return ntohs(addr.sin_port);
+}
+
+std::string Socket::read_http_head() const {
+  SHAREGRID_EXPECTS(valid());
+  std::string buffer;
+  char chunk[1024];
+  while (buffer.size() < 64 * 1024) {
+    const ssize_t n = recv_retry(fd_, chunk, sizeof(chunk));
+    if (n <= 0) break;  // peer closed, error, or timeout
+    buffer.append(chunk, static_cast<std::size_t>(n));
+    if (buffer.find("\r\n\r\n") != std::string::npos ||
+        buffer.find("\n\n") != std::string::npos)
+      break;
+  }
+  return buffer;
+}
+
+ReadResult Socket::read_some() const {
+  SHAREGRID_EXPECTS(valid());
+  char chunk[16 * 1024];
+  const ssize_t n = recv_retry(fd_, chunk, sizeof(chunk));
+  if (n > 0)
+    return {std::string(chunk, static_cast<std::size_t>(n)),
+            ReadStatus::kData};
+  if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK))
+    return {{}, ReadStatus::kTimedOut};
+  return {{}, ReadStatus::kClosed};  // orderly close or hard error
+}
+
+void Socket::write_all(std::string_view data) const {
+  SHAREGRID_EXPECTS(valid());
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n =
+        ::send(fd_, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n < 0 && errno == EINTR) continue;  // interrupted mid-write: retry
+    if (n <= 0) fail("send");
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+void Socket::write_frame(std::string_view payload) const {
+  std::string framed;
+  framed.reserve(4 + payload.size());
+  const auto len = static_cast<std::uint32_t>(payload.size());
+  framed.push_back(static_cast<char>(len & 0xff));
+  framed.push_back(static_cast<char>((len >> 8) & 0xff));
+  framed.push_back(static_cast<char>((len >> 16) & 0xff));
+  framed.push_back(static_cast<char>((len >> 24) & 0xff));
+  framed.append(payload);
+  write_all(framed);
+}
+
+FrameReader::Event FrameReader::next(std::string* frame) {
+  if (oversized_) return Event::kOversized;
+  if (buffer_.size() < 4) return Event::kNeedMore;
+  const auto byte = [&](std::size_t i) {
+    return static_cast<std::uint32_t>(static_cast<unsigned char>(buffer_[i]));
+  };
+  const std::uint32_t len =
+      byte(0) | (byte(1) << 8) | (byte(2) << 16) | (byte(3) << 24);
+  if (len > max_frame_bytes_) {
+    oversized_ = true;  // stream framing is lost for good; caller must drop
+    return Event::kOversized;
+  }
+  if (buffer_.size() < 4 + static_cast<std::size_t>(len))
+    return Event::kNeedMore;
+  frame->assign(buffer_, 4, len);
+  buffer_.erase(0, 4 + static_cast<std::size_t>(len));
+  return Event::kFrame;
+}
+
+}  // namespace sharegrid::net

@@ -101,7 +101,7 @@ TEST(AnalyzeStrip, IdentifierEndingInRIsNotARawStringOpener) {
 }
 
 TEST(AnalyzeCanonicalPath, TakesComponentsAfterLastSrc) {
-  EXPECT_EQ(canonical_path("/root/repo/src/live/tcp.hpp"), "live/tcp.hpp");
+  EXPECT_EQ(canonical_path("/root/repo/src/net/tcp.hpp"), "net/tcp.hpp");
   EXPECT_EQ(canonical_path("src/util/time.hpp"), "util/time.hpp");
   EXPECT_EQ(canonical_path("sched/a.hpp"), "sched/a.hpp");  // fixture form
 }

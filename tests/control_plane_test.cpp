@@ -6,15 +6,18 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstdint>
 #include <limits>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "audit/invariant_auditor.hpp"
 #include "coord/control_plane.hpp"
 #include "coord/snapshot_transport.hpp"
+#include "coord/socket_transport.hpp"
 #include "coord/window_driver.hpp"
 #include "live/wall_clock_admission.hpp"
 #include "sched/window_scheduler.hpp"
@@ -382,31 +385,67 @@ TEST(ControlPlane, InProcessTransportExchangesSynchronously) {
   EXPECT_EQ(transport.rounds_completed(), 2u);
 }
 
-TEST(ControlPlane, SocketTransportStubReservesTheSeam) {
-  coord::SocketTransport::Options options;
-  options.peers = {"10.0.0.1:7000", "10.0.0.2:7000"};
-  coord::SocketTransport transport(2, 1, options);
-  transport.attach(
-      0, [] { return std::vector<double>{0.0}; },
-      [](std::uint64_t, const std::vector<double>&) {});
-  // The stub's message must route the reader somewhere useful: the ROADMAP
-  // item that tracks the work, and the transports that do exist today.
-  try {
-    transport.start();
-    FAIL() << "SocketTransport::start() must throw until implemented";
-  } catch (const ContractViolation& e) {
-    const std::string msg = e.what();
-    EXPECT_NE(
-        msg.find(
-            "Cross-host control plane: implement coord::SocketTransport"),
-        std::string::npos)
-        << msg;
-    EXPECT_NE(msg.find("InProcessTransport"), std::string::npos) << msg;
-    EXPECT_NE(msg.find("SimTreeTransport"), std::string::npos) << msg;
-    EXPECT_NE(msg.find("2 peer(s) configured"), std::string::npos) << msg;
+// The seam's third implementation is real now: a root and a leaf transport
+// (two logical processes sharing this test process) complete one round over
+// loopback TCP. The full protocol matrix — deadlines, staleness, fuzzing —
+// lives in socket_transport_test.cpp; this pins the ControlPlane-facing
+// contract: attach/start/poll/stop, round tags from 1, star accounting.
+TEST(ControlPlane, SocketTransportRunsALoopbackRound) {
+  coord::SocketTransport::Options root_options;
+  root_options.peers = {"127.0.0.1:0", "127.0.0.1:0"};
+  root_options.process_index = 0;
+  root_options.fleet_size = 2;
+  root_options.round_period_usec = 1000;
+  root_options.round_deadline_usec = 1'000'000;
+  root_options.io_timeout_ms = 10;
+  coord::SocketTransport root(1, 2, root_options);
+  std::vector<std::uint64_t> root_rounds;
+  std::vector<double> root_aggregate;
+  root.attach(
+      0, [] { return std::vector<double>{1.0, 2.0}; },
+      [&](std::uint64_t round, const std::vector<double>& sum) {
+        root_rounds.push_back(round);
+        root_aggregate = sum;
+      });
+  root.start();
+
+  coord::SocketTransport::Options leaf_options = root_options;
+  leaf_options.process_index = 1;
+  leaf_options.member_offset = 1;
+  leaf_options.peers[0] = "127.0.0.1:" + std::to_string(root.listen_port());
+  coord::SocketTransport leaf(1, 2, leaf_options);
+  std::vector<std::uint64_t> leaf_rounds;
+  std::vector<double> leaf_aggregate;
+  leaf.attach(
+      0, [] { return std::vector<double>{3.0, 4.0}; },
+      [&](std::uint64_t round, const std::vector<double>& sum) {
+        leaf_rounds.push_back(round);
+        leaf_aggregate = sum;
+      });
+  leaf.start();
+
+  // Fake clocks, real sockets: poll both sides until the aggregate lands on
+  // the leaf, giving the background readers a beat between polls.
+  std::int64_t now = 0;
+  for (int i = 0; i < 2000 && leaf_rounds.empty(); ++i) {
+    leaf.poll(now);
+    root.poll(now);
+    now += 500;
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
   }
-  EXPECT_EQ(transport.messages_sent(), 0u);
-  EXPECT_NO_THROW(transport.stop());
+  root.stop();
+  leaf.stop();
+
+  ASSERT_FALSE(root_rounds.empty());
+  ASSERT_FALSE(leaf_rounds.empty());
+  EXPECT_EQ(root_rounds.front(), 1u);  // round tags start at 1
+  EXPECT_EQ(leaf_rounds.front(), 1u);
+  const std::vector<double> expected = {4.0, 6.0};  // summed in member order
+  EXPECT_EQ(root_aggregate, expected);
+  EXPECT_EQ(leaf_aggregate, expected);
+  // Star accounting across the fleet: R reports up + R broadcasts down.
+  EXPECT_GE(root.messages_sent() + leaf.messages_sent(),
+            4u * root_rounds.size());
 }
 
 // ---------------------------------------------------------------------------

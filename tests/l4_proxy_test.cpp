@@ -6,7 +6,7 @@
 #include <thread>
 
 #include "live/l4_proxy.hpp"
-#include "live/tcp.hpp"
+#include "net/tcp.hpp"
 #include "test_helpers.hpp"
 
 namespace sharegrid::live {
@@ -15,13 +15,13 @@ namespace {
 /// Echo backend: prefixes every received blob with "echo:".
 class EchoBackend {
  public:
-  EchoBackend() : listener_(Socket::listen_on_loopback()) {
+  EchoBackend() : listener_(net::Socket::listen_on_loopback()) {
     thread_ = std::thread([this] { loop(); });
   }
   ~EchoBackend() {
     running_.store(false);
     try {
-      Socket::connect_loopback(port());
+      net::Socket::connect_loopback(port());
     } catch (const ContractViolation&) {
     }
     thread_.join();
@@ -32,10 +32,10 @@ class EchoBackend {
   void loop() {
     while (running_.load()) {
       try {
-        Socket conn = listener_.accept();
+        net::Socket conn = listener_.accept();
         if (!running_.load()) break;
         while (true) {
-          const std::string got = conn.read_some();
+          const std::string got = conn.read_some().data;
           if (got.empty()) break;
           conn.write_all("echo:" + got);
         }
@@ -44,7 +44,7 @@ class EchoBackend {
     }
   }
 
-  Socket listener_;
+  net::Socket listener_;
   std::atomic<bool> running_{true};
   std::thread thread_;
 };
@@ -57,14 +57,14 @@ TEST(L4Proxy, RelaysBytesBothWaysUnparsed) {
   L4Proxy proxy(&scheduler, config);
   proxy.start();
 
-  Socket client = Socket::connect_loopback(proxy.service_port(0));
+  net::Socket client = net::Socket::connect_loopback(proxy.service_port(0));
   client.write_all("arbitrary \x01 bytes, not HTTP");
-  const std::string reply = client.read_some();
+  const std::string reply = client.read_some().data;
   EXPECT_EQ(reply, "echo:arbitrary \x01 bytes, not HTTP");
 
   // Same connection again: affinity means it stays on the same backend.
   client.write_all("second");
-  EXPECT_EQ(client.read_some(), "echo:second");
+  EXPECT_EQ(client.read_some().data, "echo:second");
 
   client.close();
   proxy.stop();
@@ -81,14 +81,14 @@ TEST(L4Proxy, RefusesConnectionsBeyondQuota) {
   L4Proxy proxy(&scheduler, config);
   proxy.start();
 
-  Socket first = Socket::connect_loopback(proxy.service_port(0));
+  net::Socket first = net::Socket::connect_loopback(proxy.service_port(0));
   first.write_all("a");
-  EXPECT_EQ(first.read_some(), "echo:a");  // admitted
+  EXPECT_EQ(first.read_some().data, "echo:a");  // admitted
 
   // The second immediate connection is refused: the proxy closes it, so the
   // first read returns empty.
-  Socket second = Socket::connect_loopback(proxy.service_port(0));
-  const std::string nothing = second.read_some();
+  net::Socket second = net::Socket::connect_loopback(proxy.service_port(0));
+  const std::string nothing = second.read_some().data;
   EXPECT_TRUE(nothing.empty());
 
   first.close();
@@ -108,12 +108,12 @@ TEST(L4Proxy, MultipleServicesMapPortsToPrincipals) {
   L4Proxy proxy(&scheduler, config);
   proxy.start();
 
-  Socket ok = Socket::connect_loopback(proxy.service_port(0));
+  net::Socket ok = net::Socket::connect_loopback(proxy.service_port(0));
   ok.write_all("hi");
-  EXPECT_EQ(ok.read_some(), "echo:hi");
+  EXPECT_EQ(ok.read_some().data, "echo:hi");
 
-  Socket denied = Socket::connect_loopback(proxy.service_port(1));
-  EXPECT_TRUE(denied.read_some().empty());
+  net::Socket denied = net::Socket::connect_loopback(proxy.service_port(1));
+  EXPECT_TRUE(denied.read_some().data.empty());
 
   ok.close();
   denied.close();

@@ -2,13 +2,11 @@
 // over loopback TCP, driven by the same scheduling stack as the simulator.
 #include <gtest/gtest.h>
 
-#include <thread>
-
 #include "core/agreement_graph.hpp"
 #include "core/flow.hpp"
 #include "http/message.hpp"
 #include "live/l7_service.hpp"
-#include "live/tcp.hpp"
+#include "net/tcp.hpp"
 #include "sched/response_time_scheduler.hpp"
 #include "test_helpers.hpp"
 
@@ -17,7 +15,7 @@ namespace {
 
 /// One HTTP GET over a fresh loopback connection; returns the raw response.
 std::string http_get(std::uint16_t port, const std::string& target) {
-  Socket conn = Socket::connect_loopback(port);
+  net::Socket conn = net::Socket::connect_loopback(port);
   http::Request req;
   req.target = target;
   req.headers["host"] = "127.0.0.1";
@@ -33,33 +31,8 @@ core::AgreementGraph one_org_graph() {
   return g;
 }
 
-TEST(Tcp, LoopbackRoundTrip) {
-  Socket listener = Socket::listen_on_loopback();
-  const std::uint16_t port = listener.local_port();
-  ASSERT_GT(port, 0);
-
-  std::thread server([&listener] {
-    Socket conn = listener.accept();
-    const std::string got = conn.read_http_head();
-    EXPECT_NE(got.find("GET /ping"), std::string::npos);
-    conn.write_all("HTTP/1.1 200 OK\r\n\r\n");
-  });
-  Socket client = Socket::connect_loopback(port);
-  client.write_all("GET /ping HTTP/1.1\r\n\r\n");
-  const std::string reply = client.read_http_head();
-  EXPECT_NE(reply.find("200"), std::string::npos);
-  server.join();
-}
-
-TEST(Tcp, ConnectToClosedPortFails) {
-  // Grab an ephemeral port, then close it so nothing listens there.
-  std::uint16_t dead_port = 0;
-  {
-    Socket listener = Socket::listen_on_loopback();
-    dead_port = listener.local_port();
-  }
-  EXPECT_THROW(Socket::connect_loopback(dead_port), ContractViolation);
-}
+// The plain Tcp.* socket tests moved to tests/net_tcp_test.cpp with the
+// sockets themselves (live/tcp -> net/tcp); this file keeps the L7 service.
 
 TEST(L7Service, RedirectsAdmittedRequestsToBackend) {
   const core::AgreementGraph graph = one_org_graph();
@@ -112,7 +85,7 @@ TEST(L7Service, RejectsMalformedAndUnknown) {
   service.start();
 
   {
-    Socket conn = Socket::connect_loopback(service.port());
+    net::Socket conn = net::Socket::connect_loopback(service.port());
     conn.write_all("NOT-HTTP\r\n\r\n");
     const auto resp = http::parse_response(conn.read_http_head());
     ASSERT_TRUE(resp.has_value());

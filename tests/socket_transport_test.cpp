@@ -1,0 +1,531 @@
+// Tests for the cross-process snapshot transport (coord/socket_transport.hpp)
+// and its wire codec: aggregate parity with InProcessTransport, the
+// deadline -> staleness -> conservative-1/R degradation path, star message
+// accounting, the malformed-frame rejection table (both the pure codec and
+// raw bytes injected at a live root), and the round-tag-monotone audit.
+//
+// All protocol timing here uses fake caller-supplied clocks — poll(now) owns
+// every deadline — so only the byte transport itself is real. Real sleeps
+// appear solely to let background reader threads move bytes between polls.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "audit/invariant_auditor.hpp"
+#include "coord/control_plane.hpp"
+#include "coord/snapshot_transport.hpp"
+#include "coord/snapshot_wire.hpp"
+#include "coord/socket_transport.hpp"
+#include "net/tcp.hpp"
+#include "test_helpers.hpp"
+#include "util/assert.hpp"
+#include "util/time.hpp"
+
+namespace sharegrid {
+namespace {
+
+/// Runs @p fn, which must throw ContractViolation, and returns its message.
+template <class Fn>
+std::string violation_message(Fn&& fn) {
+  try {
+    fn();
+  } catch (const ContractViolation& e) {
+    return e.what();
+  }
+  ADD_FAILURE() << "expected a ContractViolation, but no check fired";
+  return {};
+}
+
+/// Polls every node with a shared fake clock until @p done or ~2000 rounds
+/// of real 300 us beats have passed (the beats let reader threads land
+/// bytes in the inboxes between polls).
+bool pump_until(const std::vector<coord::SocketTransport*>& nodes,
+                std::int64_t* now, std::int64_t step,
+                const std::function<bool()>& done) {
+  for (int i = 0; i < 2000 && !done(); ++i) {
+    for (coord::SocketTransport* node : nodes) node->poll(*now);
+    *now += step;
+    std::this_thread::sleep_for(std::chrono::microseconds(300));
+  }
+  return done();
+}
+
+coord::SocketTransport::Options root_options(std::size_t fleet) {
+  coord::SocketTransport::Options options;
+  options.peers.assign(fleet, "127.0.0.1:0");
+  options.process_index = 0;
+  options.fleet_size = fleet;
+  options.round_period_usec = 1000;
+  options.round_deadline_usec = 1'000'000;
+  options.io_timeout_ms = 10;
+  return options;
+}
+
+coord::SocketTransport::Options leaf_options(
+    const coord::SocketTransport::Options& root, std::uint16_t root_port,
+    std::size_t index) {
+  coord::SocketTransport::Options options = root;
+  options.peers[0] = "127.0.0.1:" + std::to_string(root_port);
+  options.process_index = index;
+  options.member_offset = index;
+  options.dial_retry_usec = 1000;
+  return options;
+}
+
+// ---------------------------------------------------------------------------
+// Aggregate parity: the wire fleet must reproduce InProcessTransport's sums
+// bitwise — same member order, same floating-point summation order.
+// ---------------------------------------------------------------------------
+
+TEST(SocketTransport, AggregatesMatchInProcessBitwise) {
+  constexpr std::size_t kFleet = 3;
+  constexpr int kRounds = 4;
+  // Awkward, non-round values so a different summation order would show.
+  auto provider = [](std::size_t m, std::uint64_t round) {
+    return std::vector<double>{0.1 * static_cast<double>(m + 1) + 1e-13,
+                               1.0 / (3.0 + static_cast<double>(m + round))};
+  };
+
+  // Oracle: the synchronous in-process fleet.
+  std::vector<std::vector<double>> expected;
+  {
+    coord::InProcessTransport oracle(kFleet, 2);
+    std::uint64_t oracle_round = 0;
+    std::vector<std::vector<double>> delivered;
+    for (std::size_t m = 0; m < kFleet; ++m)
+      oracle.attach(
+          m, [&, m] { return provider(m, oracle_round); },
+          [&, m](std::uint64_t, const std::vector<double>& sum) {
+            if (m == 0) delivered.push_back(sum);
+          });
+    oracle.start();
+    for (oracle_round = 1; oracle_round <= kRounds; ++oracle_round)
+      oracle.exchange();
+    oracle.stop();
+    expected = delivered;
+  }
+  ASSERT_EQ(expected.size(), static_cast<std::size_t>(kRounds));
+
+  // Wire fleet: one root + two leaves in this process.
+  const auto base = root_options(kFleet);
+  coord::SocketTransport root(1, 2, base);
+  std::vector<std::vector<double>> root_sums;
+  root.attach(
+      0, [&] { return provider(0, root.rounds_completed() + 1); },
+      [&](std::uint64_t, const std::vector<double>& sum) {
+        root_sums.push_back(sum);
+      });
+  root.start();
+
+  std::vector<std::unique_ptr<coord::SocketTransport>> leaves;
+  std::vector<std::vector<std::vector<double>>> leaf_sums(kFleet);
+  std::vector<std::uint64_t> leaf_round(kFleet, 0);
+  for (std::size_t m = 1; m < kFleet; ++m) {
+    // Providers sample right after on_round_start, so the hook is where a
+    // leaf learns which round it is contributing to.
+    coord::SocketTransport::Options options =
+        leaf_options(base, root.listen_port(), m);
+    options.on_round_start = [&leaf_round, m](std::uint64_t round) {
+      leaf_round[m] = round;
+    };
+    auto leaf =
+        std::make_unique<coord::SocketTransport>(1, 2, std::move(options));
+    leaf->attach(
+        0, [&, m] { return provider(m, leaf_round[m]); },
+        [&, m](std::uint64_t, const std::vector<double>& sum) {
+          leaf_sums[m].push_back(sum);
+        });
+    leaf->start();
+    leaves.push_back(std::move(leaf));
+  }
+
+  std::vector<coord::SocketTransport*> nodes{&root};
+  for (const auto& leaf : leaves) nodes.push_back(leaf.get());
+  std::int64_t now = 0;
+  const bool done = pump_until(nodes, &now, 500, [&] {
+    return root_sums.size() >= static_cast<std::size_t>(kRounds) &&
+           leaf_sums[1].size() >= static_cast<std::size_t>(kRounds) &&
+           leaf_sums[2].size() >= static_cast<std::size_t>(kRounds);
+  });
+  for (coord::SocketTransport* node : nodes) node->stop();
+  ASSERT_TRUE(done) << "fleet never completed " << kRounds << " rounds";
+
+  for (std::size_t r = 0; r < static_cast<std::size_t>(kRounds); ++r) {
+    EXPECT_EQ(root_sums[r], expected[r]) << "round " << r + 1;
+    EXPECT_EQ(leaf_sums[1][r], expected[r]) << "round " << r + 1;
+    EXPECT_EQ(leaf_sums[2][r], expected[r]) << "round " << r + 1;
+  }
+  EXPECT_EQ(root.rounds_abandoned(), 0u);
+  EXPECT_EQ(root.frames_rejected(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Degradation: kill a leaf, the root's rounds hit the deadline, no fresh
+// aggregate flows, and within one staleness budget every survivor's control
+// plane member is back on the conservative 1/R regime.
+// ---------------------------------------------------------------------------
+
+TEST(SocketTransport, PeerLossDegradesSurvivorsToConservative) {
+  constexpr std::size_t kFleet = 3;
+  auto base = root_options(kFleet);
+  base.round_deadline_usec = 20'000;
+  base.stale_after_usec = 50'000;
+
+  const test::FixedRateScheduler scheduler({100.0});
+  coord::ControlPlaneConfig cp;
+  cp.window = 100 * kMillisecond;
+  cp.redirector_count = kFleet;
+
+  // Root hosts a real ControlPlane member, so this also pins the
+  // ControlPlane::connect -> attach_stale_handler -> invalidate_global
+  // wiring end to end.
+  coord::SocketTransport root(1, 1, base);
+  coord::ControlPlane plane(&scheduler, cp);
+  coord::ControlPlane::Member* member = plane.add_member();
+  plane.connect(&root);
+  root.start();
+
+  auto leaf1 = std::make_unique<coord::SocketTransport>(
+      1, 1, leaf_options(base, root.listen_port(), 1));
+  std::uint64_t leaf1_delivered = 0;
+  leaf1->attach(
+      0, [] { return std::vector<double>{2.0}; },
+      [&](std::uint64_t, const std::vector<double>&) { ++leaf1_delivered; });
+  bool leaf1_stale = false;
+  leaf1->attach_stale_handler(0, [&] { leaf1_stale = true; });
+  leaf1->start();
+
+  auto leaf2 = std::make_unique<coord::SocketTransport>(
+      1, 1, leaf_options(base, root.listen_port(), 2));
+  leaf2->attach(
+      0, [] { return std::vector<double>{3.0}; },
+      [](std::uint64_t, const std::vector<double>&) {});
+  leaf2->start();
+
+  // Healthy fleet first: one full round must deliver everywhere and pull
+  // the member out of the conservative regime.
+  std::int64_t now = 0;
+  ASSERT_TRUE(pump_until({&root, leaf1.get(), leaf2.get()}, &now, 500, [&] {
+    return member->global().valid && leaf1_delivered >= 1;
+  }));
+  const std::uint64_t healthy_rounds = root.rounds_completed();
+  EXPECT_GE(healthy_rounds, 1u);
+
+  // Kill leaf 2 abruptly. Survivors keep polling; within one deadline the
+  // open round is abandoned, and within the staleness budget the fallback
+  // fires on both survivors.
+  leaf2->stop();
+  leaf2.reset();
+  ASSERT_TRUE(pump_until({&root, leaf1.get()}, &now, 5'000, [&] {
+    return root.stale_fallbacks() >= 1 && leaf1_stale;
+  }));
+  EXPECT_GE(root.rounds_abandoned(), 1u);
+  EXPECT_FALSE(member->global().valid)
+      << "stale handler must drop the member back to the 1/R regime";
+
+  // The next window plans exactly like a never-snapshotted member: the
+  // conservative cross-fleet slice audit must hold again.
+  plane.end_windows();
+  plane.begin_windows(100 * kMillisecond);
+  plane.audit_window_slices();
+
+  root.stop();
+  leaf1->stop();
+}
+
+// ---------------------------------------------------------------------------
+// Wire codec rejection table: every malformed shape is a status, never a
+// throw, never a crash.
+// ---------------------------------------------------------------------------
+
+TEST(SocketTransportWire, EncodeDecodeRoundTrips) {
+  coord::wire::Frame frame;
+  frame.type = coord::wire::FrameType::kReport;
+  frame.round = 0x0123456789abcdefULL;
+  frame.member = 7;
+  frame.values = {1.5, -0.0, 1e-300};
+  coord::wire::Frame out;
+  ASSERT_EQ(coord::wire::decode(coord::wire::encode(frame), &out),
+            coord::wire::DecodeStatus::kOk);
+  EXPECT_EQ(out.type, frame.type);
+  EXPECT_EQ(out.round, frame.round);
+  EXPECT_EQ(out.member, frame.member);
+  EXPECT_EQ(out.values, frame.values);  // bit-exact, -0.0 included
+}
+
+TEST(SocketTransportWire, MalformedFrameTable) {
+  coord::wire::Frame valid;
+  valid.type = coord::wire::FrameType::kAggregate;
+  valid.round = 42;
+  valid.values = {1.0, 2.0};
+  const std::string good = coord::wire::encode(valid);
+
+  struct Case {
+    const char* name;
+    std::string bytes;
+    coord::wire::DecodeStatus expected;
+  };
+  std::vector<Case> cases;
+  // Every truncation of a valid frame (header and payload) must be rejected
+  // as kTruncated or kSizeMismatch — never accepted, never a crash.
+  for (std::size_t len = 0; len < good.size(); ++len) {
+    cases.push_back({"truncated", good.substr(0, len),
+                     len < 24 ? coord::wire::DecodeStatus::kTruncated
+                              : coord::wire::DecodeStatus::kSizeMismatch});
+  }
+  std::string bad_magic = good;
+  bad_magic[0] = 'X';
+  cases.push_back({"bad magic", bad_magic,
+                   coord::wire::DecodeStatus::kBadMagic});
+  std::string bad_version = good;
+  bad_version[4] = 9;
+  cases.push_back({"bad version", bad_version,
+                   coord::wire::DecodeStatus::kBadVersion});
+  std::string bad_type = good;
+  bad_type[6] = 99;
+  cases.push_back({"bad type", bad_type, coord::wire::DecodeStatus::kBadType});
+  std::string bad_count = good;
+  bad_count[20] = 3;  // claims 3 doubles, carries 2
+  cases.push_back({"count too large", bad_count,
+                   coord::wire::DecodeStatus::kSizeMismatch});
+  std::string extra = good + "trailing-garbage";
+  cases.push_back({"trailing bytes", extra,
+                   coord::wire::DecodeStatus::kSizeMismatch});
+
+  for (const Case& c : cases) {
+    coord::wire::Frame out;
+    EXPECT_EQ(coord::wire::decode(c.bytes, &out), c.expected)
+        << c.name << " (" << c.bytes.size() << " bytes)";
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Live rejection: raw malformed bytes injected at a running root must bump
+// the reject counters (transport + metrics registry) and leave the protocol
+// able to finish rounds with its real peer.
+// ---------------------------------------------------------------------------
+
+TEST(SocketTransport, MalformedFramesAreCountedNotFatal) {
+  constexpr std::size_t kFleet = 2;
+  auto base = root_options(kFleet);
+  // The attacker's connection may assemble the "fleet" before the real leaf
+  // dials, wasting round 1 on a deadline; keep that recycle cheap.
+  base.round_deadline_usec = 50'000;
+  coord::SocketTransport root(1, 1, base);
+  std::uint64_t root_delivered = 0;
+  root.attach(
+      0, [] { return std::vector<double>{1.0}; },
+      [&](std::uint64_t, const std::vector<double>&) { ++root_delivered; });
+  root.start();
+
+  auto leaf = std::make_unique<coord::SocketTransport>(
+      1, 1, leaf_options(base, root.listen_port(), 1));
+  leaf->attach(
+      0, [] { return std::vector<double>{2.0}; },
+      [](std::uint64_t, const std::vector<double>&) {});
+  leaf->start();
+
+  // The attacker dials the root like a leaf would...
+  net::Socket attacker = net::Socket::connect_loopback(root.listen_port());
+
+  // ...but the fleet thinks it is size 2, so the root holds round 1 until
+  // both connections exist; from here rounds can complete regardless of the
+  // garbage below (kFleet counts *members*, and member reports come from
+  // the real leaf).
+  std::int64_t now = 0;
+
+  // (a) undecodable bytes inside a well-formed envelope.
+  attacker.write_frame("not-a-snapshot-frame-at-all");
+  // (b) a structurally valid report for an absurd member index.
+  coord::wire::Frame bogus;
+  bogus.type = coord::wire::FrameType::kReport;
+  bogus.round = 1;
+  bogus.member = 999;
+  bogus.values = {0.0};
+  attacker.write_frame(coord::wire::encode(bogus));
+  // (c) a frame type the root never accepts.
+  coord::wire::Frame downstream;
+  downstream.type = coord::wire::FrameType::kAggregate;
+  downstream.round = 1;
+  downstream.values = {0.0};
+  attacker.write_frame(coord::wire::encode(downstream));
+
+  ASSERT_TRUE(pump_until({&root, leaf.get()}, &now, 500, [&] {
+    return root.frames_rejected() >= 3 && root.rounds_completed() >= 1;
+  })) << "rejected=" << root.frames_rejected()
+      << " completed=" << root.rounds_completed()
+      << " last_reason=" << root.last_reject_reason();
+  EXPECT_GE(root_delivered, 1u);
+
+  // (d) an oversized length prefix: framing is unrecoverable, the root must
+  // drop that connection (and only that connection) and keep running.
+  const std::uint32_t huge = 64u << 20;
+  std::string prefix;
+  for (int i = 0; i < 4; ++i)
+    prefix.push_back(static_cast<char>((huge >> (8 * i)) & 0xff));
+  attacker.write_all(prefix);
+  const std::uint64_t before = root.rounds_completed();
+  ASSERT_TRUE(pump_until({&root, leaf.get()}, &now, 500, [&] {
+    return root.frames_rejected() >= 4 && root.rounds_completed() > before;
+  })) << "rejected=" << root.frames_rejected()
+      << " completed=" << root.rounds_completed() << " before=" << before
+      << " abandoned=" << root.rounds_abandoned()
+      << " leaf_rejected=" << leaf->frames_rejected()
+      << " leaf_reason=" << leaf->last_reject_reason()
+      << " last_reason=" << root.last_reject_reason();
+  // On a loaded machine a benign "stale round tag" reject can land after the
+  // oversized one and overwrite the last reason; the dropped-connection check
+  // below is what uniquely pins the oversized path.
+  EXPECT_TRUE(root.last_reject_reason() == "oversized length prefix" ||
+              root.last_reject_reason() == "stale round tag")
+      << root.last_reject_reason();
+  // The attacker's socket was shut down by the root.
+  attacker.set_read_timeout_ms(200);
+  net::ReadResult result = attacker.read_some();
+  while (result.status == net::ReadStatus::kData)
+    result = attacker.read_some();
+  EXPECT_EQ(result.status, net::ReadStatus::kClosed);
+
+  root.stop();
+  leaf->stop();
+}
+
+// ---------------------------------------------------------------------------
+// Stale round tags and duplicate reports at a live root.
+// ---------------------------------------------------------------------------
+
+TEST(SocketTransport, StaleAndDuplicateReportsAreRejected) {
+  constexpr std::size_t kFleet = 2;
+  const auto base = root_options(kFleet);
+  coord::SocketTransport root(1, 1, base);
+  root.attach(
+      0, [] { return std::vector<double>{1.0}; },
+      [](std::uint64_t, const std::vector<double>&) {});
+  root.start();
+
+  // A hand-driven "leaf": we speak the protocol manually so we can replay.
+  net::Socket peer = net::Socket::connect_loopback(root.listen_port());
+  peer.set_read_timeout_ms(200);
+  net::FrameReader frames;
+
+  // Wait for round-start 1.
+  std::int64_t now = 0;
+  coord::wire::Frame start;
+  bool got_start = false;
+  for (int i = 0; i < 2000 && !got_start; ++i) {
+    root.poll(now);
+    now += 500;
+    const net::ReadResult r = peer.read_some();
+    if (r.status == net::ReadStatus::kData) {
+      frames.feed(r.data);
+      std::string payload;
+      while (frames.next(&payload) == net::FrameReader::Event::kFrame) {
+        if (coord::wire::decode(payload, &start) ==
+                coord::wire::DecodeStatus::kOk &&
+            start.type == coord::wire::FrameType::kRoundStart) {
+          got_start = true;
+        }
+      }
+    }
+  }
+  ASSERT_TRUE(got_start);
+  ASSERT_EQ(start.round, 1u);
+
+  // Send the member-1 report twice: the first completes the round, the
+  // replay must be rejected as a duplicate/stale tag, not crash the root.
+  coord::wire::Frame report;
+  report.type = coord::wire::FrameType::kReport;
+  report.round = 1;
+  report.member = 1;
+  report.values = {2.0};
+  peer.write_frame(coord::wire::encode(report));
+  peer.write_frame(coord::wire::encode(report));
+  // A report whose vector length disagrees with the fleet's must also fall.
+  coord::wire::Frame fat = report;
+  fat.round = 2;  // guess the next round so only the size check can reject
+  fat.values = {1.0, 2.0};
+  peer.write_frame(coord::wire::encode(fat));
+
+  for (int i = 0; i < 2000 && root.frames_rejected() < 2; ++i) {
+    root.poll(now);
+    now += 500;
+    std::this_thread::sleep_for(std::chrono::microseconds(300));
+  }
+  EXPECT_GE(root.rounds_completed(), 1u);
+  EXPECT_GE(root.frames_rejected(), 2u);
+  root.stop();
+}
+
+// ---------------------------------------------------------------------------
+// Star accounting: a completed round costs 2R logical messages fleet-wide.
+// ---------------------------------------------------------------------------
+
+TEST(SocketTransport, MessagesSentMirrorsTheStarTree) {
+  constexpr std::size_t kFleet = 2;
+  const auto base = root_options(kFleet);
+  coord::SocketTransport root(1, 1, base);
+  root.attach(
+      0, [] { return std::vector<double>{1.0}; },
+      [](std::uint64_t, const std::vector<double>&) {});
+  root.start();
+  auto leaf = std::make_unique<coord::SocketTransport>(
+      1, 1, leaf_options(base, root.listen_port(), 1));
+  std::uint64_t leaf_delivered = 0;
+  leaf->attach(
+      0, [] { return std::vector<double>{2.0}; },
+      [&](std::uint64_t, const std::vector<double>&) { ++leaf_delivered; });
+  leaf->start();
+
+  std::int64_t now = 0;
+  ASSERT_TRUE(pump_until({&root, leaf.get()}, &now, 500, [&] {
+    return root.rounds_completed() >= 3 && leaf_delivered >= 3;
+  }));
+  root.stop();
+  leaf->stop();
+
+  // Every completed round: R reports up + R broadcasts down. The root may
+  // have opened (sampled for) one extra round that never completed before
+  // stop(), so allow exactly one sample's worth of slack per process.
+  const std::uint64_t rounds = root.rounds_completed();
+  const std::uint64_t fleet_messages =
+      root.messages_sent() + leaf->messages_sent();
+  EXPECT_GE(fleet_messages, 2 * kFleet * rounds);
+  EXPECT_LE(fleet_messages, 2 * kFleet * rounds + kFleet);
+}
+
+// ---------------------------------------------------------------------------
+// The delivery-side audit: round tags must strictly increase.
+// ---------------------------------------------------------------------------
+
+TEST(SocketTransportAudit, RoundTagMonotonePassesAndFires) {
+  // Honest histories pass.
+  audit::audit_round_tag_monotone(false, 0, 1);
+  audit::audit_round_tag_monotone(true, 1, 2);
+  audit::audit_round_tag_monotone(true, 2, 7);  // gaps are fine (abandons)
+
+  // A replayed or reordered aggregate fires with an actionable message.
+  const std::string msg = violation_message(
+      [] { audit::audit_round_tag_monotone(true, 5, 5); });
+  EXPECT_NE(msg.find("round-tag-monotone"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("replayed or reordered"), std::string::npos) << msg;
+  violation_message([] { audit::audit_round_tag_monotone(true, 5, 4); });
+}
+
+TEST(SocketTransport, RejectsNonLoopbackPeers) {
+  coord::SocketTransport::Options options;
+  options.peers = {"10.0.0.1:7000", "10.0.0.2:7000"};
+  const std::string msg = violation_message([&] {
+    coord::SocketTransport transport(1, 1, options);
+    transport.start();
+  });
+  EXPECT_NE(msg.find("loopback"), std::string::npos) << msg;
+}
+
+}  // namespace
+}  // namespace sharegrid

@@ -16,6 +16,7 @@ const std::map<std::string, std::set<std::string>>& allowed_layer_deps() {
   static const std::map<std::string, std::set<std::string>> deps = {
       {"util", {"util"}},
       {"audit", {"audit", "util"}},
+      {"net", {"net", "audit", "util"}},
       {"core", {"core", "audit", "util"}},
       {"lp", {"lp", "audit", "util"}},
       {"sim", {"sim", "audit", "util"}},
@@ -23,16 +24,17 @@ const std::map<std::string, std::set<std::string>>& allowed_layer_deps() {
       {"l4", {"l4", "core", "audit", "util"}},
       {"workload", {"workload", "core", "audit", "util"}},
       {"sched", {"sched", "core", "lp", "audit", "util"}},
-      {"coord", {"coord", "sched", "sim", "core", "lp", "audit", "util"}},
+      {"coord",
+       {"coord", "sched", "sim", "core", "lp", "net", "audit", "util"}},
       {"live",
-       {"live", "coord", "sched", "sim", "core", "lp", "http", "l4", "audit",
-        "util"}},
+       {"live", "coord", "sched", "sim", "core", "lp", "net", "http", "l4",
+        "audit", "util"}},
       {"nodes",
        {"nodes", "coord", "sched", "sim", "core", "lp", "http", "l4",
         "workload", "audit", "util"}},
       {"experiments",
        {"experiments", "nodes", "live", "coord", "sched", "sim", "core", "lp",
-        "http", "l4", "workload", "audit", "util"}},
+        "net", "http", "l4", "workload", "audit", "util"}},
   };
   return deps;
 }

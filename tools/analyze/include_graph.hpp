@@ -6,23 +6,25 @@
 //           util
 //            │
 //          audit                    (compiled-out hook library)
-//        ┌───┼────┬──────┐
-//      core  lp  sim   http   l4
-//        │    │    │            (l4, workload also sit on core)
-//     workload│    │
-//        └──sched  │
-//             └─ coord
+//        ┌───┼────┬──────┬────┐
+//      core  lp  sim   http  net   l4
+//        │    │    │           │  (l4, workload also sit on core)
+//     workload│    │           │
+//        └──sched  │           │
+//             └─ coord ────────┘
 //          ┌─────┼──────┐
 //        nodes  live    │
 //          └─────┴─ experiments
 //
-// Concretely: util is the bottom; core/lp/sim/http are peers over
-// util+audit; l4 and workload additionally see core; sched builds on
-// core+lp; coord on sched+sim; nodes and live are peer composition roots
-// (nodes: sim-side, live: wall-clock side); experiments tops everything.
-// An include that jumps *up* this order — or sideways between peers — is a
-// layer-dag violation, and any include cycle among the scanned files is
-// reported with the full chain.
+// Concretely: util is the bottom; core/lp/sim/http/net are peers over
+// util+audit (net: raw loopback TCP + framing); l4 and workload
+// additionally see core; sched builds on core+lp; coord on sched+sim+net
+// (the socket snapshot transport lives in coord and speaks net frames);
+// nodes and live are peer composition roots (nodes: sim-side, live:
+// wall-clock side, also over net); experiments tops everything. An include
+// that jumps *up* this order — or sideways between peers — is a layer-dag
+// violation, and any include cycle among the scanned files is reported with
+// the full chain.
 #pragma once
 
 #include <map>

@@ -46,7 +46,7 @@ bool allows(const std::string& raw_line, const std::string& rule);
 
 /// Project-relative path used for layer assignment, rule exemptions, and
 /// baseline matching: the components after the last "src" path component
-/// ("/root/repo/src/live/tcp.hpp" -> "live/tcp.hpp"). Paths with no "src"
+/// ("/root/repo/src/net/tcp.hpp" -> "net/tcp.hpp"). Paths with no "src"
 /// component are returned unchanged, so fixture paths like "sched/a.hpp"
 /// work as-is.
 std::string canonical_path(const std::string& path);

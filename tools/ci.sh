@@ -29,6 +29,17 @@ run_stage() {
 }
 
 run_stage relwithdebinfo   # -Werror + sharegrid_analyze + figure shapes
+
+# Cross-process control plane: fork a 3-redirector fleet over loopback TCP
+# and require plan convergence (bitwise vs InProcessTransport) plus the
+# degradation-to-1/R path after a mid-run peer kill. ctest already runs the
+# binary once; rerunning it standalone keeps the multi-process stage visible
+# in the CI log and gates directly on its exit code.
+echo
+echo "=== [multi-process] 3-process loopback fleet (coord::SocketTransport) ==="
+./build-relwithdebinfo/examples/multi_process_demo \
+  examples/scenarios/multi_process.ini
+
 run_stage debug-asan       # ASan+UBSan, SHAREGRID_AUDIT=ON
 
 # Clang thread-safety stage: the SHAREGRID_GUARDED_BY/REQUIRES/EXCLUDES
@@ -65,11 +76,13 @@ else
     --gtest_filter='MultiProviderScheduler.*:WorkerPool.*:AuditParallelPlanMatch.*'
   # The unified control plane is the other concurrency surface: the live
   # L4/L7 services drive it through the mutex-guarded WallClockAdmission
-  # facade, so rerun the control-plane and live-service tests standalone
-  # under TSan as well (docs/control-plane.md).
-  echo "=== [debug-tsan] control plane + live drivers ==="
+  # facade, and the SocketTransport runs background receive threads feeding
+  # a mutex-guarded inbox drained by poll(). Rerun the control-plane,
+  # live-service, socket-transport, and TCP tests standalone under TSan so a
+  # report can't hide in the big ctest log (docs/control-plane.md).
+  echo "=== [debug-tsan] control plane + live drivers + socket transport ==="
   ./build-tsan/tests/sharegrid_tests \
-    --gtest_filter='ControlPlane.*:ControlPlaneAudit.*:WallClockAdmission.*:L7Service.*:Tcp.*'
+    --gtest_filter='ControlPlane.*:ControlPlaneAudit.*:WallClockAdmission.*:L7Service.*:Tcp.*:SocketTransport.*:SocketTransportWire.*:SocketTransportAudit.*'
   # The sharded simulation engine runs cluster domains on worker-pool lanes
   # with hand-rolled epoch barriers — exactly the code TSan exists for.
   # Rerun the engine and the cluster-partitioned scenario tests standalone;
