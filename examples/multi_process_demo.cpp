@@ -2,12 +2,14 @@
 //
 // The launcher forks one OS process per redirector declared in the scenario
 // (transport = socket). Each child hosts one coord::ControlPlane member and
-// joins the star exchange: the root (process 0) paces rounds, the leaves
+// joins the star exchange: the lease-holding root paces rounds, the leaves
 // report their demand vectors, and every process advances its scheduling
 // window from the transport's on_round_start hook, so the whole fleet steps
-// window boundaries on the same round tags.
+// window boundaries on the same round tags. The parent pre-picks a real
+// ephemeral port for EVERY process — the full mesh is what lets survivors
+// find each other when the root dies.
 //
-// Two phases, both asserted:
+// Three phases, all asserted (the demo is a ctest case):
 //
 //   1. Convergence — every child drives K windows over the wire, then
 //      replays the identical schedule on a single-process
@@ -16,11 +18,20 @@
 //      sums reports in the same member order with the same floating-point
 //      order, so "close" is not accepted — equality is.
 //
-//   2. Degradation — the highest-index child exits abruptly mid-run. The
-//      survivors' rounds hit the deadline, no fresh aggregate arrives, the
-//      staleness threshold trips, and each surviving member must drop back
-//      to the conservative 1/R regime (global().valid == false) — the
-//      paper's no-snapshot posture — within the staleness budget.
+//   2. Rejoin — the highest-index leaf crashes (abrupt _Exit; no goodbye)
+//      after three windows. The root prunes it at the next round deadline
+//      and rounds RESUME with the smaller membership — no staleness, no
+//      conservative fallback. The parent then restarts the leaf with a
+//      bumped incarnation: the session layer re-admits it, the next round
+//      boundary folds its member back in, and the restarted process planning
+//      against delivered aggregates again is what the phase asserts — plus
+//      readmissions/reconnects counters on the root.
+//
+//   3. Election — the ROOT crashes after three windows. The survivors see
+//      the lease expire, the lowest live member acquires it (after every
+//      lower-index peer refused its dials), rounds resume under the new
+//      root, and every survivor's delivered round tags stay strictly
+//      monotone across the handover.
 //
 // Usage: multi_process_demo <scenario.ini>   (see scenarios/multi_process.ini)
 #include <sys/wait.h>
@@ -43,13 +54,16 @@
 #include "net/tcp.hpp"
 #include "sched/response_time_scheduler.hpp"
 #include "util/assert.hpp"
+#include "util/metrics_registry.hpp"
 #include "util/time.hpp"
 
 namespace {
 
 using sharegrid::experiments::ScenarioConfig;
 
-constexpr int kWindows = 8;  // windows compared bitwise in phase 1
+constexpr int kWindows = 8;        // windows compared bitwise in phase 1
+constexpr int kChurnWindows = 12;  // windows survivors drive in phases 2/3
+constexpr int kCrashAfter = 3;     // victim exits after this many windows
 
 std::int64_t now_usec() {
   return std::chrono::duration_cast<std::chrono::microseconds>(
@@ -199,41 +213,83 @@ std::vector<std::vector<WindowRecord>> run_baseline(
   return records;
 }
 
-enum class Phase { kConverge, kDegrade };
+enum class Phase { kConverge, kRejoin, kElection };
 
-/// Body of one forked redirector process.
-int run_child(const ScenarioConfig& config, std::size_t index,
-              std::uint16_t root_port, Phase phase) {
+const char* phase_name(Phase phase) {
+  switch (phase) {
+    case Phase::kConverge: return "convergence";
+    case Phase::kRejoin: return "leaf-rejoin";
+    case Phase::kElection: return "root-election";
+  }
+  return "?";
+}
+
+void print_socket_metrics(std::size_t index) {
+  auto& metrics = sharegrid::util::global_metrics();
+  std::printf(
+      "member %zu metrics: coord.socket.reconnects=%llu "
+      "coord.socket.elections=%llu coord.socket.sessions_active=%lld\n",
+      index,
+      static_cast<unsigned long long>(
+          metrics.counter("coord.socket.reconnects").value()),
+      static_cast<unsigned long long>(
+          metrics.counter("coord.socket.elections").value()),
+      static_cast<long long>(
+          metrics.gauge("coord.socket.sessions_active").value()));
+}
+
+/// Body of one forked redirector process. `incarnation` > 1 marks a restart
+/// (the rejoin phase's replacement leaf).
+int run_child(const ScenarioConfig& config,
+              const std::vector<std::string>& peers, std::size_t index,
+              Phase phase, std::uint64_t incarnation) {
   sharegrid::core::AgreementGraph graph;
   const auto scheduler = build_scheduler(config, &graph);
   sharegrid::coord::ControlPlane plane(scheduler.get(), plane_config(config));
   sharegrid::coord::ControlPlane::Member* member = plane.add_member();
 
   int windows_begun = 0;
-  bool round_gap = false;
+  bool round_gap = false;       // convergence: tags must be exactly 1,2,3...
+  bool tags_monotone = true;    // churn phases: gaps fine, regressions never
+  std::uint64_t last_tag = 0;
   std::vector<WindowRecord> records;
 
   sharegrid::coord::SocketTransport::Options options;
-  options.peers = config.socket_peers;
-  options.peers[0] = "127.0.0.1:" + std::to_string(root_port);
+  options.peers = peers;
   options.process_index = index;
+  options.incarnation = incarnation;
   options.member_offset = index;
   options.fleet_size = config.redirector_count;
   options.round_period_usec = 2000;
-  options.dial_retry_usec = 5000;
   options.io_timeout_ms = 20;
+  options.allow_nonlocal = config.allow_nonlocal;
+  options.election_enabled =
+      config.election_enabled && phase == Phase::kElection;
+  options.lease_ttl_usec =
+      static_cast<std::int64_t>(config.lease_ttl_ms * 1000.0);
+  options.heartbeat_usec =
+      static_cast<std::int64_t>(config.heartbeat_ms * 1000.0);
+  options.reconnect_base_usec =
+      static_cast<std::int64_t>(config.reconnect_base_ms * 1000.0);
+  options.reconnect_max_usec =
+      static_cast<std::int64_t>(config.reconnect_max_ms * 1000.0);
   if (phase == Phase::kConverge) {
     // A deadline generous enough that an abandoned round means something is
     // genuinely wrong (and the bitwise comparison would be void anyway).
     options.round_deadline_usec = 5'000'000;
     options.stale_after_usec = 600'000'000;
   } else {
+    // Churn phases: prune a dead peer within one deadline; keep staleness
+    // out of the picture (rejoin and election are membership paths, not the
+    // degradation path — coverage for that lives in the transport tests).
     options.round_deadline_usec = 40'000;
-    options.stale_after_usec = 120'000;
+    options.stale_after_usec = 600'000'000;
   }
   options.on_round_start = [&](std::uint64_t round) {
     ++windows_begun;
     if (round != static_cast<std::uint64_t>(windows_begun)) round_gap = true;
+    if (round <= last_tag) tags_monotone = false;
+    last_tag = round;
     if (windows_begun == 1) {
       plane.begin_windows(0);
     } else {
@@ -242,7 +298,8 @@ int run_child(const ScenarioConfig& config, std::size_t index,
                           config.window);
     }
     inject_arrivals(config, member, index, windows_begun);
-    if (windows_begun <= kWindows) records.push_back(snapshot(*member));
+    if (phase == Phase::kConverge && windows_begun <= kWindows)
+      records.push_back(snapshot(*member));
   };
 
   sharegrid::coord::SocketTransport transport(
@@ -250,23 +307,71 @@ int run_child(const ScenarioConfig& config, std::size_t index,
   plane.connect(&transport);
   transport.start();
 
-  const std::int64_t hard_stop = now_usec() + 30'000'000;  // loaded-CI cap
-  const bool victim =
-      phase == Phase::kDegrade && index == config.redirector_count - 1;
-  bool degraded = false;
+  const std::int64_t hard_stop = now_usec() + 60'000'000;  // loaded-CI cap
+  const std::size_t victim_index =
+      phase == Phase::kElection ? 0 : config.redirector_count - 1;
+  const bool victim = phase != Phase::kConverge && index == victim_index &&
+                      incarnation == 1;
+  int rejoin_window = -1;       // root: window at which the readmit landed
+  int last_windows = 0;
+  std::int64_t last_progress = now_usec();
   for (;;) {
-    transport.poll(now_usec());
-    if (phase == Phase::kConverge && windows_begun > kWindows) break;
-    if (victim && windows_begun >= 3) break;  // simulated crash, mid-fleet
-    if (phase == Phase::kDegrade && !victim &&
-        transport.stale_fallbacks() >= 1 && !member->global().valid) {
-      degraded = true;
-      break;
+    const std::int64_t now = now_usec();
+    transport.poll(now);
+    if (windows_begun != last_windows) {
+      last_windows = windows_begun;
+      last_progress = now;
     }
-    if (now_usec() > hard_stop) {
-      std::fprintf(stderr, "member %zu: timed out (windows=%d stale=%llu)\n",
-                   index, windows_begun,
-                   static_cast<unsigned long long>(transport.stale_fallbacks()));
+    if (phase == Phase::kConverge && windows_begun > kWindows) break;
+    if (victim && windows_begun >= kCrashAfter) {
+      // Abrupt death: no transport.stop(), no destructors, no FIN handshake
+      // beyond what the kernel sends — the fleet must cope with exactly
+      // this.
+      std::printf("member %zu: crashing after window %d (simulated)\n", index,
+                  windows_begun);
+      std::fflush(stdout);
+      std::_Exit(0);
+    }
+    if (!victim && phase != Phase::kConverge) {
+      bool done = false;
+      if (phase == Phase::kRejoin && index == 0) {
+        // Root: must witness the prune AND the readmit, then pace enough
+        // further rounds for the restarted leaf to plan against fresh
+        // aggregates and exit — the pacer leaving first would starve it.
+        if (rejoin_window < 0 && transport.readmissions() >= 1 &&
+            transport.reconnects() >= 1)
+          rejoin_window = windows_begun;
+        done = rejoin_window >= 0 && windows_begun >= rejoin_window + 50;
+      } else if (incarnation > 1) {
+        // Restarted leaf: done once it is planning against delivered
+        // aggregates again — folded in at a boundary, not just reconnected.
+        done = windows_begun >= kCrashAfter && member->global().valid;
+      } else if (phase == Phase::kElection && index == 1) {
+        // Election winner becomes the pacer: overshoot the quota so the
+        // followers reach theirs before rounds stop.
+        done = windows_begun >= kChurnWindows + 50;
+      } else if (phase == Phase::kElection) {
+        // Follower: exit as soon as the quota is met under the elected
+        // root — lingering after the new pacer quits would start a second
+        // election (this process is then the lowest live member).
+        done = windows_begun >= kChurnWindows && transport.has_root() &&
+               transport.root_index() == 1;
+      } else {
+        // Plain survivor: quota met and rounds have stopped flowing —
+        // the phase's pacer has exited, nothing more will arrive.
+        done = windows_begun >= kChurnWindows && now - last_progress > 300'000;
+      }
+      if (done) break;
+    }
+    if (now > hard_stop) {
+      std::fprintf(
+          stderr,
+          "member %zu: timed out (windows=%d readmissions=%llu "
+          "elections=%llu reject=%s)\n",
+          index, windows_begun,
+          static_cast<unsigned long long>(transport.readmissions()),
+          static_cast<unsigned long long>(transport.elections()),
+          transport.last_reject_reason().c_str());
       transport.stop();
       return 3;
     }
@@ -274,95 +379,165 @@ int run_child(const ScenarioConfig& config, std::size_t index,
   }
   transport.stop();
 
-  if (phase == Phase::kDegrade) {
-    if (victim) {
-      std::printf("member %zu: exited after window 3 (simulated crash)\n",
-                  index);
-      return 0;
-    }
-    if (!degraded) return 3;
-    // The next window must plan from the conservative no-snapshot posture.
-    plane.end_windows();
-    plane.begin_windows(static_cast<sharegrid::SimTime>(windows_begun) *
-                        config.window);
-    if (member->global().valid) {
-      std::fprintf(stderr, "member %zu: global still valid after fallback\n",
+  if (phase == Phase::kConverge) {
+    // Phase 1: replay the fleet in-process and demand bitwise equality.
+    if (round_gap || transport.rounds_abandoned() != 0) {
+      std::fprintf(stderr, "member %zu: round abandoned during convergence\n",
                    index);
-      return 3;
+      return 2;
+    }
+    if (transport.frames_rejected() != 0) {
+      std::fprintf(stderr, "member %zu: rejected frames on a clean run: %s\n",
+                   index, transport.last_reject_reason().c_str());
+      return 2;
+    }
+    const auto baseline = run_baseline(config);
+    if (records.size() != static_cast<std::size_t>(kWindows) ||
+        records != baseline[index]) {
+      std::fprintf(stderr,
+                   "member %zu: socket plans diverge from InProcessTransport\n",
+                   index);
+      return 1;
     }
     std::printf(
-        "member %zu: degraded to the conservative 1/R regime after peer loss "
-        "(stale_fallbacks=%llu rounds_abandoned=%llu)\n",
-        index, static_cast<unsigned long long>(transport.stale_fallbacks()),
-        static_cast<unsigned long long>(transport.rounds_abandoned()));
+        "member %zu: %d windows over TCP, plans bitwise-identical to the "
+        "in-process baseline (messages_sent=%llu)\n",
+        index, kWindows,
+        static_cast<unsigned long long>(transport.messages_sent()));
     return 0;
   }
 
-  // Phase 1: replay the fleet in-process and demand bitwise equality.
-  if (round_gap || transport.rounds_abandoned() != 0) {
-    std::fprintf(stderr, "member %zu: round abandoned during convergence\n",
-                 index);
+  // Churn phases: tags must never regress, whatever else happened.
+  if (!tags_monotone) {
+    std::fprintf(stderr, "member %zu: round tags regressed\n", index);
     return 2;
   }
-  if (transport.frames_rejected() != 0) {
-    std::fprintf(stderr, "member %zu: rejected frames on a clean run: %s\n",
-                 index, transport.last_reject_reason().c_str());
-    return 2;
+  if (phase == Phase::kRejoin) {
+    if (incarnation > 1) {
+      if (transport.frames_rejected() != 0) {
+        std::fprintf(stderr, "member %zu: restart saw rejected frames: %s\n",
+                     index, transport.last_reject_reason().c_str());
+        return 2;
+      }
+      std::printf(
+          "member %zu: restarted at incarnation %llu, rejoined and planned "
+          "%d windows against fresh aggregates\n",
+          index, static_cast<unsigned long long>(incarnation), windows_begun);
+    } else if (index == 0) {
+      std::printf(
+          "member 0: pruned the dead leaf and re-admitted its restart "
+          "(readmissions=%llu reconnects=%llu members_live=%zu)\n",
+          static_cast<unsigned long long>(transport.readmissions()),
+          static_cast<unsigned long long>(transport.reconnects()),
+          transport.members_live());
+      print_socket_metrics(index);
+    }
+    return 0;
   }
-  const auto baseline = run_baseline(config);
-  if (records.size() != static_cast<std::size_t>(kWindows) ||
-      records != baseline[index]) {
-    std::fprintf(stderr,
-                 "member %zu: socket plans diverge from InProcessTransport\n",
-                 index);
-    return 1;
+
+  // Election phase survivors.
+  const std::size_t lowest_survivor = 1;
+  if (index == lowest_survivor) {
+    if (!transport.is_root() || transport.elections() != 1) {
+      std::fprintf(stderr,
+                   "member %zu: expected to win the election (root=%d "
+                   "elections=%llu)\n",
+                   index, transport.is_root() ? 1 : 0,
+                   static_cast<unsigned long long>(transport.elections()));
+      return 2;
+    }
+    std::printf(
+        "member %zu: acquired the root lease (incarnation %llu) and drove "
+        "rounds through window %d\n",
+        index, static_cast<unsigned long long>(transport.lease_incarnation()),
+        windows_begun);
+    print_socket_metrics(index);
+  } else {
+    if (!transport.has_root() || transport.root_index() != lowest_survivor ||
+        transport.elections() != 0) {
+      std::fprintf(stderr,
+                   "member %zu: expected to follow member %zu (root_index=%zu "
+                   "elections=%llu)\n",
+                   index, lowest_survivor,
+                   transport.has_root() ? transport.root_index() : 999,
+                   static_cast<unsigned long long>(transport.elections()));
+      return 2;
+    }
+    std::printf("member %zu: adopted the elected root (member %zu), tags "
+                "stayed monotone\n",
+                index, transport.root_index());
   }
-  std::printf(
-      "member %zu: %d windows over TCP, plans bitwise-identical to the "
-      "in-process baseline (messages_sent=%llu)\n",
-      index, kWindows,
-      static_cast<unsigned long long>(transport.messages_sent()));
   return 0;
 }
 
 /// Grabs an ephemeral loopback port. A tiny bind race remains between close
-/// and the root child's re-bind, but SO_REUSEADDR plus the kernel's
+/// and the child's re-bind, but SO_REUSEADDR plus the kernel's
 /// ephemeral-port rotation make it vanishingly unlikely.
 std::uint16_t pick_port() {
   return sharegrid::net::Socket::listen_on_loopback(0).local_port();
 }
 
-/// Forks the fleet (root first) and waits for every child to exit cleanly.
-bool run_phase(const ScenarioConfig& config, Phase phase, const char* name) {
-  const std::uint16_t port = pick_port();
+pid_t fork_child(const ScenarioConfig& config,
+                 const std::vector<std::string>& peers, std::size_t index,
+                 Phase phase, std::uint64_t incarnation) {
+  const pid_t pid = fork();
+  if (pid != 0) return pid;
+  int code = 4;
+  try {
+    code = run_child(config, peers, index, phase, incarnation);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "member %zu: %s\n", index, e.what());
+  }
   std::fflush(stdout);
+  std::_Exit(code);
+}
+
+bool wait_for(pid_t pid) {
+  int status = 0;
+  return waitpid(pid, &status, 0) == pid && WIFEXITED(status) &&
+         WEXITSTATUS(status) == 0;
+}
+
+/// Forks the fleet and waits for every child to exit cleanly. In the rejoin
+/// phase the crashed leaf is restarted (same index, incarnation 2) once its
+/// first instance has exited.
+bool run_phase(const ScenarioConfig& config, Phase phase) {
+  // The full mesh gets real ports up front: election and rejoin require
+  // every process to be dialable, not just the initial root.
+  std::vector<std::string> peers;
+  for (std::size_t i = 0; i < config.redirector_count; ++i)
+    peers.push_back("127.0.0.1:" + std::to_string(pick_port()));
+  std::fflush(stdout);
+
   std::vector<pid_t> children;
   for (std::size_t i = 0; i < config.redirector_count; ++i) {
-    const pid_t pid = fork();
+    const pid_t pid = fork_child(config, peers, i, phase, 1);
     if (pid < 0) {
       std::perror("fork");
       return false;
     }
-    if (pid == 0) {
-      int code = 4;
-      try {
-        code = run_child(config, i, port, phase);
-      } catch (const std::exception& e) {
-        std::fprintf(stderr, "member %zu: %s\n", i, e.what());
-      }
-      std::fflush(stdout);
-      std::_Exit(code);
-    }
     children.push_back(pid);
   }
+
   bool ok = true;
-  for (const pid_t pid : children) {
-    int status = 0;
-    if (waitpid(pid, &status, 0) != pid ||
-        !WIFEXITED(status) || WEXITSTATUS(status) != 0)
-      ok = false;
+  if (phase == Phase::kRejoin) {
+    // The victim (highest index) crashes first; restart it with a bumped
+    // incarnation while the rest of the fleet keeps running. The pause
+    // spans several round deadlines so the root demonstrably PRUNES the
+    // dead leaf (rounds keep completing without it) before the restart is
+    // re-admitted — an instant restart would slot into the open round and
+    // the membership gap this phase exists to exercise would never happen.
+    const std::size_t victim = config.redirector_count - 1;
+    ok = wait_for(children[victim]);
+    usleep(150'000);
+    children[victim] = ok ? fork_child(config, peers, victim, phase, 2) : -1;
+    if (children[victim] < 0) ok = false;
   }
-  std::printf("phase %s: %s\n", name, ok ? "ok" : "FAILED");
+  for (std::size_t i = 0; i < children.size(); ++i) {
+    if (children[i] < 0) continue;
+    if (!wait_for(children[i])) ok = false;
+  }
+  std::printf("phase %s: %s\n", phase_name(phase), ok ? "ok" : "FAILED");
   return ok;
 }
 
@@ -386,18 +561,21 @@ int main(int argc, char** argv) {
                  argv[1]);
     return 64;
   }
-  if (config.redirector_count < 2) {
-    std::fprintf(stderr, "need at least 2 redirector processes\n");
+  if (config.redirector_count < 3) {
+    std::fprintf(stderr,
+                 "need at least 3 redirector processes (the election phase "
+                 "kills one and still wants a root and a follower)\n");
     return 64;
   }
 
   std::printf("forking %zu redirector processes over loopback TCP\n",
               config.redirector_count);
-  const bool converged = run_phase(config, Phase::kConverge, "convergence");
-  const bool degraded = converged && run_phase(config, Phase::kDegrade,
-                                              "degradation");
-  if (!(converged && degraded)) return 1;
+  const bool converged = run_phase(config, Phase::kConverge);
+  const bool rejoined = converged && run_phase(config, Phase::kRejoin);
+  const bool elected = rejoined && run_phase(config, Phase::kElection);
+  if (!(converged && rejoined && elected)) return 1;
   std::printf(
-      "multi_process_demo: plan-convergence: ok; degradation-to-1/R: ok\n");
+      "multi_process_demo: plan-convergence: ok; leaf-rejoin: ok; "
+      "root-election: ok\n");
   return 0;
 }

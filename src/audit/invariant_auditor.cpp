@@ -331,6 +331,51 @@ void audit_round_tag_monotone(bool has_previous, std::uint64_t previous_round,
   });
 }
 
+void audit_lease_monotone(bool has_previous, std::uint64_t previous_incarnation,
+                          std::size_t previous_root,
+                          std::uint64_t incarnation, std::size_t root) {
+  if (!has_previous) return;
+  require(incarnation >= previous_incarnation, "coord.lease-monotone", [&] {
+    return "adopting lease incarnation " + std::to_string(incarnation) +
+           " from process " + std::to_string(root) +
+           " after already holding incarnation " +
+           std::to_string(previous_incarnation) + " from process " +
+           std::to_string(previous_root) +
+           "; the stale-lease filter let a superseded root's lease through "
+           "and a zombie's rounds would no longer be fenced";
+  });
+  require(incarnation > previous_incarnation || root == previous_root,
+          "coord.lease-monotone", [&] {
+            return "lease incarnation " + std::to_string(incarnation) +
+                   " claimed by process " + std::to_string(root) +
+                   " but the same incarnation was already held by process " +
+                   std::to_string(previous_root) +
+                   "; two roots share one incarnation — split brain, two "
+                   "aggregation points could both open rounds";
+          });
+}
+
+void audit_root_acquire(bool lease_known, std::int64_t now_usec,
+                        std::int64_t lease_expiry_usec,
+                        std::uint64_t new_incarnation,
+                        std::uint64_t highest_seen) {
+  require(!lease_known || now_usec >= lease_expiry_usec, "coord.single-root",
+          [&] {
+            return "acquiring the root lease at t=" +
+                   std::to_string(now_usec) +
+                   "usec while the observed lease is live until t=" +
+                   std::to_string(lease_expiry_usec) +
+                   "usec; a second root next to a live one is split brain";
+          });
+  require(new_incarnation > highest_seen, "coord.single-root", [&] {
+    return "acquiring the root lease with incarnation " +
+           std::to_string(new_incarnation) +
+           " but incarnation " + std::to_string(highest_seen) +
+           " has already been observed; a non-increasing incarnation cannot "
+           "fence the previous root's in-flight rounds";
+  });
+}
+
 void audit_control_plane_member_slices(const Matrix& slices,
                                        const Matrix& plan_rate,
                                        double share_cap, double window_sec,

@@ -286,6 +286,26 @@ void audit_control_plane_snapshot(bool has_previous,
 void audit_round_tag_monotone(bool has_previous, std::uint64_t previous_round,
                               std::uint64_t round);
 
+/// Lease adoptions a follower is about to apply must be monotone: the lease
+/// incarnation never decreases, and one incarnation never names two roots. A
+/// regression means the stale-lease filter let a superseded (zombie) root's
+/// lease through; a same-incarnation root change is split brain — two
+/// aggregation points could both open rounds and the fleet would plan
+/// against two diverging aggregate streams.
+void audit_lease_monotone(bool has_previous, std::uint64_t previous_incarnation,
+                          std::size_t previous_root,
+                          std::uint64_t incarnation, std::size_t root);
+
+/// A process about to acquire the root lease (lowest-live-member election)
+/// must have observed the previous lease expire — acquiring next to a live
+/// lease is split brain — and must fence the old root with a strictly higher
+/// incarnation than anything it has seen, or the zombie's in-flight rounds
+/// would be indistinguishable from the new root's.
+void audit_root_acquire(bool lease_known, std::int64_t now_usec,
+                        std::int64_t lease_expiry_usec,
+                        std::uint64_t new_incarnation,
+                        std::uint64_t highest_seen);
+
 /// One member's window slices against its own plan: every cell must satisfy
 /// 0 <= slice(i, k) <= plan_rate(i, k) * share_cap * window_sec. share_cap
 /// is 1/R in the conservative no-snapshot phase (§5.1 phase 1: nobody may

@@ -54,8 +54,11 @@ void ControlPlane::connect(SnapshotTransport* transport) {
         [member](std::uint64_t round, const std::vector<double>& aggregate) {
           member->receive_global(round, aggregate);
         });
+    // Staleness means we lost the control plane; when it comes back it may
+    // be a different epoch (restarted peer, new root), so the member is
+    // re-admitted rather than merely invalidated.
     transport->attach_stale_handler(member->index(),
-                                    [member] { member->invalidate_global(); });
+                                    [member] { member->readmit(); });
   }
 }
 

@@ -108,6 +108,18 @@ class ControlPlane {
     /// kept, so a late aggregate from before the fallback still audits.
     void invalidate_global() { global_.valid = false; }
 
+    /// Rejoin-safe stale handler: invalidate_global() plus a reset of the
+    /// round-monotonicity fence. A member that lost its control plane may be
+    /// re-admitted under a different transport epoch (a restarted process,
+    /// or a newly elected root); it plans conservatively (1/R) until the
+    /// next aggregate folds it back in at a round boundary, and that first
+    /// aggregate's round tag is accepted as the new fence base instead of
+    /// being audited against the pre-partition sequence.
+    void readmit() {
+      global_.valid = false;
+      has_snapshot_round_ = false;
+    }
+
     /// Current local demand estimate (SnapshotTransport provider): estimator
     /// rates plus whatever the owner's extra_demand hook adds.
     std::vector<double> local_demand() const;

@@ -1,11 +1,24 @@
 #include "coord/snapshot_wire.hpp"
 
 #include <cstring>
+#include <limits>
 
 namespace sharegrid::coord::wire {
 namespace {
 
+// Doubles travel as their IEEE-754 bit pattern; on anything else the bit
+// image would decode to a different value and the bitwise plan-equality the
+// multi-process demo pins would be silently meaningless. Fail the build, not
+// the fleet.
+static_assert(std::numeric_limits<double>::is_iec559,
+              "snapshot_wire serializes doubles as IEEE-754 bit patterns; "
+              "this platform's double is not IEC 559");
+static_assert(sizeof(double) == sizeof(std::uint64_t),
+              "snapshot_wire assumes 64-bit doubles");
+
 constexpr std::size_t kHeaderBytes = 24;
+/// incarnation + aux, appended to the header by membership frames.
+constexpr std::size_t kMembershipExtBytes = 16;
 
 void put_u16(std::string* out, std::uint16_t v) {
   out->push_back(static_cast<char>(v & 0xff));
@@ -55,23 +68,34 @@ const char* to_string(DecodeStatus status) {
   return "unknown";
 }
 
+bool is_membership(FrameType type) {
+  return type == FrameType::kHello || type == FrameType::kLease ||
+         type == FrameType::kLeaseAck;
+}
+
 std::string encode(const Frame& frame) {
+  const bool membership = is_membership(frame.type);
   std::string out;
-  out.reserve(kHeaderBytes + 8 * frame.values.size());
+  out.reserve(kHeaderBytes +
+              (membership ? kMembershipExtBytes : 8 * frame.values.size()));
   put_u32(&out, kMagic);
-  put_u16(&out, kVersion);
+  put_u16(&out, membership ? kVersionMembership : kVersion);
   put_u16(&out, static_cast<std::uint16_t>(frame.type));
   put_u64(&out, frame.round);
   put_u32(&out, frame.member);
+  if (membership) {
+    put_u32(&out, 0);  // count: membership frames carry no demand vector
+    put_u64(&out, frame.incarnation);
+    put_u64(&out, frame.aux);
+    return out;
+  }
   put_u32(&out, static_cast<std::uint32_t>(frame.values.size()));
-  // Doubles travel as their IEEE-754 bit pattern, little-endian. Every
-  // platform this builds on is little-endian IEEE (the loopback peers are
-  // literally the same binary), so memcpy of the u64 image is exact — and
-  // exactness is the point: the multi-process demo pins plans *bitwise*
-  // against the in-process baseline.
+  // The u64 bit image is extracted with memcpy (well-defined type punning)
+  // and then written byte-by-byte little-endian by put_u64, so the on-wire
+  // bytes do not depend on host byte order. Exactness is the point: the
+  // multi-process demo pins plans *bitwise* against the in-process baseline.
   for (const double v : frame.values) {
     std::uint64_t bits = 0;
-    static_assert(sizeof(bits) == sizeof(v));
     std::memcpy(&bits, &v, sizeof(bits));
     put_u64(&out, bits);
   }
@@ -81,15 +105,36 @@ std::string encode(const Frame& frame) {
 DecodeStatus decode(std::string_view bytes, Frame* out) {
   if (bytes.size() < kHeaderBytes) return DecodeStatus::kTruncated;
   if (get_u32(bytes, 0) != kMagic) return DecodeStatus::kBadMagic;
-  if (get_u16(bytes, 4) != kVersion) return DecodeStatus::kBadVersion;
+  const std::uint16_t version = get_u16(bytes, 4);
+  if (version != kVersion && version != kVersionMembership)
+    return DecodeStatus::kBadVersion;
   const std::uint16_t raw_type = get_u16(bytes, 6);
-  if (raw_type < 1 || raw_type > 3) return DecodeStatus::kBadType;
+  if (raw_type < 1 || raw_type > 6) return DecodeStatus::kBadType;
+  const auto type = static_cast<FrameType>(raw_type);
+  // A type is only valid under its own version: a v1 hello or a v2 report is
+  // a confused (or fuzzed) sender, not a forward-compatible frame.
+  if (is_membership(type) != (version == kVersionMembership))
+    return DecodeStatus::kBadType;
   const std::uint32_t count = get_u32(bytes, 20);
+  if (is_membership(type)) {
+    if (count != 0) return DecodeStatus::kSizeMismatch;
+    if (bytes.size() != kHeaderBytes + kMembershipExtBytes)
+      return DecodeStatus::kSizeMismatch;
+    out->type = type;
+    out->round = get_u64(bytes, 8);
+    out->member = get_u32(bytes, 16);
+    out->incarnation = get_u64(bytes, kHeaderBytes);
+    out->aux = get_u64(bytes, kHeaderBytes + 8);
+    out->values.clear();
+    return DecodeStatus::kOk;
+  }
   if (bytes.size() != kHeaderBytes + 8 * static_cast<std::size_t>(count))
     return DecodeStatus::kSizeMismatch;
-  out->type = static_cast<FrameType>(raw_type);
+  out->type = type;
   out->round = get_u64(bytes, 8);
   out->member = get_u32(bytes, 16);
+  out->incarnation = 0;
+  out->aux = 0;
   out->values.resize(count);
   for (std::uint32_t i = 0; i < count; ++i) {
     const std::uint64_t bits = get_u64(bytes, kHeaderBytes + 8 * i);

@@ -5,19 +5,48 @@
 //
 //   offset  size  field
 //        0     4  magic   0x53475354 ("SGST", little-endian u32)
-//        4     2  version (currently 1)
-//        6     2  type    1 = round-start, 2 = report, 3 = aggregate
+//        4     2  version 1 = snapshot frames, 2 = membership frames
+//        6     2  type    1 = round-start, 2 = report, 3 = aggregate,
+//                         4 = hello, 5 = lease, 6 = lease-ack
 //        8     8  round   round tag (the CombiningTree epoch), u64
-//       16     4  member  global member index (reports; 0 otherwise)
+//       16     4  member  global member index / process index (see below)
 //       20     4  count   number of doubles that follow
 //       24  8*c   values  demand vector, IEEE-754 binary64 little-endian
 //
-// All integers are little-endian. The codec is pure functions over byte
-// strings — no sockets — so the malformed-frame table tests can hit every
-// rejection path without a peer. Decoding never throws: a bad frame is a
-// status, because on the receive path "reject and count it" is the correct
-// response to garbage, not a crash (the sender may be a confused peer, not
-// our own bug).
+// Version-2 membership frames (hello / lease / lease-ack) carry no demand
+// vector (count must be 0); instead a fixed 16-byte extension follows the
+// header:
+//
+//       24     8  incarnation  u64 (see per-type meaning below)
+//       32     8  aux          u64 (see per-type meaning below)
+//
+// Per-type field meanings:
+//   hello      member = sender's process index; incarnation = the sender
+//              process's incarnation (bumped on restart, fences zombies);
+//              aux = (member_offset << 32) | local_member_count, the global
+//              member range the process hosts.
+//   lease      member = the root's process index; incarnation = the lease
+//              incarnation (strictly increasing across elections); round =
+//              the root's current round tag; aux = lease TTL in usec.
+//   lease-ack  member = the acking process index; incarnation = the lease
+//              incarnation being acked (or the acker's higher current one —
+//              a NACK telling a zombie root it has been superseded); round =
+//              the highest round tag the acker has seen, which lets a newly
+//              elected root fast-forward its round numbering so tags stay
+//              monotone across the handover.
+//
+// Byte order is normalized explicitly: every integer (and every double's
+// IEEE-754 bit image) is composed and decomposed byte-by-byte in
+// little-endian order by put_*/get_* — no struct overlays, no host-order
+// memcpy of multi-byte values — so the encoding is identical on big-endian
+// hosts. The only representation assumption left is IEC-559 doubles, which
+// a static_assert in snapshot_wire.cpp enforces at compile time.
+//
+// The codec is pure functions over byte strings — no sockets — so the
+// malformed-frame table tests can hit every rejection path without a peer.
+// Decoding never throws: a bad frame is a status, because on the receive
+// path "reject and count it" is the correct response to garbage, not a
+// crash (the sender may be a confused peer, not our own bug).
 #pragma once
 
 #include <cstdint>
@@ -28,19 +57,25 @@
 namespace sharegrid::coord::wire {
 
 inline constexpr std::uint32_t kMagic = 0x53475354;  // "SGST"
-inline constexpr std::uint16_t kVersion = 1;
+inline constexpr std::uint16_t kVersion = 1;            ///< snapshot frames
+inline constexpr std::uint16_t kVersionMembership = 2;  ///< hello/lease frames
 
 enum class FrameType : std::uint16_t {
   kRoundStart = 1,  ///< root -> leaves: sample your demand for this round
   kReport = 2,      ///< leaf -> root: one member's demand vector
   kAggregate = 3,   ///< root -> leaves: the completed round's sum
+  kHello = 4,       ///< session handshake: who I am + my incarnation
+  kLease = 5,       ///< root -> all: I hold the root lease for TTL usec
+  kLeaseAck = 6,    ///< follower -> root: lease seen + my highest round
 };
 
 struct Frame {
   FrameType type = FrameType::kRoundStart;
   std::uint64_t round = 0;
-  std::uint32_t member = 0;      ///< global member index (kReport only)
-  std::vector<double> values;    ///< empty for kRoundStart
+  std::uint32_t member = 0;      ///< global member index / process index
+  std::uint64_t incarnation = 0; ///< membership frames only (0 otherwise)
+  std::uint64_t aux = 0;         ///< membership frames only (0 otherwise)
+  std::vector<double> values;    ///< snapshot frames only
 };
 
 enum class DecodeStatus {
@@ -48,15 +83,19 @@ enum class DecodeStatus {
   kTruncated,     ///< shorter than the fixed header
   kBadMagic,
   kBadVersion,
-  kBadType,
+  kBadType,       ///< unknown type, or a type/version pairing that is invalid
   kSizeMismatch,  ///< count disagrees with the actual payload length
 };
 
 /// Human-readable status for logs and reject counters.
 const char* to_string(DecodeStatus status);
 
+/// True for the version-2 membership frames (hello / lease / lease-ack).
+bool is_membership(FrameType type);
+
 /// Serializes @p frame to the byte layout above (no length prefix; the
-/// socket envelope adds that).
+/// socket envelope adds that). Version-1 frame types ignore
+/// incarnation/aux; membership types ignore values.
 std::string encode(const Frame& frame);
 
 /// Parses one complete frame. On any status other than kOk, *out is left

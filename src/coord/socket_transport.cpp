@@ -1,5 +1,7 @@
 #include "coord/socket_transport.hpp"
 
+#include <algorithm>
+#include <limits>
 #include <utility>
 
 #include "audit/invariant_auditor.hpp"
@@ -27,31 +29,14 @@ util::MetricCounter& stale_counter() {
       "staleness threshold hits that dropped members to the 1/R regime");
   return counter;
 }
-
-/// Parses the port of a "host:port" peer entry, enforcing the loopback-only
-/// contract of net::Socket.
-std::uint16_t parse_loopback_port(const std::string& peer) {
-  const std::size_t colon = peer.find_last_of(':');
-  if (colon == std::string::npos || colon + 1 >= peer.size())
-    throw ContractViolation("SocketTransport: peer '" + peer +
-                            "' must look like 'host:port'");
-  const std::string host = peer.substr(0, colon);
-  if (host != "127.0.0.1" && host != "localhost")
-    throw ContractViolation(
-        "SocketTransport: peer '" + peer +
-        "' is not loopback; the control plane's sockets are loopback-only "
-        "by design (src/net/tcp.hpp)");
-  int port = 0;
-  try {
-    port = std::stoi(peer.substr(colon + 1));
-  } catch (const std::exception&) {
-    port = -1;
-  }
-  if (port < 0 || port > 65535)
-    throw ContractViolation("SocketTransport: peer '" + peer +
-                            "' has an invalid port");
-  return static_cast<std::uint16_t>(port);
+util::MetricCounter& elections_counter() {
+  static util::MetricCounter& counter = util::global_metrics().counter(
+      "coord.socket.elections",
+      "root leases acquired by this process after detecting expiry");
+  return counter;
 }
+
+constexpr std::int64_t kNeverRefused = std::numeric_limits<std::int64_t>::min();
 
 }  // namespace
 
@@ -69,14 +54,29 @@ SocketTransport::SocketTransport(std::size_t local_member_count,
   SHAREGRID_EXPECTS(vector_size >= 1);
   SHAREGRID_EXPECTS(!options_.peers.empty());
   SHAREGRID_EXPECTS(options_.process_index < options_.peers.size());
+  SHAREGRID_EXPECTS(options_.incarnation >= 1);
   SHAREGRID_EXPECTS(options_.member_offset + local_member_count <=
                     fleet_size_);
   SHAREGRID_EXPECTS(options_.round_period_usec > 0);
   SHAREGRID_EXPECTS(options_.round_deadline_usec > 0);
-  SHAREGRID_EXPECTS(options_.dial_retry_usec > 0);
+  SHAREGRID_EXPECTS(options_.lease_ttl_usec > 0);
+  SHAREGRID_EXPECTS(options_.heartbeat_usec >= 0);
   SHAREGRID_EXPECTS(options_.io_timeout_ms > 0);
-  // Every peer entry must parse up front, not when first dialed.
-  for (const std::string& peer : options_.peers) parse_loopback_port(peer);
+  SessionManager::Options session;
+  session.peers = options_.peers;
+  session.self_index = options_.process_index;
+  session.incarnation = options_.incarnation;
+  session.listen_port = options_.listen_port;
+  session.allow_nonlocal = options_.allow_nonlocal;
+  session.reconnect_base_usec = options_.reconnect_base_usec;
+  session.reconnect_max_usec = options_.reconnect_max_usec;
+  session.hello_timeout_usec = options_.hello_timeout_usec;
+  session.io_timeout_ms = options_.io_timeout_ms;
+  session.hello_aux =
+      (static_cast<std::uint64_t>(options_.member_offset) << 32) |
+      static_cast<std::uint64_t>(local_member_count_);
+  session.on_reject = [this](const char* why) { reject_frame(why); };
+  session_ = std::make_unique<SessionManager>(std::move(session));
 }
 
 SocketTransport::~SocketTransport() { stop(); }
@@ -96,107 +96,43 @@ void SocketTransport::attach_stale_handler(std::size_t member,
 
 void SocketTransport::start() {
   SHAREGRID_EXPECTS(!running_.load());
+  // Process 0 at incarnation 1 bootstraps the lease; every other process —
+  // including a restarted process 0 — starts as a follower and adopts the
+  // lease the current root sends it on session establishment.
+  role_root_ = options_.process_index == 0 && options_.incarnation == 1;
+  lease_known_ = false;
+  lease_root_ = 0;
+  lease_inc_ = role_root_ ? 1 : 0;
+  lease_expiry_usec_ = 0;
+  highest_inc_seen_ = lease_inc_;
+  next_heartbeat_usec_ = 0;
+  electing_ = false;
+  last_refusal_usec_.assign(options_.peers.size(), kNeverRefused);
+  processes_.assign(options_.peers.size(), Process{});
+  processes_[options_.process_index].range_known = true;
+  processes_[options_.process_index].member_offset = options_.member_offset;
+  processes_[options_.process_index].member_count = local_member_count_;
   round_open_ = false;
   current_round_ = 0;
   next_round_start_usec_ = 0;
-  has_delivered_ = false;
-  last_delivered_round_ = 0;
-  stale_fired_ = false;
-  dialed_ = false;
-  next_dial_usec_ = 0;
   report_slots_.assign(fleet_size_, {});
   report_seen_.assign(fleet_size_, false);
   reports_pending_ = 0;
+  last_round_members_ = 0;
+  has_delivered_ = false;
+  last_delivered_round_ = 0;
+  stale_fired_ = false;
+  session_->start();
+  // Full mesh: any process may need to reach any other (reports to a future
+  // root, refusal evidence from dead lower-index peers during an election).
+  for (std::size_t p = 0; p < options_.peers.size(); ++p)
+    if (p != options_.process_index) session_->want(p, true);
   running_.store(true);
-  if (is_root()) {
-    const std::uint16_t port = options_.listen_port != 0
-                                   ? options_.listen_port
-                                   : parse_loopback_port(options_.peers[0]);
-    listener_ = net::Socket::listen_on_loopback(port);
-    listener_.set_read_timeout_ms(options_.io_timeout_ms);
-    listen_port_ = listener_.local_port();
-    acceptor_ = std::thread([this] { accept_loop(); });
-  }
-  // Leaves dial from poll(): start() stays clock-free, and a root that is
-  // not up yet is a retry, not a failure.
 }
 
 void SocketTransport::stop() {
   if (!running_.exchange(false)) return;
-  // Wake every blocked syscall first, then join outside the lock: a reader
-  // that is mid-push into the inbox needs the mutex to finish exiting.
-  if (listener_.valid()) listener_.shutdown();
-  std::vector<std::unique_ptr<Conn>> conns;
-  {
-    const util::MutexLock lock(mutex_);
-    for (const auto& conn : conns_) conn->sock.shutdown();
-    conns.swap(conns_);
-  }
-  if (acceptor_.joinable()) acceptor_.join();
-  for (const auto& conn : conns)
-    if (conn->reader.joinable()) conn->reader.join();
-  listener_.close();
-  const util::MutexLock lock(mutex_);
-  inbox_.clear();
-}
-
-void SocketTransport::accept_loop() {
-  while (running_.load()) {
-    net::Socket sock;
-    try {
-      sock = listener_.try_accept();
-    } catch (const ContractViolation&) {
-      if (!running_.load()) break;
-      continue;  // transient accept failure; keep listening
-    }
-    if (!sock.valid()) continue;  // timeout or shutdown wake-up
-    if (!running_.load()) break;
-    sock.set_read_timeout_ms(options_.io_timeout_ms);
-    const util::MutexLock lock(mutex_);
-    auto conn = std::make_unique<Conn>();
-    conn->sock = std::move(sock);
-    Conn* raw = conn.get();
-    const std::size_t index = conns_.size();
-    conns_.push_back(std::move(conn));
-    raw->reader = std::thread([this, raw, index] { reader_loop(raw, index); });
-    peers_connected_.fetch_add(1, std::memory_order_relaxed);
-  }
-}
-
-void SocketTransport::reader_loop(Conn* conn, std::size_t conn_index) {
-  // Dumb pump: bytes -> frames -> inbox. No protocol state lives here; a
-  // reader cannot race the round logic because poll() owns all of it.
-  net::FrameReader frames(/*max_frame_bytes=*/1 << 20);
-  bool abort = false;
-  while (!abort && running_.load()) {
-    const net::ReadResult result = conn->sock.read_some();
-    if (result.status == net::ReadStatus::kTimedOut) continue;
-    if (result.status == net::ReadStatus::kClosed) break;
-    frames.feed(result.data);
-    std::string payload;
-    while (!abort) {
-      const net::FrameReader::Event event = frames.next(&payload);
-      if (event == net::FrameReader::Event::kNeedMore) break;
-      if (event == net::FrameReader::Event::kOversized) {
-        // Framing is unrecoverable: count it and drop the connection.
-        reject_frame("oversized length prefix");
-        conn->sock.shutdown();
-        abort = true;
-        break;
-      }
-      wire::Frame frame;
-      const wire::DecodeStatus status = wire::decode(payload, &frame);
-      if (status != wire::DecodeStatus::kOk) {
-        reject_frame(wire::to_string(status));
-        continue;
-      }
-      const util::MutexLock lock(mutex_);
-      inbox_.push_back({conn_index, false, std::move(frame)});
-    }
-  }
-  conn->closed.store(true);
-  const util::MutexLock lock(mutex_);
-  inbox_.push_back({conn_index, true, {}});
+  session_->stop();
 }
 
 void SocketTransport::reject_frame(const char* why) {
@@ -206,175 +142,433 @@ void SocketTransport::reject_frame(const char* why) {
   last_reject_reason_ = why;
 }
 
-std::vector<SocketTransport::Inbound> SocketTransport::take_inbox() {
+std::string SocketTransport::last_reject_reason() const {
   const util::MutexLock lock(mutex_);
-  std::vector<Inbound> taken;
-  taken.swap(inbox_);
-  return taken;
-}
-
-void SocketTransport::send_to_conn(std::size_t conn_index,
-                                   const std::string& bytes) {
-  const util::MutexLock lock(mutex_);
-  if (conn_index >= conns_.size()) return;
-  Conn* conn = conns_[conn_index].get();
-  if (conn->closed.load()) return;
-  try {
-    conn->sock.write_frame(bytes);
-  } catch (const ContractViolation&) {
-    conn->closed.store(true);  // peer died mid-send; readers notice too
-  }
-}
-
-void SocketTransport::broadcast(const std::string& bytes) {
-  const util::MutexLock lock(mutex_);
-  for (const auto& conn : conns_) {
-    if (conn->closed.load()) continue;
-    try {
-      conn->sock.write_frame(bytes);
-    } catch (const ContractViolation&) {
-      conn->closed.store(true);
-    }
-  }
+  return last_reject_reason_;
 }
 
 void SocketTransport::poll(std::int64_t now_usec) {
   if (!running_.load()) return;
-  if (is_root())
-    poll_root(now_usec);
-  else
-    poll_leaf(now_usec);
+  session_->poll(now_usec);
+  for (const SessionManager::Event& event : session_->take_events())
+    handle_event(event, now_usec);
+  if (!role_root_) maybe_elect(now_usec);
+  if (role_root_) {
+    const std::int64_t heartbeat = options_.heartbeat_usec > 0
+                                       ? options_.heartbeat_usec
+                                       : options_.lease_ttl_usec / 3;
+    if (now_usec >= next_heartbeat_usec_) {
+      session_->broadcast(lease_bytes());
+      next_heartbeat_usec_ = now_usec + heartbeat;
+    }
+    poll_round_root(now_usec);
+  }
   check_staleness(now_usec);
 }
 
-void SocketTransport::poll_root(std::int64_t now_usec) {
-  for (Inbound& in : take_inbox()) {
-    if (in.disconnected) continue;  // missing reports will hit the deadline
-    if (in.frame.type != wire::FrameType::kReport) {
-      reject_frame("unexpected frame type at root");
-      continue;
+void SocketTransport::handle_event(const SessionManager::Event& event,
+                                   std::int64_t now_usec) {
+  switch (event.kind) {
+    case SessionManager::Event::Kind::kPeerUp: {
+      const std::size_t offset =
+          static_cast<std::size_t>(event.aux >> 32);
+      const std::size_t count =
+          static_cast<std::size_t>(event.aux & 0xffffffffu);
+      if (count == 0 || offset + count > fleet_size_) {
+        reject_frame("hello member range out of range");
+        session_->disconnect(event.peer);
+        return;
+      }
+      processes_[event.peer].range_known = true;
+      processes_[event.peer].member_offset = offset;
+      processes_[event.peer].member_count = count;
+      // The root introduces itself to every newcomer immediately, so a
+      // rejoining process adopts the lease before the first round-start it
+      // sees (frames on one session are ordered).
+      if (role_root_) send_lease(event.peer);
+      return;
     }
-    if (!round_open_ || in.frame.round != current_round_) {
-      reject_frame("stale round tag");
-      continue;
-    }
-    if (in.frame.member >= fleet_size_) {
-      reject_frame("member index out of range");
-      continue;
-    }
-    if (report_seen_[in.frame.member]) {
-      reject_frame("duplicate member report");
-      continue;
-    }
-    if (in.frame.values.size() != vector_size_) {
-      reject_frame("report vector size mismatch");
-      continue;
-    }
-    report_seen_[in.frame.member] = true;
-    report_slots_[in.frame.member] = std::move(in.frame.values);
-    --reports_pending_;
+    case SessionManager::Event::Kind::kPeerDown:
+      // Membership changes only at round boundaries: an open round that
+      // just lost a reporter runs into its deadline, and the next
+      // open_round() captures the shrunken live set.
+      return;
+    case SessionManager::Event::Kind::kDialRefused:
+      last_refusal_usec_[event.peer] = now_usec;
+      return;
+    case SessionManager::Event::Kind::kFrame:
+      break;
   }
+  wire::Frame frame = event.frame;
+  switch (frame.type) {
+    case wire::FrameType::kLease:
+      handle_lease(event.peer, frame, now_usec);
+      return;
+    case wire::FrameType::kLeaseAck:
+      handle_lease_ack(event.peer, frame);
+      return;
+    case wire::FrameType::kReport:
+      if (!role_root_) {
+        // A reporter that still believes we hold the lease; its report is
+        // for a round that died with our tenure.
+        reject_frame("report at non-root");
+        return;
+      }
+      handle_report(event.peer, frame);
+      return;
+    case wire::FrameType::kRoundStart:
+      if (role_root_) {
+        fence_zombie_root(event.peer, "round start from rival root");
+        return;
+      }
+      handle_round_start(event.peer, frame, now_usec);
+      return;
+    case wire::FrameType::kAggregate:
+      if (role_root_) {
+        fence_zombie_root(event.peer, "aggregate from rival root");
+        return;
+      }
+      handle_aggregate(event.peer, frame, now_usec);
+      return;
+    case wire::FrameType::kHello:
+      reject_frame("unexpected hello frame");  // the session layer owns these
+      return;
+  }
+}
 
-  if (round_open_ && reports_pending_ == 0) {
-    // Sum in global member order — the same floating-point order
-    // InProcessTransport::exchange uses, so the aggregates (and therefore
-    // the plans) match it bitwise.
-    std::vector<double> sum(vector_size_, 0.0);
-    for (std::size_t m = 0; m < fleet_size_; ++m)
-      for (std::size_t i = 0; i < vector_size_; ++i)
-        sum[i] += report_slots_[m][i];
+void SocketTransport::handle_lease(std::size_t from, const wire::Frame& frame,
+                                   std::int64_t now_usec) {
+  if (frame.member != from) {
+    reject_frame("lease root mismatch");
+    return;
+  }
+  if (frame.aux == 0) {
+    reject_frame("lease ttl zero");
+    return;
+  }
+  const std::uint64_t inc = frame.incarnation;
+  if (inc < highest_inc_seen_) {
+    // A zombie root still advertising a superseded lease: reject it and
+    // answer with the incarnation that displaced it so it steps down.
+    fence_zombie_root(from, "stale lease incarnation");
+    return;
+  }
+  if (role_root_) {
+    if (inc > lease_inc_) {
+      step_down(inc);
+    } else {
+      // Same incarnation, different holder: that is a genuine split brain,
+      // and the audit below is the one that fires on it.
+      SHAREGRID_AUDIT_HOOK(audit::audit_lease_monotone(
+          true, lease_inc_, options_.process_index, inc, frame.member));
+      reject_frame("rival lease at same incarnation");
+      return;
+    }
+  }
+  SHAREGRID_AUDIT_HOOK(audit::audit_lease_monotone(
+      lease_known_, lease_inc_, lease_root_, inc, frame.member));
+  lease_known_ = true;
+  lease_root_ = from;
+  lease_inc_ = inc;
+  highest_inc_seen_ = inc;
+  lease_expiry_usec_ = now_usec + static_cast<std::int64_t>(frame.aux);
+  electing_ = false;
+  // Ack with our highest round so a freshly elected root fast-forwards its
+  // round counter above anything we have seen or delivered.
+  wire::Frame ack;
+  ack.type = wire::FrameType::kLeaseAck;
+  ack.member = static_cast<std::uint32_t>(options_.process_index);
+  ack.incarnation = inc;
+  ack.round = std::max(current_round_, last_delivered_round_);
+  session_->send(from, wire::encode(ack));
+}
+
+void SocketTransport::handle_lease_ack(std::size_t from,
+                                       const wire::Frame& frame) {
+  if (role_root_) {
+    if (frame.incarnation > lease_inc_) {
+      // The fence: a receiver we tried to drive rounds on is operating
+      // under a newer lease. Our tenure is over.
+      step_down(frame.incarnation);
+      return;
+    }
+    if (frame.incarnation < lease_inc_) {
+      reject_frame("stale lease ack");
+      return;
+    }
+    if (frame.round > current_round_) {
+      // A survivor delivered rounds we never saw (the old root died between
+      // per-peer sends). Jump past them; an open round with a lower tag is
+      // unservable for that survivor anyway.
+      if (round_open_) {
+        round_open_ = false;
+        rounds_abandoned_.fetch_add(1, std::memory_order_relaxed);
+        abandoned_counter().add();
+      }
+      current_round_ = frame.round;
+    }
+    return;
+  }
+  if (frame.incarnation > highest_inc_seen_) {
+    // Someone holds a lease newer than anything we have adopted; remember
+    // the incarnation so we neither elect over it nor accept older leases.
+    highest_inc_seen_ = frame.incarnation;
+    return;
+  }
+  reject_frame("unexpected lease ack");
+  (void)from;
+}
+
+void SocketTransport::handle_report(std::size_t from, wire::Frame& frame) {
+  if (!round_open_ || frame.round != current_round_) {
+    reject_frame("stale round tag");
+    return;
+  }
+  const Process& proc = processes_[from];
+  if (!proc.live_this_round) {
+    reject_frame("report from process outside the round's live set");
+    return;
+  }
+  if (frame.member < proc.member_offset ||
+      frame.member >= proc.member_offset + proc.member_count) {
+    reject_frame("member index outside sender's claimed range");
+    return;
+  }
+  if (report_seen_[frame.member]) {
+    reject_frame("duplicate member report");
+    return;
+  }
+  if (frame.values.size() != vector_size_) {
+    reject_frame("report vector size mismatch");
+    return;
+  }
+  report_seen_[frame.member] = true;
+  report_slots_[frame.member] = std::move(frame.values);
+  --reports_pending_;
+}
+
+void SocketTransport::handle_round_start(std::size_t from,
+                                         const wire::Frame& frame,
+                                         std::int64_t now_usec) {
+  (void)now_usec;
+  if (!lease_known_) {
+    reject_frame("round start without lease");
+    return;
+  }
+  if (from != lease_root_) {
+    fence_zombie_root(from, "round start from non-root");
+    return;
+  }
+  // current_round_ doubles as "highest round-start seen" on a follower.
+  if (frame.round <= current_round_) {
+    reject_frame("stale round tag");
+    return;
+  }
+  current_round_ = frame.round;
+  if (options_.on_round_start) options_.on_round_start(current_round_);
+  sample_local_members(current_round_);
+}
+
+void SocketTransport::handle_aggregate(std::size_t from,
+                                       const wire::Frame& frame,
+                                       std::int64_t now_usec) {
+  if (!lease_known_) {
+    reject_frame("aggregate without lease");
+    return;
+  }
+  if (from != lease_root_) {
+    fence_zombie_root(from, "aggregate from non-root");
+    return;
+  }
+  if (frame.values.size() != vector_size_) {
+    reject_frame("aggregate vector size mismatch");
+    return;
+  }
+  if (has_delivered_ && frame.round <= last_delivered_round_) {
+    reject_frame("stale round tag");
+    return;
+  }
+  deliver_aggregate(frame.round, frame.values, now_usec);
+}
+
+void SocketTransport::fence_zombie_root(std::size_t from, const char* why) {
+  reject_frame(why);
+  if (!role_root_ && !lease_known_) return;  // nothing newer to point at
+  wire::Frame nack;
+  nack.type = wire::FrameType::kLeaseAck;
+  nack.member = static_cast<std::uint32_t>(options_.process_index);
+  nack.incarnation = highest_inc_seen_;
+  nack.round = std::max(current_round_, last_delivered_round_);
+  session_->send(from, wire::encode(nack));
+}
+
+std::string SocketTransport::lease_bytes() const {
+  wire::Frame lease;
+  lease.type = wire::FrameType::kLease;
+  lease.member = static_cast<std::uint32_t>(options_.process_index);
+  lease.incarnation = lease_inc_;
+  lease.round = current_round_;
+  lease.aux = static_cast<std::uint64_t>(options_.lease_ttl_usec);
+  return wire::encode(lease);
+}
+
+void SocketTransport::send_lease(std::size_t peer) {
+  session_->send(peer, lease_bytes());
+}
+
+void SocketTransport::step_down(std::uint64_t newer_incarnation) {
+  role_root_ = false;
+  electing_ = false;
+  // We do not know the new holder or its expiry yet; its lease frame fills
+  // those in. Until then we are a follower with no lease, which also means
+  // we cannot (re-)elect over the newer incarnation we just learned about.
+  lease_known_ = false;
+  highest_inc_seen_ = std::max(highest_inc_seen_, newer_incarnation);
+  if (round_open_) {
     round_open_ = false;
-    rounds_completed_.fetch_add(1, std::memory_order_relaxed);
-    // Star accounting: one logical broadcast down per member.
-    messages_sent_.fetch_add(fleet_size_, std::memory_order_relaxed);
-    deliver_aggregate(current_round_, sum, now_usec);
-    wire::Frame down;
-    down.type = wire::FrameType::kAggregate;
-    down.round = current_round_;
-    down.values = std::move(sum);
-    broadcast(wire::encode(down));
+    rounds_abandoned_.fetch_add(1, std::memory_order_relaxed);
+    abandoned_counter().add();
   }
+}
 
+void SocketTransport::maybe_elect(std::int64_t now_usec) {
+  // Candidacy needs a lease to have *expired*: a follower that never
+  // adopted one (fresh start, or fresh restart) waits for the live root to
+  // introduce itself instead of electing over a fleet it cannot see yet.
+  if (!options_.election_enabled || !lease_known_) return;
+  if (now_usec < lease_expiry_usec_) {
+    electing_ = false;
+    return;
+  }
+  if (!electing_) {
+    electing_ = true;
+    election_started_usec_ = now_usec;
+  }
+  // Lowest live member id wins: we may acquire only once every lower-index
+  // peer has refused a dial since candidacy began. An established session
+  // to a lower peer means it is alive and will acquire instead; a session
+  // that merely dropped is not evidence of death (kDialRefused never fires
+  // for those), so we keep waiting for a hard refusal.
+  for (std::size_t p = 0; p < options_.process_index; ++p) {
+    if (session_->established(p)) return;
+    if (last_refusal_usec_[p] < election_started_usec_) return;
+  }
+  acquire_lease(now_usec);
+}
+
+void SocketTransport::acquire_lease(std::int64_t now_usec) {
+  const std::uint64_t new_inc = highest_inc_seen_ + 1;
+  SHAREGRID_AUDIT_HOOK(audit::audit_root_acquire(
+      lease_known_, now_usec, lease_expiry_usec_, new_inc,
+      highest_inc_seen_));
+  role_root_ = true;
+  electing_ = false;
+  lease_known_ = false;
+  lease_root_ = options_.process_index;
+  lease_inc_ = new_inc;
+  highest_inc_seen_ = new_inc;
+  current_round_ = std::max(current_round_, last_delivered_round_);
+  round_open_ = false;
+  elections_.fetch_add(1, std::memory_order_relaxed);
+  elections_counter().add();
+  // Announce immediately; acks flow back carrying each survivor's highest
+  // round. The first round is held one period so those acks can
+  // fast-forward current_round_ before a tag is spent on a round the
+  // survivors would reject.
+  session_->broadcast(lease_bytes());
+  const std::int64_t heartbeat = options_.heartbeat_usec > 0
+                                     ? options_.heartbeat_usec
+                                     : options_.lease_ttl_usec / 3;
+  next_heartbeat_usec_ = now_usec + heartbeat;
+  next_round_start_usec_ = now_usec + options_.round_period_usec;
+}
+
+void SocketTransport::poll_round_root(std::int64_t now_usec) {
+  if (round_open_ && reports_pending_ == 0) finish_round(now_usec);
   if (round_open_ &&
       now_usec - round_started_usec_ >= options_.round_deadline_usec) {
     round_open_ = false;
     rounds_abandoned_.fetch_add(1, std::memory_order_relaxed);
     abandoned_counter().add();
   }
-
-  // Hold round 1 until the whole fleet has connected once, so a slow peer
-  // start-up shows as a later first round, not a gap.
-  const bool fleet_assembled =
-      peers_connected_.load(std::memory_order_relaxed) + 1 >=
-      options_.peers.size();
-  if (!round_open_ && fleet_assembled && now_usec >= next_round_start_usec_) {
-    ++current_round_;
-    round_open_ = true;
-    round_started_usec_ = now_usec;
-    next_round_start_usec_ = now_usec + options_.round_period_usec;
-    report_seen_.assign(fleet_size_, false);
-    reports_pending_ = fleet_size_;
-    if (options_.on_round_start) options_.on_round_start(current_round_);
-    sample_local_members(current_round_);
-    wire::Frame kick;
-    kick.type = wire::FrameType::kRoundStart;
-    kick.round = current_round_;
-    broadcast(wire::encode(kick));
-  }
+  // The bootstrap root (lease incarnation 1) holds round 1 until the whole
+  // fleet has connected once, so a slow peer start-up shows as a later
+  // first round, not a gap — and so churn-free runs are bitwise-identical
+  // to the fixed-fleet transport. An elected root has no such luxury: it
+  // resumes with whoever is alive.
+  const bool assembled =
+      lease_inc_ > 1 || current_round_ > 0 ||
+      session_->peers_ever_established() + 1 >= options_.peers.size();
+  if (!round_open_ && assembled && now_usec >= next_round_start_usec_)
+    open_round(now_usec);
 }
 
-void SocketTransport::poll_leaf(std::int64_t now_usec) {
-  if (!dialed_ && now_usec >= next_dial_usec_) {
-    try {
-      net::Socket sock =
-          net::Socket::connect_loopback(parse_loopback_port(options_.peers[0]));
-      sock.set_read_timeout_ms(options_.io_timeout_ms);
-      const util::MutexLock lock(mutex_);
-      auto conn = std::make_unique<Conn>();
-      conn->sock = std::move(sock);
-      Conn* raw = conn.get();
-      const std::size_t index = conns_.size();
-      conns_.push_back(std::move(conn));
-      raw->reader =
-          std::thread([this, raw, index] { reader_loop(raw, index); });
-      leaf_conn_index_ = index;
-      dialed_ = true;
-    } catch (const ContractViolation&) {
-      next_dial_usec_ = now_usec + options_.dial_retry_usec;
+void SocketTransport::open_round(std::int64_t now_usec) {
+  // Membership is captured here and holds for the whole round: this process
+  // plus every established peer, each contributing the global member range
+  // its HELLO claimed. Joins and rejoins fold in at the *next* boundary.
+  std::size_t live_members = 0;
+  for (std::size_t p = 0; p < options_.peers.size(); ++p) {
+    Process& proc = processes_[p];
+    const bool live = p == options_.process_index ||
+                      (session_->established(p) && proc.range_known);
+    if (live && proc.was_pruned) {
+      readmissions_.fetch_add(1, std::memory_order_relaxed);
+      proc.was_pruned = false;
     }
+    if (!live && proc.live_this_round) proc.was_pruned = true;
+    proc.live_this_round = live;
+    if (live) live_members += proc.member_count;
   }
+  ++current_round_;
+  round_open_ = true;
+  round_started_usec_ = now_usec;
+  next_round_start_usec_ = now_usec + options_.round_period_usec;
+  report_seen_.assign(fleet_size_, false);
+  reports_pending_ = live_members;
+  last_round_members_ = live_members;
+  // Lease refresh piggybacks on every round-start: one heartbeat per round
+  // keeps followers' expiry clocks armed without a separate timer firing.
+  session_->broadcast(lease_bytes());
+  const std::int64_t heartbeat = options_.heartbeat_usec > 0
+                                     ? options_.heartbeat_usec
+                                     : options_.lease_ttl_usec / 3;
+  next_heartbeat_usec_ = now_usec + heartbeat;
+  if (options_.on_round_start) options_.on_round_start(current_round_);
+  sample_local_members(current_round_);
+  wire::Frame kick;
+  kick.type = wire::FrameType::kRoundStart;
+  kick.round = current_round_;
+  const std::string bytes = wire::encode(kick);
+  for (std::size_t p = 0; p < options_.peers.size(); ++p)
+    if (p != options_.process_index && processes_[p].live_this_round)
+      session_->send(p, bytes);
+}
 
-  for (Inbound& in : take_inbox()) {
-    if (in.disconnected) continue;  // staleness handles a dead root
-    switch (in.frame.type) {
-      case wire::FrameType::kRoundStart: {
-        // current_round_ doubles as "highest round-start seen" on a leaf.
-        if (in.frame.round <= current_round_) {
-          reject_frame("stale round tag");
-          break;
-        }
-        current_round_ = in.frame.round;
-        if (options_.on_round_start) options_.on_round_start(current_round_);
-        sample_local_members(current_round_);
-        break;
-      }
-      case wire::FrameType::kAggregate: {
-        if (in.frame.values.size() != vector_size_) {
-          reject_frame("aggregate vector size mismatch");
-          break;
-        }
-        if (has_delivered_ && in.frame.round <= last_delivered_round_) {
-          reject_frame("stale round tag");
-          break;
-        }
-        deliver_aggregate(in.frame.round, in.frame.values, now_usec);
-        break;
-      }
-      default:
-        reject_frame("unexpected frame type at leaf");
-        break;
-    }
+void SocketTransport::finish_round(std::int64_t now_usec) {
+  // Sum in global member order — the same floating-point order
+  // InProcessTransport::exchange uses, so with full membership the
+  // aggregates (and therefore the plans) match it bitwise. Pruned members
+  // contribute nothing: a dead process's demand is not demand.
+  std::vector<double> sum(vector_size_, 0.0);
+  for (std::size_t m = 0; m < fleet_size_; ++m) {
+    if (!report_seen_[m]) continue;
+    for (std::size_t i = 0; i < vector_size_; ++i)
+      sum[i] += report_slots_[m][i];
   }
+  round_open_ = false;
+  rounds_completed_.fetch_add(1, std::memory_order_relaxed);
+  // Star accounting: one logical broadcast down per live member.
+  messages_sent_.fetch_add(last_round_members_, std::memory_order_relaxed);
+  deliver_aggregate(current_round_, sum, now_usec);
+  wire::Frame down;
+  down.type = wire::FrameType::kAggregate;
+  down.round = current_round_;
+  down.values = std::move(sum);
+  const std::string bytes = wire::encode(down);
+  for (std::size_t p = 0; p < options_.peers.size(); ++p)
+    if (p != options_.process_index && processes_[p].live_this_round)
+      session_->send(p, bytes);
 }
 
 void SocketTransport::sample_local_members(std::uint64_t round) {
@@ -387,7 +581,7 @@ void SocketTransport::sample_local_members(std::uint64_t round) {
     SHAREGRID_ASSERT(local.size() == vector_size_);
     const std::size_t global = options_.member_offset + m;
     messages_sent_.fetch_add(1, std::memory_order_relaxed);  // report up
-    if (is_root()) {
+    if (role_root_) {
       report_seen_[global] = true;
       report_slots_[global] = std::move(local);
       --reports_pending_;
@@ -397,7 +591,7 @@ void SocketTransport::sample_local_members(std::uint64_t round) {
       up.round = round;
       up.member = static_cast<std::uint32_t>(global);
       up.values = std::move(local);
-      send_to_conn(leaf_conn_index_, wire::encode(up));
+      session_->send(lease_root_, wire::encode(up));
     }
   }
 }
@@ -429,11 +623,6 @@ void SocketTransport::check_staleness(std::int64_t now_usec) {
   stale_counter().add();
   for (const auto& handler : stale_handlers_)
     if (handler) handler();
-}
-
-std::string SocketTransport::last_reject_reason() const {
-  const util::MutexLock lock(mutex_);
-  return last_reject_reason_;
 }
 
 }  // namespace sharegrid::coord

@@ -1,36 +1,57 @@
 // Cross-process snapshot transport: the SnapshotTransport seam over real
-// loopback TCP (ROADMAP "cross-host control plane"; docs/control-plane.md).
+// TCP, membership-aware (ROADMAP "rejoin and leadership on the live path";
+// docs/control-plane.md).
 //
-// Topology is a star, mirroring the flat CombiningTree: the process hosting
-// global member 0 (process_index 0) is the root; every other process dials
-// it once and keeps the connection for the run. A round is three phases:
+// Topology is a star, mirroring the flat CombiningTree, but the star's hub
+// is now elected rather than frozen: the root is whichever process holds the
+// current *lease*. A round is three phases:
 //
-//   1. root:   round-start(round k) to every leaf, sample local members
+//   1. root:   round-start(round k) to every live peer, sample local members
 //   2. leaves: sample local members, report(k, member, demand) to the root
-//   3. root:   when all R member reports are in, sum them in member order
-//              and send aggregate(k, sum) to every leaf + deliver locally
+//   3. root:   when every live member's report is in, sum them in global
+//              member order and send aggregate(k, sum) down + deliver locally
 //
-// Rounds are lockstep — the root opens round k+1 only after round k either
-// completed or hit its deadline — which is what makes the multi-process
-// demo's plans bitwise-comparable to the InProcessTransport baseline (the
-// sim tree's overlapping rounds are a generality this first wire transport
-// deliberately skips). Round tags are the CombiningTree epochs: receivers
-// see a strictly increasing round number, with gaps where a deadline
-// abandoned an incomplete round.
+// Membership: SessionManager owns the per-peer sessions (full mesh — every
+// process listens and dials every other). The root captures the live set
+// when a round opens: itself plus every established peer, each contributing
+// the global member range its HELLO claimed. A peer that dies mid-round
+// just lets the round hit its deadline; a peer that (re)joins mid-round is
+// folded in at the next round boundary — membership never changes inside a
+// round, which is what keeps churn-free runs bitwise-identical to the
+// fixed-fleet transport.
+//
+// Leadership: the root holds a TTL lease (lease frame: root index, lease
+// incarnation, TTL), refreshed by piggybacking on every round-start plus a
+// standalone heartbeat for idle gaps. Followers re-arm the expiry clock on
+// every lease receipt. When a follower observes the lease expired, it
+// becomes a candidate; it may acquire only once every LOWER-index peer has
+// refused its dials since candidacy began (SessionManager fires
+// kDialRefused only for connect-refusals and handshake timeouts — never for
+// an established session that dropped — so "all lower peers refuse" really
+// means "all lower peers are dead", and the lowest live member id wins).
+// Acquisition bumps the lease incarnation past the highest ever seen; the
+// audit_root_acquire hook pins both conditions. A deposed root that wakes
+// up and keeps sending rounds is fenced by incarnation: receivers reject
+// frames from a non-lease-holder and answer with a lease-ack carrying the
+// newer incarnation, which makes the zombie step down and re-adopt. Lease
+// acks also carry the acker's highest round so a freshly elected root
+// fast-forwards its round counter above anything any survivor delivered —
+// round tags stay strictly monotone across root changes.
 //
 // Failure semantics: an abandoned round is counted and skipped; when no
 // aggregate has been delivered for `stale_after_usec`, the stale handlers
 // registered via attach_stale_handler fire once (re-armed by the next
-// delivery), dropping the control-plane members back to the conservative
-// 1/R regime exactly as before their first snapshot.
+// delivery), re-admitting the control-plane members into the conservative
+// 1/R regime. With election enabled a dead root is replaced within a lease
+// TTL and survivors usually never go stale; with it disabled this transport
+// degrades exactly like the fixed-fleet one.
 //
-// Threading: background threads only pump bytes — the root's acceptor and
-// one reader per connection parse frames and queue them in a mutex-guarded
-// inbox. Everything with semantics (validation, round pacing, deadlines,
-// sends, receiver delivery) happens inside poll(), which the caller must
-// invoke from one thread with its own monotonic clock, same contract as
-// WallClockDriver::poll. The transport itself never reads a clock, so the
-// deadline and staleness paths are deterministic under test-supplied time.
+// Threading: unchanged contract. SessionManager's background threads only
+// pump bytes; everything with semantics — sessions, leases, elections,
+// round pacing, deadlines, delivery — happens inside poll(now_usec) on the
+// caller's thread against the caller's monotonic clock. The transport never
+// reads a clock, so deadlines, lease expiry and elections are deterministic
+// under test-supplied time.
 #pragma once
 
 #include <atomic>
@@ -38,28 +59,36 @@
 #include <functional>
 #include <memory>
 #include <string>
-#include <thread>
 #include <vector>
 
+#include "coord/session_manager.hpp"
 #include "coord/snapshot_transport.hpp"
 #include "coord/snapshot_wire.hpp"
-#include "net/tcp.hpp"
 #include "util/thread_annotations.hpp"
 
 namespace sharegrid::coord {
 
-/// Star-topology snapshot exchange between N processes over loopback TCP.
+/// Star-topology snapshot exchange between N processes over TCP, with peer
+/// rejoin and lease-based root election.
 class SocketTransport final : public SnapshotTransport {
  public:
   struct Options {
     /// host:port of every process in the fleet, index-aligned with
-    /// process_index; peers[0] is the root every leaf dials. Loopback only.
+    /// process_index. Every process listens on its own entry and dials the
+    /// others (SessionManager; port 0 entries are inbound-only). Loopback
+    /// unless allow_nonlocal.
     std::vector<std::string> peers;
     /// Which peers[] entry this process is.
     std::size_t process_index = 0;
-    /// Root only: overrides the port parsed from peers[0] (0 = use peers[0];
-    /// tests pass 0 in peers[0] too and read the ephemeral listen_port()).
+    /// This process's incarnation, bumped on each restart. Process 0 at
+    /// incarnation 1 bootstraps as the initial lease holder; a restarted
+    /// process always starts as a follower and adopts the current lease.
+    std::uint64_t incarnation = 1;
+    /// Overrides the port parsed from peers[process_index] (0 = use peers[];
+    /// tests pass "host:0" and read the ephemeral listen_port()).
     std::uint16_t listen_port = 0;
+    /// Loopback-only unless set (satellite: [control_plane] allow_nonlocal).
+    bool allow_nonlocal = false;
     /// First global member index hosted by this process. Global members are
     /// assigned contiguously per process; with the default one-member-per-
     /// process fleet this equals process_index.
@@ -73,8 +102,23 @@ class SocketTransport final : public SnapshotTransport {
     /// No aggregate for this long after the last delivery -> stale handlers
     /// fire (0 = round_period_usec + round_deadline_usec).
     std::int64_t stale_after_usec = 0;
-    /// Leaf: retry spacing for dialing a root that is not up yet.
-    std::int64_t dial_retry_usec = 20000;
+    /// Root lease TTL. Followers treat the root as dead this long after the
+    /// last lease receipt; keep it comfortably above round_period_usec.
+    std::int64_t lease_ttl_usec = 500000;
+    /// Standalone lease refresh spacing (0 = lease_ttl_usec / 3). Every
+    /// round-start also refreshes the lease, so this only matters when
+    /// rounds are sparse relative to the TTL.
+    std::int64_t heartbeat_usec = 0;
+    /// When false, followers never run for root: a dead root means
+    /// staleness and the conservative 1/R regime, as in the fixed fleet.
+    bool election_enabled = true;
+    /// Session re-dial backoff: first retry after reconnect_base_usec,
+    /// doubling up to reconnect_max_usec, reset on an established session.
+    std::int64_t reconnect_base_usec = 20000;
+    std::int64_t reconnect_max_usec = 320000;
+    /// A dialed peer that accepts TCP but never answers HELLO counts as a
+    /// refusal after this long (a stopped process still completes TCP).
+    std::int64_t hello_timeout_usec = 500000;
     /// Socket receive timeout for the background pumps; bounds stop() join
     /// latency and how often readers re-check the running flag.
     int io_timeout_ms = 50;
@@ -94,31 +138,61 @@ class SocketTransport final : public SnapshotTransport {
   void attach_stale_handler(std::size_t member,
                             std::function<void()> on_stale) override;
 
-  /// Root: binds the listen port and starts the acceptor. Leaf: arms the
-  /// dial state; the actual connect happens in poll() so start() needs no
-  /// clock. Frames flow only while poll() is being called.
+  /// Binds this process's listen port and starts the session layer. Dials,
+  /// handshakes and rounds all happen in poll(), so start() needs no clock.
   void start() override;
   void stop() override;
 
-  /// Advances the protocol against the caller's monotonic clock. Must be
-  /// called from one thread (the window driver's); receivers and
-  /// on_round_start run synchronously inside it.
+  /// Advances sessions, leases, elections and rounds against the caller's
+  /// monotonic clock. Must be called from one thread (the window driver's);
+  /// receivers and on_round_start run synchronously inside it.
   void poll(std::int64_t now_usec);
 
   /// Logical star messages (reports up from local members + aggregate
   /// broadcasts down at the root), so the fleet-wide sum per completed
-  /// round is 2R — comparable with InProcessTransport / CombiningTree.
+  /// full-membership round is 2R — comparable with InProcessTransport.
+  /// Session and lease frames are control overhead and are not counted.
   std::uint64_t messages_sent() const override {
     return messages_sent_.load(std::memory_order_relaxed);
   }
 
-  bool is_root() const { return options_.process_index == 0; }
-  /// Root: the bound port (after start()); valid with ephemeral binds.
-  std::uint16_t listen_port() const { return listen_port_; }
-  /// Root: how many distinct peer connections have ever been accepted.
-  std::size_t peers_connected() const {
-    return peers_connected_.load(std::memory_order_relaxed);
+  /// Whether this process currently holds the lease. Dynamic: changes on
+  /// election and on being fenced.
+  bool is_root() const { return role_root_; }
+  /// The current lease holder as this process believes it (valid only when
+  /// has_root() — a restarted follower knows no root until a lease lands).
+  bool has_root() const { return role_root_ || lease_known_; }
+  std::size_t root_index() const {
+    return role_root_ ? options_.process_index : lease_root_;
   }
+  /// The lease incarnation this process is operating under (0 = none yet).
+  std::uint64_t lease_incarnation() const {
+    return role_root_ ? lease_inc_ : (lease_known_ ? lease_inc_ : 0);
+  }
+  /// The bound port (after start()); valid with ephemeral binds.
+  std::uint16_t listen_port() const { return session_->listen_port(); }
+  /// Session state for a peer process (SessionManager passthrough).
+  SessionManager::SessionState session_state(std::size_t peer) const {
+    return session_->state(peer);
+  }
+  /// Distinct peers that have ever established a session with us.
+  std::size_t peers_connected() const {
+    return session_->peers_ever_established();
+  }
+  /// Sessions re-established after a loss (SessionManager passthrough;
+  /// metric coord.socket.reconnects).
+  std::uint64_t reconnects() const { return session_->reconnects(); }
+  /// Times this process acquired the lease (metric coord.socket.elections).
+  std::uint64_t elections() const {
+    return elections_.load(std::memory_order_relaxed);
+  }
+  /// Root: times a previously-pruned peer was folded back into the live set
+  /// at a round boundary.
+  std::uint64_t readmissions() const {
+    return readmissions_.load(std::memory_order_relaxed);
+  }
+  /// Root: global members included in the most recently opened round.
+  std::size_t members_live() const { return last_round_members_; }
 
   std::uint64_t rounds_completed() const {
     return rounds_completed_.load(std::memory_order_relaxed);
@@ -126,9 +200,9 @@ class SocketTransport final : public SnapshotTransport {
   std::uint64_t rounds_abandoned() const {
     return rounds_abandoned_.load(std::memory_order_relaxed);
   }
-  /// Frames dropped for any reason: undecodable bytes, unknown round or
-  /// member, duplicates, wrong direction. Mirrored into the metrics
-  /// registry as coord.socket.frames_rejected.
+  /// Frames dropped for any reason: undecodable bytes, zombie hellos or
+  /// leases, unknown round or member, duplicates, wrong direction. Mirrored
+  /// into the metrics registry as coord.socket.frames_rejected.
   std::uint64_t frames_rejected() const {
     return frames_rejected_.load(std::memory_order_relaxed);
   }
@@ -141,38 +215,43 @@ class SocketTransport final : public SnapshotTransport {
   std::string last_reject_reason() const SHAREGRID_EXCLUDES(mutex_);
 
  private:
-  /// One live connection: the root owns one per accepted leaf, a leaf owns
-  /// exactly one (to the root). Reader threads hold a stable Conn*.
-  struct Conn {
-    net::Socket sock;
-    std::thread reader;
-    std::atomic<bool> closed{false};
+  /// What the root knows about one process of the fleet (itself included).
+  struct Process {
+    bool range_known = false;    ///< HELLO seen at least once (self: always)
+    std::size_t member_offset = 0;
+    std::size_t member_count = 0;
+    bool live_this_round = false;
+    bool was_pruned = false;  ///< left the live set at least once
   };
 
-  /// A parsed frame (or a disconnect note) queued by a reader thread for
-  /// poll() to act on.
-  struct Inbound {
-    std::size_t conn_index = 0;
-    bool disconnected = false;
-    wire::Frame frame;
-  };
-
-  void accept_loop() SHAREGRID_EXCLUDES(mutex_);
-  void reader_loop(Conn* conn, std::size_t conn_index)
-      SHAREGRID_EXCLUDES(mutex_);
   void reject_frame(const char* why) SHAREGRID_EXCLUDES(mutex_);
 
   // poll()-thread only ----------------------------------------------------
-  std::vector<Inbound> take_inbox() SHAREGRID_EXCLUDES(mutex_);
-  void send_to_conn(std::size_t conn_index, const std::string& bytes)
-      SHAREGRID_EXCLUDES(mutex_);
-  void broadcast(const std::string& bytes) SHAREGRID_EXCLUDES(mutex_);
-  void poll_root(std::int64_t now_usec);
-  void poll_leaf(std::int64_t now_usec);
+  void handle_event(const SessionManager::Event& event, std::int64_t now_usec);
+  void handle_lease(std::size_t from, const wire::Frame& frame,
+                    std::int64_t now_usec);
+  void handle_lease_ack(std::size_t from, const wire::Frame& frame);
+  void handle_report(std::size_t from, wire::Frame& frame);
+  void handle_round_start(std::size_t from, const wire::Frame& frame,
+                          std::int64_t now_usec);
+  void handle_aggregate(std::size_t from, const wire::Frame& frame,
+                        std::int64_t now_usec);
+  /// Rejects a round frame from a process that no longer holds the lease
+  /// and answers with the newer incarnation so the zombie steps down.
+  void fence_zombie_root(std::size_t from, const char* why);
+  void send_lease(std::size_t peer);
+  void broadcast_lease(std::int64_t now_usec);
+  void step_down(std::uint64_t newer_incarnation);
+  void maybe_elect(std::int64_t now_usec);
+  void acquire_lease(std::int64_t now_usec);
+  void poll_round_root(std::int64_t now_usec);
+  void open_round(std::int64_t now_usec);
+  void finish_round(std::int64_t now_usec);
   void sample_local_members(std::uint64_t round);
   void deliver_aggregate(std::uint64_t round, const std::vector<double>& sum,
                          std::int64_t now_usec);
   void check_staleness(std::int64_t now_usec);
+  std::string lease_bytes() const;
 
   std::size_t local_member_count_;
   std::size_t vector_size_;
@@ -183,41 +262,48 @@ class SocketTransport final : public SnapshotTransport {
   std::vector<Receiver> receivers_;
   std::vector<std::function<void()>> stale_handlers_;
 
-  // Shared between poll(), the acceptor, and the readers.
+  std::unique_ptr<SessionManager> session_;
+
   mutable util::Mutex mutex_;
-  std::vector<std::unique_ptr<Conn>> conns_ SHAREGRID_GUARDED_BY(mutex_);
-  std::vector<Inbound> inbox_ SHAREGRID_GUARDED_BY(mutex_);
   std::string last_reject_reason_ SHAREGRID_GUARDED_BY(mutex_);
 
-  net::Socket listener_;  ///< root only; shutdown() wakes the acceptor
-  std::thread acceptor_;  ///< root only
   std::atomic<bool> running_{false};
-  std::uint16_t listen_port_ = 0;
-  std::atomic<std::size_t> peers_connected_{0};
 
-  // Round state, touched only by the poll() thread.
+  // Lease / election state, touched only by the poll() thread.
+  bool role_root_ = false;
+  bool lease_known_ = false;       ///< follower: a lease has been adopted
+  std::size_t lease_root_ = 0;     ///< follower: its holder
+  std::uint64_t lease_inc_ = 0;    ///< adopted (follower) or held (root)
+  std::int64_t lease_expiry_usec_ = 0;      ///< follower: local re-armed TTL
+  std::uint64_t highest_inc_seen_ = 0;
+  std::int64_t next_heartbeat_usec_ = 0;    ///< root only
+  bool electing_ = false;
+  std::int64_t election_started_usec_ = 0;
+  std::vector<std::int64_t> last_refusal_usec_;  ///< per peer; -1 = never
+
+  // Round state (root role), touched only by the poll() thread.
+  std::vector<Process> processes_;
   bool round_open_ = false;
-  std::uint64_t current_round_ = 0;   ///< round ids start at 1
+  std::uint64_t current_round_ = 0;   ///< root: last opened; leaf: last seen
   std::int64_t round_started_usec_ = 0;
   std::int64_t next_round_start_usec_ = 0;
   std::vector<std::vector<double>> report_slots_;  ///< [global member]
   std::vector<bool> report_seen_;
   std::size_t reports_pending_ = 0;
-  // Leaf delivery / staleness state (poll() thread).
+  std::size_t last_round_members_ = 0;
+  // Delivery / staleness state (poll() thread).
   bool has_delivered_ = false;
   std::uint64_t last_delivered_round_ = 0;
   std::int64_t last_delivery_usec_ = 0;
   bool stale_fired_ = false;
-  // Leaf dial state (poll() thread).
-  bool dialed_ = false;
-  std::int64_t next_dial_usec_ = 0;
-  std::size_t leaf_conn_index_ = 0;
 
   std::atomic<std::uint64_t> messages_sent_{0};
   std::atomic<std::uint64_t> rounds_completed_{0};
   std::atomic<std::uint64_t> rounds_abandoned_{0};
   std::atomic<std::uint64_t> frames_rejected_{0};
   std::atomic<std::uint64_t> stale_fallbacks_{0};
+  std::atomic<std::uint64_t> elections_{0};
+  std::atomic<std::uint64_t> readmissions_{0};
 };
 
 }  // namespace sharegrid::coord

@@ -121,6 +121,23 @@ struct ScenarioConfig {
   /// host:port per redirector process, index-aligned; entry 0 is the
   /// aggregation root. Required (and only meaningful) for kSocket.
   std::vector<std::string> socket_peers;
+  /// Membership knobs for kSocket scenarios (SocketTransport::Options).
+  /// Root-lease TTL: followers treat the root as dead — and, with election
+  /// enabled, run for the lease — this long after its last refresh.
+  double lease_ttl_ms = 500.0;
+  /// Standalone lease-refresh spacing (0 = TTL / 3); every round start also
+  /// refreshes, so this only matters when rounds are sparse vs the TTL.
+  double heartbeat_ms = 0.0;
+  /// Session re-dial backoff: first retry after reconnect_base_ms, doubling
+  /// per refusal up to reconnect_max_ms, reset when a session establishes.
+  double reconnect_base_ms = 20.0;
+  double reconnect_max_ms = 320.0;
+  /// When false, survivors of a root failure never elect a replacement;
+  /// they degrade to the conservative 1/R regime via staleness instead.
+  bool election_enabled = true;
+  /// Lifts the loopback-only restriction on socket_peers so the processes
+  /// may span hosts (numeric IPv4 only; the listener then binds 0.0.0.0).
+  bool allow_nonlocal = false;
 
   // Client behaviour.
   double retry_delay_sec = 0.2;

@@ -174,7 +174,40 @@ ScenarioConfig scenario_from_ini(const IniDocument& doc) {
       }
       if (config.socket_peers.empty()) fail("control_plane.peers is empty");
     }
+    if (const auto ttl = cp.get_double("lease_ttl_ms")) {
+      if (!std::isfinite(*ttl) || *ttl <= 0.0)
+        fail("control_plane.lease_ttl_ms must be finite and > 0, got " +
+             std::to_string(*ttl));
+      config.lease_ttl_ms = *ttl;
+    }
+    if (const auto beat = cp.get_double("heartbeat_ms")) {
+      if (!std::isfinite(*beat) || *beat < 0.0)
+        fail("control_plane.heartbeat_ms must be finite and >= 0, got " +
+             std::to_string(*beat));
+      config.heartbeat_ms = *beat;
+    }
+    if (const auto base = cp.get_double("reconnect_base_ms")) {
+      if (!std::isfinite(*base) || *base <= 0.0)
+        fail("control_plane.reconnect_base_ms must be finite and > 0, got " +
+             std::to_string(*base));
+      config.reconnect_base_ms = *base;
+    }
+    if (const auto cap = cp.get_double("reconnect_max_ms")) {
+      if (!std::isfinite(*cap) || *cap <= 0.0)
+        fail("control_plane.reconnect_max_ms must be finite and > 0, got " +
+             std::to_string(*cap));
+      config.reconnect_max_ms = *cap;
+    }
+    if (const auto elect = cp.get_bool("election_enabled"))
+      config.election_enabled = *elect;
+    if (const auto nonlocal = cp.get_bool("allow_nonlocal"))
+      config.allow_nonlocal = *nonlocal;
   }
+  if (config.reconnect_max_ms < config.reconnect_base_ms)
+    fail("control_plane.reconnect_max_ms (" +
+         std::to_string(config.reconnect_max_ms) +
+         ") must be >= reconnect_base_ms (" +
+         std::to_string(config.reconnect_base_ms) + ")");
   if (config.transport == ScenarioConfig::TransportKind::kSocket) {
     if (config.socket_peers.empty())
       fail("control_plane.transport = socket requires control_plane.peers");

@@ -19,11 +19,16 @@ namespace {
   throw ContractViolation("tcp: " + what + ": " + std::strerror(errno));
 }
 
-sockaddr_in loopback(std::uint16_t port) {
+/// Numeric IPv4 only — inet_pton, no DNS. Throws on a malformed address so
+/// a typo in a peers list fails at configuration time, not as a mysterious
+/// connect error.
+sockaddr_in numeric_ipv4(const std::string& host, std::uint16_t port) {
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_port = htons(port);
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1)
+    throw ContractViolation("tcp: '" + host +
+                            "' is not a numeric IPv4 address");
   return addr;
 }
 
@@ -90,11 +95,16 @@ void Socket::set_read_timeout_ms(int timeout_ms) const {
 }
 
 Socket Socket::listen_on_loopback(std::uint16_t port, int backlog) {
+  return listen_on("127.0.0.1", port, backlog);
+}
+
+Socket Socket::listen_on(const std::string& bind_host, std::uint16_t port,
+                         int backlog) {
+  sockaddr_in addr = numeric_ipv4(bind_host, port);
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) fail("socket");
   const int one = 1;
   setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-  sockaddr_in addr = loopback(port);
   if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
     ::close(fd);
     fail("bind");
@@ -108,9 +118,13 @@ Socket Socket::listen_on_loopback(std::uint16_t port, int backlog) {
 }
 
 Socket Socket::connect_loopback(std::uint16_t port) {
+  return connect_to("127.0.0.1", port);
+}
+
+Socket Socket::connect_to(const std::string& host, std::uint16_t port) {
+  sockaddr_in addr = numeric_ipv4(host, port);
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) fail("socket");
-  sockaddr_in addr = loopback(port);
   int rc;
   do {
     rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));

@@ -1,9 +1,13 @@
 // Minimal RAII TCP sockets plus length-prefixed framing.
 //
-// Loopback-only by design: the live service and the socket control plane
+// Loopback-first by design: the live service and the socket control plane
 // exist to demonstrate that the scheduling stack drives real processes (as
-// the paper's prototype did), not to be an internet-facing server. Reads
-// carry a timeout so tests can never hang on a stuck peer.
+// the paper's prototype did), not to be an internet-facing server. The
+// loopback constructors are the default path; connect_to()/listen_on() take
+// an explicit numeric IPv4 address so a second host can be tested, but the
+// coord layer only reaches them behind its allow_nonlocal flag — the
+// loopback validation stays on unless a scenario opts out. Reads carry a
+// timeout so tests can never hang on a stuck peer.
 //
 // This is the bottom networking layer (below both `live` and `coord` in the
 // include DAG, see tools/analyze/include_graph.hpp): the live L4/L7 services
@@ -49,6 +53,16 @@ class Socket {
 
   /// Connects to 127.0.0.1:@p port.
   static Socket connect_loopback(std::uint16_t port);
+
+  /// Creates a listening socket bound to the numeric IPv4 address
+  /// @p bind_host ("0.0.0.0" to accept from any interface). No DNS.
+  static Socket listen_on(const std::string& bind_host, std::uint16_t port,
+                          int backlog = 16);
+
+  /// Connects to the numeric IPv4 address @p host ("10.0.0.2"). No DNS —
+  /// peers in a sharing fleet are configuration, not names to resolve at
+  /// dial time. Throws ContractViolation on a malformed address.
+  static Socket connect_to(const std::string& host, std::uint16_t port);
 
   /// Blocks until a peer connects; the returned socket has the same read
   /// timeout applied. Throws on error or accept timeout.

@@ -189,6 +189,32 @@ TEST(Tcp, OversizedLengthPrefixIsSticky) {
   EXPECT_EQ(reader.next(&frame), net::FrameReader::Event::kOversized);
 }
 
+// The explicit-address constructors behind the coord layer's allow_nonlocal
+// flag: numeric IPv4 only, no DNS, and loopback addresses keep working
+// through them (the loopback constructors delegate here).
+TEST(Tcp, ExplicitAddressConnectAndListen) {
+  const net::Socket listener = net::Socket::listen_on("127.0.0.1", 0);
+  const net::Socket client =
+      net::Socket::connect_to("127.0.0.1", listener.local_port());
+  const net::Socket server = listener.accept();
+  client.write_all("hello");
+  const net::ReadResult got = server.read_some();
+  ASSERT_EQ(got.status, net::ReadStatus::kData);
+  EXPECT_EQ(got.data, "hello");
+
+  // Hostnames are configuration errors, not resolution requests.
+  try {
+    net::Socket::connect_to("control-plane.internal", 7000);
+    FAIL() << "hostname accepted by the numeric-IPv4-only connect";
+  } catch (const ContractViolation& e) {
+    EXPECT_NE(std::string(e.what()).find("numeric IPv4"), std::string::npos)
+        << e.what();
+  }
+  EXPECT_THROW(net::Socket::listen_on("not-an-address", 0),
+               ContractViolation);
+  EXPECT_THROW(net::Socket::connect_to("", 7000), ContractViolation);
+}
+
 TEST(Tcp, TryAcceptReportsTimeoutAsInvalidSocket) {
   const net::Socket listener = net::Socket::listen_on_loopback(0);
   listener.set_read_timeout_ms(30);

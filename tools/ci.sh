@@ -31,10 +31,13 @@ run_stage() {
 run_stage relwithdebinfo   # -Werror + sharegrid_analyze + figure shapes
 
 # Cross-process control plane: fork a 3-redirector fleet over loopback TCP
-# and require plan convergence (bitwise vs InProcessTransport) plus the
-# degradation-to-1/R path after a mid-run peer kill. ctest already runs the
-# binary once; rerunning it standalone keeps the multi-process stage visible
-# in the CI log and gates directly on its exit code.
+# and require plan convergence (bitwise vs InProcessTransport), then the
+# churn phases — a leaf killed and RESTARTED (the root must prune it and
+# re-admit the higher-incarnation restart at a round boundary) and the root
+# killed (the survivors must elect the lowest live member and resume rounds
+# with monotone tags). ctest already runs the binary once; rerunning it
+# standalone keeps the multi-process stage visible in the CI log and gates
+# directly on its exit code.
 echo
 echo "=== [multi-process] 3-process loopback fleet (coord::SocketTransport) ==="
 ./build-relwithdebinfo/examples/multi_process_demo \
@@ -92,6 +95,14 @@ else
   echo "=== [debug-tsan] sharded simulation lanes ==="
   ./build-tsan/tests/sharegrid_tests \
     --gtest_filter='ShardedSimulator.*:ClusteredScenario.*'
+  # Chaos stage: the forked fleet with a leaf kill + restart and a root
+  # kill + election, under TSan. Session teardown is where the receive
+  # threads, the inbox mutex, and poll() meet — abrupt process death
+  # exercises exactly the shutdown/reclaim interleavings a clean run never
+  # hits, and the audit hooks (single-root, lease monotone) are armed in
+  # this build.
+  echo "=== [debug-tsan] multi-process chaos (leaf restart + root election) ==="
+  ./build-tsan/examples/multi_process_demo examples/scenarios/multi_process.ini
 fi
 
 # Opt-in: refresh the checked-in warm-vs-cold LP re-solve numbers (see
